@@ -1,0 +1,41 @@
+# Convenience targets for the uoivar reproduction.
+
+GO ?= go
+
+.PHONY: build test test-short bench vet fmt experiments csv examples clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure to stdout.
+experiments:
+	$(GO) run ./cmd/experiments -all
+
+# Plot-ready CSV series for the scaling figures.
+csv:
+	$(GO) run ./cmd/experiments -csv out/csv
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/elasticnet
+	$(GO) run ./examples/finance
+	$(GO) run ./examples/neuro
+	$(GO) run ./examples/scaling
+
+clean:
+	rm -rf out bin

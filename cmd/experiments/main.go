@@ -1,0 +1,64 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -exp fig4
+//	experiments -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"uoivar/internal/experiments"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list available experiments")
+		exp  = flag.String("exp", "", "experiment to run (e.g. fig4, tab2, fig11)")
+		all  = flag.Bool("all", false, "run every experiment")
+		csv  = flag.String("csv", "", "write the scaling figures as CSV series into this directory")
+	)
+	flag.Parse()
+
+	if *csv != "" {
+		files, err := experiments.WriteCSV(*csv)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		for _, f := range files {
+			fmt.Println("wrote", f)
+		}
+		return
+	}
+
+	switch {
+	case *list:
+		for _, d := range experiments.List() {
+			fmt.Printf("%-12s %s\n", d.Name, d.Description)
+		}
+	case *all:
+		if err := experiments.RunAll(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	case *exp != "":
+		d, ok := experiments.Get(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			os.Exit(2)
+		}
+		fmt.Printf("######## %s — %s ########\n", d.Name, d.Description)
+		if err := d.Run(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

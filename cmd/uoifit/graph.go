@@ -1,0 +1,15 @@
+package main
+
+import (
+	"uoivar/internal/graph"
+	"uoivar/internal/varsim"
+)
+
+// buildGraph converts Granger edges to a labeled directed graph.
+func buildGraph(p int, edges []varsim.GrangerEdge) *graph.Directed {
+	g := graph.New(p)
+	for _, e := range edges {
+		g.AddEdge(e.Source, e.Target, e.Weight)
+	}
+	return g
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"uoivar/internal/datagen"
+	"uoivar/internal/hbf"
+)
+
+// writeTestRegression creates a small [X|y] HBF file.
+func writeTestRegression(t *testing.T) string {
+	t.Helper()
+	reg := datagen.MakeRegression(1, 400, 12, &datagen.RegressionOptions{NNZ: 3, NoiseStd: 0.3})
+	path := hbf.TempPath(t.TempDir(), "reg")
+	if _, err := reg.WriteHBF(path, hbf.CreateOptions{Stripes: 2}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// writeTestSeries creates a small VAR series HBF file.
+func writeTestSeries(t *testing.T) string {
+	t.Helper()
+	fin := datagen.MakeFinance(2, 8, 300, &datagen.FinanceOptions{Sectors: 2})
+	path := hbf.TempPath(t.TempDir(), "ser")
+	if _, err := datagen.WriteSeriesHBF(path, fin.Series, hbf.CreateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunLassoPath(t *testing.T) {
+	path := writeTestRegression(t)
+	if err := run("lasso", path, 2, 4, 2, 5, 1e-2, 1, 1, 4, 1, 1, 2, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLassoBaselines(t *testing.T) {
+	path := writeTestRegression(t)
+	if err := run("lasso-cv", path, 1, 0, 0, 6, 1e-3, 1, 1, 4, 1, 1, 1, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("lasso-bic", path, 1, 0, 0, 6, 1e-3, 1, 1, 4, 1, 1, 1, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVARWithOutputs(t *testing.T) {
+	path := writeTestSeries(t)
+	dir := t.TempDir()
+	edges := filepath.Join(dir, "edges.txt")
+	dot := filepath.Join(dir, "net.dot")
+	if err := run("var", path, 2, 4, 2, 5, 1e-2, 1, 1, 4, 1, 1, 2, edges, dot); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{edges, dot} {
+		info, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("%s not written: %v", f, err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("%s is empty", f)
+		}
+	}
+}
+
+func TestRunVARAutoOrder(t *testing.T) {
+	path := writeTestSeries(t)
+	if err := run("var", path, 2, 3, 2, 4, 1e-2, 1, 0, 3, 1, 1, 2, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVARBaselinePath(t *testing.T) {
+	path := writeTestSeries(t)
+	if err := run("var-cv", path, 1, 0, 0, 5, 1e-3, 1, 1, 4, 1, 1, 1, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownAlgo(t *testing.T) {
+	path := writeTestRegression(t)
+	if err := run("nope", path, 1, 1, 1, 2, 1e-3, 1, 1, 4, 1, 1, 1, "", ""); err == nil {
+		t.Fatal("unknown algorithm must fail")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run("lasso", "/nonexistent.hbf", 2, 2, 2, 3, 1e-3, 1, 1, 4, 1, 1, 1, "", ""); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}

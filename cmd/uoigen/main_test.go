@@ -1,0 +1,40 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"uoivar/internal/hbf"
+)
+
+func TestGenerateKinds(t *testing.T) {
+	dir := t.TempDir()
+	for _, kind := range []string{"regression", "var", "finance", "neuro"} {
+		out := filepath.Join(dir, kind+".hbf")
+		meta, err := generate(kind, 120, 10, 3, 1, 0.4, 0.2, 7, out, hbf.CreateOptions{Stripes: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		wantCols := 10
+		if kind == "regression" {
+			wantCols = 11 // [X|y]
+		}
+		if meta.Rows != 120 || meta.Cols != wantCols {
+			t.Fatalf("%s: meta %+v", kind, meta)
+		}
+		f, err := hbf.Open(out)
+		if err != nil {
+			t.Fatalf("%s: reopen: %v", kind, err)
+		}
+		if _, err := f.ReadRows(0, 5, nil); err != nil {
+			t.Fatalf("%s: read: %v", kind, err)
+		}
+		f.Close()
+	}
+}
+
+func TestGenerateUnknownKind(t *testing.T) {
+	if _, err := generate("bogus", 10, 2, 1, 1, 0.1, 0.1, 1, filepath.Join(t.TempDir(), "x.hbf"), hbf.CreateOptions{}); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+}

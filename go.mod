@@ -1,0 +1,3 @@
+module uoivar
+
+go 1.22

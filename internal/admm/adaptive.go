@@ -1,0 +1,167 @@
+package admm
+
+import (
+	"math"
+
+	"uoivar/internal/mat"
+)
+
+// AdaptiveOptions configures LassoAdaptive.
+type AdaptiveOptions struct {
+	Options
+	// Relax is the over-relaxation parameter α ∈ [1, 1.8] (Boyd §3.4.3);
+	// values around 1.6 typically cut iterations substantially. Zero
+	// selects 1.6.
+	Relax float64
+	// Mu and Tau control residual balancing (Boyd §3.4.1): when the primal
+	// residual exceeds Mu× the dual residual, ρ is multiplied by Tau (and
+	// conversely divided), at the cost of a refactorization. Zeros select
+	// Mu=10, Tau=2.
+	Mu, Tau float64
+	// MaxRhoUpdates caps refactorizations (default 6).
+	MaxRhoUpdates int
+}
+
+func (o *AdaptiveOptions) defaults() AdaptiveOptions {
+	var out AdaptiveOptions
+	if o != nil {
+		out = *o
+	}
+	out.Options = out.Options.defaultsValue()
+	if out.Relax <= 0 {
+		out.Relax = 1.6
+	}
+	if out.Relax < 1 {
+		out.Relax = 1
+	}
+	if out.Relax > 1.8 {
+		out.Relax = 1.8
+	}
+	if out.Mu <= 0 {
+		out.Mu = 10
+	}
+	if out.Tau <= 1 {
+		out.Tau = 2
+	}
+	if out.MaxRhoUpdates <= 0 {
+		out.MaxRhoUpdates = 6
+	}
+	return out
+}
+
+// defaultsValue is Options.defaults for a value receiver.
+func (o Options) defaultsValue() Options { return (&o).defaults() }
+
+// LassoAdaptive solves the LASSO with over-relaxed ADMM and residual-
+// balancing ρ adaptation. Each ρ change refactors (XᵀX + ρI), so the method
+// pays O(p³) per update in exchange for far fewer iterations on badly
+// scaled problems; the fixed-ρ path solver remains the right choice inside
+// UoI's warm-started λ sweeps. Compared in BenchmarkAblationAdaptiveRho.
+func LassoAdaptive(x *mat.Dense, y []float64, lambda float64, opts *AdaptiveOptions) (*Result, error) {
+	o := opts.defaults()
+	p := x.Cols
+	gram := mat.AtA(x)
+	aty := mat.AtVec(x, y)
+	rho := o.Rho
+	if rho <= 0 {
+		rho = MeanDiag(gram)
+	}
+	chol, err := mat.NewCholesky(mat.AddRidge(gram, rho))
+	if err != nil {
+		return nil, err
+	}
+
+	z := make([]float64, p)
+	u := make([]float64, p)
+	if o.WarmZ != nil {
+		copy(z, o.WarmZ)
+	}
+	if o.WarmU != nil {
+		copy(u, o.WarmU)
+	}
+	xv := make([]float64, p)
+	rhs := make([]float64, p)
+	zOld := make([]float64, p)
+	xhat := make([]float64, p)
+	sqrtP := math.Sqrt(float64(p))
+
+	var primal, dual float64
+	rhoUpdates := 0
+	for iter := 1; iter <= o.MaxIter; iter++ {
+		for i := range rhs {
+			rhs[i] = aty[i] + rho*(z[i]-u[i])
+		}
+		copy(xv, rhs)
+		chol.SolveInPlace(xv)
+
+		// Over-relaxation: x̂ = α·x + (1−α)·z_old.
+		copy(zOld, z)
+		for i := range xhat {
+			xhat[i] = o.Relax*xv[i] + (1-o.Relax)*zOld[i]
+		}
+		if lambda > 0 {
+			k := lambda / rho
+			for i := range z {
+				z[i] = SoftThreshold(xhat[i]+u[i], k)
+			}
+		} else {
+			for i := range z {
+				z[i] = xhat[i] + u[i]
+			}
+		}
+		for i := range u {
+			u[i] += xhat[i] - z[i]
+		}
+
+		primal = 0
+		for i := range xv {
+			d := xv[i] - z[i]
+			primal += d * d
+		}
+		primal = math.Sqrt(primal)
+		dual = 0
+		for i := range z {
+			d := rho * (z[i] - zOld[i])
+			dual += d * d
+		}
+		dual = math.Sqrt(dual)
+
+		epsPrimal := sqrtP*o.AbsTol + o.RelTol*math.Max(mat.Norm2(xv), mat.Norm2(z))
+		epsDual := sqrtP*o.AbsTol + o.RelTol*rho*mat.Norm2(u)
+		if primal <= epsPrimal && dual <= epsDual {
+			return &Result{
+				Beta: z, Iters: iter, Converged: true,
+				PrimalRes: primal, DualRes: dual,
+				Objective: Objective(x, y, z, lambda),
+			}, nil
+		}
+
+		// Residual balancing.
+		if rhoUpdates < o.MaxRhoUpdates {
+			newRho := rho
+			if primal > o.Mu*dual {
+				newRho = rho * o.Tau
+			} else if dual > o.Mu*primal {
+				newRho = rho / o.Tau
+			}
+			if newRho != rho {
+				// Rescale the dual variable with ρ (u is the scaled dual).
+				scale := rho / newRho
+				for i := range u {
+					u[i] *= scale
+				}
+				rho = newRho
+				chol, err = mat.NewCholesky(mat.AddRidge(gram, rho))
+				if err != nil {
+					return nil, err
+				}
+				rhoUpdates++
+			}
+		}
+	}
+	return &Result{
+		Beta: z, Iters: o.MaxIter, Converged: false,
+		PrimalRes: primal, DualRes: dual,
+		Objective: Objective(x, y, z, lambda),
+	}, nil
+}

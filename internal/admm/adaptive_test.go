@@ -1,0 +1,91 @@
+package admm
+
+import (
+	"math"
+	"testing"
+
+	"uoivar/internal/mat"
+)
+
+func TestLassoAdaptiveMatchesCD(t *testing.T) {
+	x, y, _ := makeRegression(61, 120, 20, 5, 0.3)
+	for _, lambda := range []float64{0, 1, 5} {
+		a, err := LassoAdaptive(x, y, lambda, &AdaptiveOptions{Options: Options{MaxIter: 3000}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cd := CoordinateDescentLasso(x, y, lambda, 5000, 1e-10)
+		if math.Abs(a.Objective-cd.Objective) > 1e-3*(1+cd.Objective) {
+			t.Fatalf("λ=%v: adaptive obj %v vs CD %v", lambda, a.Objective, cd.Objective)
+		}
+	}
+}
+
+func TestLassoAdaptiveFasterOnBadScaling(t *testing.T) {
+	// A problem with heterogeneous column scales is where ρ adaptation and
+	// over-relaxation pay off.
+	x, y, _ := makeRegression(62, 300, 25, 5, 0.3)
+	for j := 0; j < x.Cols; j++ {
+		scale := math.Pow(10, float64(j%4)-1.5)
+		for i := 0; i < x.Rows; i++ {
+			x.Set(i, j, x.At(i, j)*scale)
+		}
+	}
+	lambda := LambdaMax(x, y) / 200
+
+	fixed, err := Lasso(x, y, lambda, &Options{MaxIter: 20000, Rho: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := LassoAdaptive(x, y, lambda, &AdaptiveOptions{Options: Options{MaxIter: 20000, Rho: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adaptive.Converged {
+		t.Fatal("adaptive did not converge")
+	}
+	if adaptive.Iters >= fixed.Iters {
+		t.Fatalf("adaptive (%d iters) not faster than fixed ρ=1 (%d iters)", adaptive.Iters, fixed.Iters)
+	}
+	// Solutions agree.
+	for i := range fixed.Beta {
+		if math.Abs(fixed.Beta[i]-adaptive.Beta[i]) > 5e-3*(1+math.Abs(fixed.Beta[i])) {
+			t.Fatalf("beta[%d]: fixed %v vs adaptive %v", i, fixed.Beta[i], adaptive.Beta[i])
+		}
+	}
+}
+
+func TestAdaptiveOptionsDefaults(t *testing.T) {
+	o := (*AdaptiveOptions)(nil).defaults()
+	if o.Relax != 1.6 || o.Mu != 10 || o.Tau != 2 || o.MaxRhoUpdates != 6 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	o2 := (&AdaptiveOptions{Relax: 5}).defaults()
+	if o2.Relax != 1.8 {
+		t.Fatalf("Relax must clamp to 1.8, got %v", o2.Relax)
+	}
+	o3 := (&AdaptiveOptions{Relax: 0.5}).defaults()
+	if o3.Relax != 1 {
+		t.Fatalf("Relax must clamp up to 1, got %v", o3.Relax)
+	}
+}
+
+func TestLassoAdaptiveSupportRecovery(t *testing.T) {
+	x, y, trueBeta := makeRegression(63, 250, 30, 4, 0.2)
+	res, err := LassoAdaptive(x, y, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]bool{}
+	for _, j := range Support(res.Beta, 1e-4) {
+		got[j] = true
+	}
+	for j, v := range trueBeta {
+		if v != 0 && !got[j] {
+			t.Fatalf("missed true feature %d", j)
+		}
+	}
+	if mat.Norm1(res.Beta) == 0 {
+		t.Fatal("collapsed to zero")
+	}
+}

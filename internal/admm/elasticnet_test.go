@@ -1,0 +1,84 @@
+package admm
+
+import (
+	"math"
+	"testing"
+
+	"uoivar/internal/mat"
+)
+
+func TestElasticNetMatchesCD(t *testing.T) {
+	x, y, _ := makeRegression(81, 150, 18, 5, 0.3)
+	for _, c := range []struct{ l1, l2 float64 }{{2, 0.5}, {5, 2}, {0.5, 10}} {
+		a, err := ElasticNet(x, y, c.l1, c.l2, &Options{MaxIter: 5000, AbsTol: 1e-9, RelTol: 1e-7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cd := CoordinateDescentElasticNet(x, y, c.l1, c.l2, 5000, 1e-10)
+		if math.Abs(a.Objective-cd.Objective) > 1e-3*(1+cd.Objective) {
+			t.Fatalf("λ1=%v λ2=%v: ADMM obj %v vs CD %v", c.l1, c.l2, a.Objective, cd.Objective)
+		}
+		for i := range a.Beta {
+			if math.Abs(a.Beta[i]-cd.Beta[i]) > 2e-3 {
+				t.Fatalf("λ1=%v λ2=%v: beta[%d] %v vs %v", c.l1, c.l2, i, a.Beta[i], cd.Beta[i])
+			}
+		}
+	}
+}
+
+func TestElasticNetReducesToLasso(t *testing.T) {
+	x, y, _ := makeRegression(82, 100, 10, 3, 0.2)
+	en, err := ElasticNet(x, y, 3, 0, &Options{MaxIter: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	las, err := Lasso(x, y, 3, &Options{MaxIter: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range en.Beta {
+		if math.Abs(en.Beta[i]-las.Beta[i]) > 1e-4 {
+			t.Fatalf("λ2=0 elastic net differs from lasso at %d: %v vs %v", i, en.Beta[i], las.Beta[i])
+		}
+	}
+}
+
+func TestElasticNetReducesToRidge(t *testing.T) {
+	x, y, _ := makeRegression(83, 120, 8, 8, 0.1)
+	lambda2 := 5.0
+	en, err := ElasticNet(x, y, 0, lambda2, &Options{MaxIter: 8000, AbsTol: 1e-10, RelTol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closed-form ridge: (XᵀX + λ₂I)⁻¹Xᵀy.
+	want, err := Ridge(x, y, lambda2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(en.Beta[i]-want[i]) > 1e-4 {
+			t.Fatalf("λ1=0 elastic net differs from ridge at %d: %v vs %v", i, en.Beta[i], want[i])
+		}
+	}
+}
+
+func TestElasticNetGroupingEffect(t *testing.T) {
+	// Duplicate (perfectly correlated) predictors: lasso picks one
+	// arbitrarily; elastic net splits the weight — the grouping effect.
+	x, y, _ := makeRegression(84, 200, 6, 2, 0.1)
+	// Make column 5 a copy of column 0.
+	for i := 0; i < x.Rows; i++ {
+		x.Set(i, 5, x.At(i, 0))
+	}
+	// Regenerate y so column 0 (and its twin) matter.
+	beta := []float64{2, 0, 0, 0, 0, 0}
+	y = mat.MulVec(x, beta)
+	en := CoordinateDescentElasticNet(x, y, 1, 50, 8000, 1e-12)
+	b0, b5 := en.Beta[0], en.Beta[5]
+	if b0 <= 0 || b5 <= 0 {
+		t.Fatalf("grouping effect missing: beta0=%v beta5=%v", b0, b5)
+	}
+	if math.Abs(b0-b5) > 0.05*(b0+b5) {
+		t.Fatalf("correlated twins should share weight: %v vs %v", b0, b5)
+	}
+}

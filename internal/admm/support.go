@@ -1,0 +1,62 @@
+package admm
+
+import (
+	"uoivar/internal/mat"
+	"uoivar/internal/mpi"
+)
+
+// OLSOnSupport solves the unpenalized least-squares problem restricted to
+// the given support columns and scatters the solution back into a length-p
+// vector (zeros off support). This is the estimation-step solve of
+// Algorithm 1 line 18: "Compute OLS estimate β̂_{S_j}^k".
+//
+// Rank-deficient bootstrap designs (|S| close to or above the sample count)
+// are handled with a small ridge fallback.
+func OLSOnSupport(x *mat.Dense, y []float64, support []int) []float64 {
+	beta := make([]float64, x.Cols)
+	if len(support) == 0 {
+		return beta
+	}
+	sub := x.SelectCols(support)
+	gram := mat.AtA(sub)
+	aty := mat.AtVec(sub, y)
+	ch, err := mat.NewCholesky(gram)
+	if err != nil {
+		// Ridge fallback: scale jitter with the average diagonal.
+		tr := 0.0
+		for i := 0; i < gram.Rows; i++ {
+			tr += gram.At(i, i)
+		}
+		jitter := 1e-8 * (tr/float64(gram.Rows) + 1)
+		ch, err = mat.NewCholesky(mat.AddRidge(gram, jitter))
+		if err != nil {
+			// Degenerate to a strongly regularized solve; still well defined.
+			ch, _ = mat.NewCholesky(mat.AddRidge(gram, 1.0))
+		}
+	}
+	sol := ch.Solve(aty)
+	for i, j := range support {
+		beta[j] = sol[i]
+	}
+	return beta
+}
+
+// ConsensusProjectedOLS solves min ½‖Xβ−y‖² subject to β_i = 0 for i off
+// the support, distributed across comm (row blocks). Convenience wrapper
+// over ConsensusSolver.SolveProjected for single solves.
+func ConsensusProjectedOLS(comm *mpi.Comm, xLocal *mat.Dense, yLocal []float64, support []bool, opts *Options) (*Result, error) {
+	s, err := NewConsensusSolver(comm, xLocal, yLocal, opts.defaults().Rho)
+	if err != nil {
+		return nil, err
+	}
+	return s.SolveProjected(support, opts), nil
+}
+
+// SupportMask converts an index support to a boolean mask of length p.
+func SupportMask(p int, support []int) []bool {
+	m := make([]bool, p)
+	for _, j := range support {
+		m[j] = true
+	}
+	return m
+}

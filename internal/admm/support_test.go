@@ -1,0 +1,134 @@
+package admm
+
+import (
+	"math"
+	"testing"
+
+	"uoivar/internal/mat"
+	"uoivar/internal/mpi"
+)
+
+func TestOLSOnSupport(t *testing.T) {
+	x, y, _ := makeRegression(51, 80, 10, 3, 0.1)
+	support := []int{1, 4, 7}
+	beta := OLSOnSupport(x, y, support)
+	// Off-support exactly zero.
+	for i, v := range beta {
+		onSup := i == 1 || i == 4 || i == 7
+		if !onSup && v != 0 {
+			t.Fatalf("off-support beta[%d] = %v", i, v)
+		}
+	}
+	// Matches the closed-form restricted OLS.
+	sub := x.SelectCols(support)
+	want, err := mat.SolveSPD(mat.AtA(sub), mat.AtVec(sub, y))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range support {
+		if math.Abs(beta[j]-want[i]) > 1e-10 {
+			t.Fatalf("beta[%d] = %v, want %v", j, beta[j], want[i])
+		}
+	}
+	// Empty support → zero vector.
+	z := OLSOnSupport(x, y, nil)
+	for _, v := range z {
+		if v != 0 {
+			t.Fatal("empty support must give zeros")
+		}
+	}
+}
+
+func TestOLSOnSupportRankDeficient(t *testing.T) {
+	// Duplicate columns on the support: singular Gram → ridge fallback must
+	// still return a finite solution.
+	x, y, _ := makeRegression(52, 40, 6, 2, 0.1)
+	for i := 0; i < x.Rows; i++ {
+		x.Set(i, 1, x.At(i, 0)) // exact duplicate
+	}
+	beta := OLSOnSupport(x, y, []int{0, 1, 3})
+	for _, v := range beta {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite fallback solution: %v", beta)
+		}
+	}
+}
+
+func TestSupportMask(t *testing.T) {
+	m := SupportMask(5, []int{0, 3})
+	want := []bool{true, false, false, true, false}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Fatalf("mask = %v", m)
+		}
+	}
+}
+
+func TestConsensusSolveProjectedMatchesRestrictedOLS(t *testing.T) {
+	x, y, _ := makeRegression(53, 120, 8, 3, 0.1)
+	support := []int{0, 2, 5}
+	want := OLSOnSupport(x, y, support)
+	mask := SupportMask(8, support)
+	const ranks = 3
+	err := mpi.Run(ranks, func(c *mpi.Comm) error {
+		lo, hi := RowBlock(x.Rows, c.Size(), c.Rank())
+		res, err := ConsensusProjectedOLS(c, x.SubRows(lo, hi), y[lo:hi], mask,
+			&Options{MaxIter: 8000, AbsTol: 1e-10, RelTol: 1e-8})
+		if err != nil {
+			return err
+		}
+		for i := range want {
+			if math.Abs(res.Beta[i]-want[i]) > 1e-4 {
+				t.Errorf("beta[%d] = %v, want %v", i, res.Beta[i], want[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsensusOLSWrapper(t *testing.T) {
+	x, y, _ := makeRegression(54, 90, 6, 6, 0.05)
+	want, _ := mat.SolveSPD(mat.AtA(x), mat.AtVec(x, y))
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		lo, hi := RowBlock(x.Rows, c.Size(), c.Rank())
+		res, err := ConsensusOLS(c, x.SubRows(lo, hi), y[lo:hi], &Options{MaxIter: 8000, AbsTol: 1e-10, RelTol: 1e-8})
+		if err != nil {
+			return err
+		}
+		for i := range want {
+			if math.Abs(res.Beta[i]-want[i]) > 1e-4 {
+				t.Errorf("ConsensusOLS beta[%d] = %v, want %v", i, res.Beta[i], want[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsensusElasticMatchesSerialElastic(t *testing.T) {
+	x, y, _ := makeRegression(55, 100, 10, 3, 0.2)
+	const lambda1, lambda2 = 2.0, 8.0
+	serial := CoordinateDescentElasticNet(x, y, lambda1, lambda2, 8000, 1e-11)
+	err := mpi.Run(4, func(c *mpi.Comm) error {
+		lo, hi := RowBlock(x.Rows, c.Size(), c.Rank())
+		s, err := NewConsensusSolverElastic(c, x.SubRows(lo, hi), y[lo:hi], 0, lambda2)
+		if err != nil {
+			return err
+		}
+		res := s.Solve(lambda1, &Options{MaxIter: 8000, AbsTol: 1e-9, RelTol: 1e-7})
+		for i := range serial.Beta {
+			if math.Abs(res.Beta[i]-serial.Beta[i]) > 5e-3 {
+				t.Errorf("beta[%d] = %v, serial %v", i, res.Beta[i], serial.Beta[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

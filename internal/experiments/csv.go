@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"uoivar/internal/perfmodel"
+)
+
+// WriteCSV regenerates the model-backed figures as plot-ready CSV series in
+// dir (one file per figure, with a header row). Returns the file paths.
+func WriteCSV(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	m := perfmodel.CoriKNL()
+	var written []string
+	write := func(name string, rows [][]string) error {
+		var b strings.Builder
+		for _, row := range rows {
+			b.WriteString(strings.Join(row, ","))
+			b.WriteByte('\n')
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+		written = append(written, path)
+		return nil
+	}
+	header := []string{"label", "cores", "data_io_s", "distribution_s", "computation_s", "communication_s", "total_s"}
+	row := func(label string, cores int, b perfmodel.Breakdown) []string {
+		return []string{
+			label, fmt.Sprint(cores),
+			fmt.Sprintf("%.4f", b.DataIO), fmt.Sprintf("%.4f", b.Distribution),
+			fmt.Sprintf("%.4f", b.Computation), fmt.Sprintf("%.4f", b.Communication),
+			fmt.Sprintf("%.4f", b.Total()),
+		}
+	}
+
+	// fig4.csv — UoI_LASSO weak scaling.
+	rows := [][]string{header}
+	for _, p := range lassoWeakPoints {
+		b := m.UoILasso(perfmodel.LassoScale{DataBytes: p.Bytes, Features: 20101, Cores: p.Cores, B1: 5, B2: 5, Q: 8, Striped: true})
+		rows = append(rows, row(gigabytes(p.Bytes), p.Cores, b))
+	}
+	if err := write("fig4.csv", rows); err != nil {
+		return nil, err
+	}
+
+	// fig5.csv — Allreduce Tmin/Tmax.
+	rows = [][]string{{"cores", "tmin_s", "tmax_s"}}
+	for _, p := range lassoWeakPoints {
+		tmin, tmax := m.AllreduceTime(p.Cores, 20104*8)
+		rows = append(rows, []string{fmt.Sprint(p.Cores), fmt.Sprintf("%.6f", tmin), fmt.Sprintf("%.6f", tmax)})
+	}
+	if err := write("fig5.csv", rows); err != nil {
+		return nil, err
+	}
+
+	// fig6.csv — UoI_LASSO strong scaling.
+	rows = [][]string{header}
+	for _, cores := range lassoStrongCores {
+		b := m.UoILasso(perfmodel.LassoScale{DataBytes: 1 * tb, Features: 20101, Cores: cores, B1: 5, B2: 5, Q: 8, Striped: true})
+		rows = append(rows, row("1TB", cores, b))
+	}
+	if err := write("fig6.csv", rows); err != nil {
+		return nil, err
+	}
+
+	// fig9.csv — UoI_VAR weak scaling.
+	rows = [][]string{header}
+	for _, pt := range varWeakPoints {
+		p := perfmodel.VARFeaturesForBytes(pt.Bytes, 1)
+		b := m.UoIVAR(perfmodel.VARScale{Features: p, Cores: pt.Cores, B1: 30, B2: 20, Q: 20})
+		rows = append(rows, row(gigabytes(pt.Bytes), pt.Cores, b))
+	}
+	if err := write("fig9.csv", rows); err != nil {
+		return nil, err
+	}
+
+	// fig10.csv — UoI_VAR strong scaling.
+	rows = [][]string{header}
+	p := perfmodel.VARFeaturesForBytes(1*tb, 1)
+	for _, cores := range varStrongCores {
+		b := m.UoIVAR(perfmodel.VARScale{Features: p, Cores: cores, B1: 30, B2: 20, Q: 20})
+		rows = append(rows, row("1TB", cores, b))
+	}
+	if err := write("fig10.csv", rows); err != nil {
+		return nil, err
+	}
+
+	// tab2.csv — distribution strategies.
+	rows = [][]string{{"size", "conv_read_s", "conv_distr_s", "rand_read_s", "rand_distr_s"}}
+	for _, c := range []struct {
+		bytes   float64
+		cores   int
+		striped bool
+	}{{16 * gb, 68, false}, {128 * gb, 4352, true}, {256 * gb, 8704, true}, {512 * gb, 17408, true}, {1 * tb, 34816, true}} {
+		cr, cd := m.ConventionalIO(c.bytes)
+		rr, rd := m.RandomizedIO(c.bytes, c.cores, c.striped)
+		rows = append(rows, []string{
+			gigabytes(c.bytes),
+			fmt.Sprintf("%.2f", cr), fmt.Sprintf("%.3f", cd),
+			fmt.Sprintf("%.3f", rr), fmt.Sprintf("%.3f", rd),
+		})
+	}
+	if err := write("tab2.csv", rows); err != nil {
+		return nil, err
+	}
+	return written, nil
+}

@@ -1,0 +1,67 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment is a named driver that writes the
+// corresponding rows/series to an io.Writer; cmd/experiments exposes them on
+// the command line and the repository benches time them.
+//
+// Paper-scale experiments (Figures 2–10, Table II at TB sizes, §VI) run
+// through the calibrated perfmodel; functional experiments (Figure 11, the
+// miniature counterparts suffixed "-mini") execute the real distributed
+// implementation over the goroutine MPI runtime.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Driver runs one experiment, writing its report to w.
+type Driver struct {
+	Name        string
+	Description string
+	Run         func(w io.Writer) error
+}
+
+var registry = map[string]Driver{}
+
+func register(d Driver) {
+	if _, dup := registry[d.Name]; dup {
+		panic("experiments: duplicate driver " + d.Name)
+	}
+	registry[d.Name] = d
+}
+
+// Get looks up a driver by name.
+func Get(name string) (Driver, bool) {
+	d, ok := registry[name]
+	return d, ok
+}
+
+// List returns all drivers sorted by name.
+func List() []Driver {
+	out := make([]Driver, 0, len(registry))
+	for _, d := range registry {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RunAll executes every registered driver in name order.
+func RunAll(w io.Writer) error {
+	for _, d := range List() {
+		fmt.Fprintf(w, "\n######## %s — %s ########\n", d.Name, d.Description)
+		if err := d.Run(w); err != nil {
+			return fmt.Errorf("experiment %s: %w", d.Name, err)
+		}
+	}
+	return nil
+}
+
+// gigabytes formats a byte count as the paper's GB column.
+func gigabytes(b float64) string {
+	if b >= 1e12 {
+		return fmt.Sprintf("%.0fTB", b/1e12)
+	}
+	return fmt.Sprintf("%.0fGB", b/1e9)
+}

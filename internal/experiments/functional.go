@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"uoivar/internal/admm"
+	"uoivar/internal/datagen"
+	"uoivar/internal/distio"
+	"uoivar/internal/graph"
+	"uoivar/internal/hbf"
+	"uoivar/internal/mat"
+	"uoivar/internal/mpi"
+	"uoivar/internal/resample"
+	"uoivar/internal/uoi"
+	"uoivar/internal/varsim"
+)
+
+func init() {
+	register(Driver{
+		Name:        "fig11",
+		Description: "Fig 11: Granger network of 50 S&P-like companies (functional UoI_VAR)",
+		Run:         func(w io.Writer) error { _, err := Fig11(w, 2013); return err },
+	})
+	register(Driver{
+		Name:        "tab2-mini",
+		Description: "Table II at miniature scale: functional randomized vs conventional distribution",
+		Run:         tab2Mini,
+	})
+	register(Driver{
+		Name:        "fig2-mini",
+		Description: "Fig 2 at miniature scale: functional distributed UoI_LASSO phase breakdown",
+		Run:         fig2Mini,
+	})
+	register(Driver{
+		Name:        "fig7-mini",
+		Description: "Fig 7 at miniature scale: functional distributed UoI_VAR phase breakdown",
+		Run:         fig7Mini,
+	})
+}
+
+// Fig11 runs the paper's §VI Granger-causality analysis on synthetic
+// S&P-like data: 50 companies, weekly first differences over two years,
+// UoI_VAR(1) with B1=40, B2=5 ("selected to create a strong pressure toward
+// sparse parameter estimates"). It returns the inferred network.
+func Fig11(w io.Writer, seed uint64) (*graph.Directed, error) {
+	// Two years of daily closes for the full index, then subsample 50
+	// companies as the paper does.
+	fin := datagen.MakeFinance(seed, 470, 2*260, nil)
+	rng := resample.NewRNG(seed)
+	cols := rng.Perm(470)[:50]
+	// Keep the figure's protagonist in frame: company 0 is the GOOG-like
+	// hub whose multi-sector in-links the paper's Fig. 11 highlights.
+	hasHub := false
+	for _, c := range cols {
+		if c == 0 {
+			hasHub = true
+		}
+	}
+	if !hasHub {
+		cols[0] = 0
+	}
+	sub := fin.Series.SelectCols(cols)
+	weekly := varsim.AggregateEvery(sub, 5)
+	diffs := varsim.FirstDifferences(weekly)
+	// The paper differences "to obtain a plausibly stationary vector time
+	// series"; verify with the ADF test before fitting.
+	if adf, err := varsim.ADFTest(diffs, 1, 0.05); err == nil {
+		stationary := 0
+		for _, r := range adf {
+			if r.Stationary {
+				stationary++
+			}
+		}
+		fmt.Fprintf(w, "ADF(0.05): %d/%d differenced series reject the unit root\n", stationary, len(adf))
+	}
+
+	res, err := uoi.VAR(diffs, &uoi.VARConfig{
+		Order: 1, B1: 40, B2: 5, Q: 15, LambdaRatio: 3e-2, Seed: seed, Workers: 4,
+		// Support selection tolerates a looser solve than estimation;
+		// 200 warm-started iterations decide the supports reliably.
+		ADMM: admm.Options{MaxIter: 200, AbsTol: 1e-5, RelTol: 1e-3},
+	})
+	if err != nil {
+		return nil, err
+	}
+	edges := varsim.GrangerEdges(res.A, 1e-7, false)
+	g := graph.New(50)
+	g.Labels = make([]string, 50)
+	for i, c := range cols {
+		g.Labels[i] = fin.Tickers[c]
+	}
+	for _, e := range edges {
+		g.AddEdge(e.Source, e.Target, e.Weight)
+	}
+	fmt.Fprintf(w, "companies: 50 (of 470), samples: %d weekly first differences\n", diffs.Rows)
+	fmt.Fprintf(w, "edges selected: %d of %d possible (paper: fewer than 40 of 2500)\n", g.NumEdges(), 50*49)
+	top := g.TopByDegree(5)
+	deg := g.Degree()
+	fmt.Fprint(w, "highest-degree nodes:")
+	for _, i := range top {
+		fmt.Fprintf(w, " %s(%d)", g.Labels[i], deg[i])
+	}
+	fmt.Fprintln(w)
+	comps := g.WeaklyConnectedComponents()
+	fmt.Fprintf(w, "weakly connected components: %d (largest %d nodes), reciprocity %.2f\n",
+		len(comps), len(comps[0]), g.Reciprocity())
+	fmt.Fprintln(w, "edge list (source target |weight|):")
+	fmt.Fprint(w, g.EdgeList())
+	return g, nil
+}
+
+// tab2Mini measures the functional distio strategies on a real (small) HBF
+// file over the goroutine MPI runtime.
+func tab2Mini(w io.Writer) error {
+	dir, err := os.MkdirTemp("", "uoivar-tab2")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	fmt.Fprintln(w, "rows×cols  ranks | conventional read+distr | randomized read+distr  (wall seconds)")
+	for _, cfg := range []struct {
+		rows, cols, ranks, stripes int
+	}{
+		{4096, 64, 4, 1},
+		{16384, 64, 8, 4},
+		{65536, 64, 8, 8},
+	} {
+		reg := datagen.MakeRegression(uint64(cfg.rows), cfg.rows, cfg.cols-1, nil)
+		path := hbf.TempPath(dir, fmt.Sprintf("d%d", cfg.rows))
+		if _, err := reg.WriteHBF(path, hbf.CreateOptions{Stripes: cfg.stripes}); err != nil {
+			return err
+		}
+		var convRead, convDist, randRead, randDist time.Duration
+		err := mpi.Run(cfg.ranks, func(c *mpi.Comm) error {
+			b1, err := distio.ConventionalDistribute(c, path)
+			if err != nil {
+				return err
+			}
+			b2, err := distio.RandomizedDistribute(c, path, 7)
+			if err != nil {
+				return err
+			}
+			// Root-side times approximate the paper's reporting.
+			if c.Rank() == 0 {
+				convRead, convDist = b1.ReadTime, b1.DistributeTime
+				randRead, randDist = b2.ReadTime, b2.DistributeTime
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%6d×%-3d %5d | %10.4f + %8.4f | %9.4f + %8.4f\n",
+			cfg.rows, cfg.cols, cfg.ranks,
+			convRead.Seconds(), convDist.Seconds(), randRead.Seconds(), randDist.Seconds())
+	}
+	return nil
+}
+
+// fig2Mini runs the real distributed UoI_LASSO over the goroutine runtime
+// and reports the phase breakdown the way Fig. 2 does.
+func fig2Mini(w io.Writer) error {
+	dir, err := os.MkdirTemp("", "uoivar-fig2")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	const ranks = 8
+	reg := datagen.MakeRegression(42, 2048, 64, nil)
+	path := hbf.TempPath(dir, "fig2")
+	if _, err := reg.WriteHBF(path, hbf.CreateOptions{Stripes: 4}); err != nil {
+		return err
+	}
+	var report string
+	err = mpi.Run(ranks, func(c *mpi.Comm) error {
+		block, err := distio.RandomizedDistribute(c, path, 3)
+		if err != nil {
+			return err
+		}
+		x, y := block.XY()
+		res, err := uoi.LassoDistributed(c, x, y, &uoi.LassoConfig{B1: 5, B2: 5, Q: 8, Seed: 1}, uoi.Grid{})
+		if err != nil {
+			return err
+		}
+		c.Barrier()
+		if c.Rank() == 0 {
+			s := c.GlobalStats()
+			report = fmt.Sprintf(
+				"ranks %d  dataIO+distr %.4fs  selection %.4fs  estimation %.4fs\n"+
+					"collective(Allreduce) %.4fs over %d calls (%d bytes) — p2p %d calls\n"+
+					"lasso fits %d, OLS fits %d, ADMM iters %d, |support| %d",
+				ranks, (block.ReadTime + block.DistributeTime).Seconds(),
+				res.Diag.SelectionTime.Seconds(), res.Diag.EstimationTime.Seconds(),
+				s.Time[mpi.CatCollective].Seconds(), s.Calls[mpi.CatCollective], s.Bytes[mpi.CatCollective],
+				s.Calls[mpi.CatP2P],
+				res.Diag.LassoFits, res.Diag.OLSFits, res.Diag.ADMMIters, len(res.SelectedSupport))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, report)
+	return nil
+}
+
+// fig7Mini runs the real distributed UoI_VAR (with the distributed
+// Kronecker assembly) and reports the Fig. 7-style breakdown.
+func fig7Mini(w io.Writer) error {
+	rng := resample.NewRNG(11)
+	model := varsim.GenerateStable(rng, 12, 1, &varsim.GenOptions{Density: 0.2, SpectralTarget: 0.6})
+	series := model.Simulate(rng.Derive(1), 300, 100)
+	const ranks = 6
+	var report string
+	err := mpi.Run(ranks, func(c *mpi.Comm) error {
+		var s *mat.Dense
+		if c.Rank() < 2 {
+			s = series
+		}
+		res, err := uoi.VARDistributed(c, s, &uoi.VARConfig{
+			Order: 1, B1: 5, B2: 3, Q: 8, Seed: 2,
+		}, &uoi.VARDistOptions{NReaders: 2})
+		if err != nil {
+			return err
+		}
+		c.Barrier()
+		if c.Rank() == 0 {
+			st := c.GlobalStats()
+			report = fmt.Sprintf(
+				"ranks %d  Kron distribution %.4fs (one-sided: %d calls, %d bytes)\n"+
+					"selection %.4fs  estimation %.4fs  collective %.4fs\n"+
+					"lasso fits %d, OLS fits %d, edges %d",
+				ranks, res.KronTime.Seconds(),
+				st.Calls[mpi.CatOneSided], st.Bytes[mpi.CatOneSided],
+				res.Diag.SelectionTime.Seconds(), res.Diag.EstimationTime.Seconds(),
+				st.Time[mpi.CatCollective].Seconds(),
+				res.Diag.LassoFits, res.Diag.OLSFits,
+				len(varsim.GrangerEdges(res.A, 1e-7, false)))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, report)
+	return nil
+}

@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"uoivar/internal/perfmodel"
+)
+
+const (
+	gb = 1e9
+	tb = 1e12
+)
+
+// lassoWeakPoints are the Table I weak-scaling configurations for UoI_LASSO.
+var lassoWeakPoints = []struct {
+	Bytes float64
+	Cores int
+}{
+	{128 * gb, 4352}, {256 * gb, 8704}, {512 * gb, 17408}, {1 * tb, 34816},
+	{2 * tb, 69632}, {4 * tb, 139264}, {8 * tb, 278528},
+}
+
+// lassoStrongCores are the Table I strong-scaling core counts (1 TB fixed).
+var lassoStrongCores = []int{17408, 34816, 69632, 139264}
+
+// varWeakPoints are the UoI_VAR weak-scaling problem sizes and core counts.
+var varWeakPoints = []struct {
+	Bytes float64
+	Cores int
+}{
+	{128 * gb, 2176}, {256 * gb, 4352}, {512 * gb, 8704}, {1 * tb, 17408},
+	{2 * tb, 34816}, {4 * tb, 69632}, {8 * tb, 139264},
+}
+
+// varStrongCores are the UoI_VAR strong-scaling core counts (1 TB fixed).
+var varStrongCores = []int{4352, 8704, 17408, 34816}
+
+func init() {
+	register(Driver{
+		Name:        "tab1",
+		Description: "Table I: performance analysis setup",
+		Run:         tableI,
+	})
+	register(Driver{
+		Name:        "tab2",
+		Description: "Table II: randomized vs conventional data distribution (model, paper scale)",
+		Run:         tableII,
+	})
+	register(Driver{
+		Name:        "fig2",
+		Description: "Fig 2: UoI_LASSO single-node runtime breakdown (model)",
+		Run:         fig2,
+	})
+	register(Driver{
+		Name:        "fig3",
+		Description: "Fig 3: UoI_LASSO P_B × P_λ parallelism sweep (model)",
+		Run:         fig3,
+	})
+	register(Driver{
+		Name:        "fig4",
+		Description: "Fig 4: UoI_LASSO weak scaling (model)",
+		Run:         fig4,
+	})
+	register(Driver{
+		Name:        "fig5",
+		Description: "Fig 5: MPI_Allreduce Tmin/Tmax variability (model)",
+		Run:         fig5,
+	})
+	register(Driver{
+		Name:        "fig6",
+		Description: "Fig 6: UoI_LASSO strong scaling at 1TB (model)",
+		Run:         fig6,
+	})
+	register(Driver{
+		Name:        "fig7",
+		Description: "Fig 7: UoI_VAR single-node runtime breakdown (model)",
+		Run:         fig7,
+	})
+	register(Driver{
+		Name:        "fig8",
+		Description: "Fig 8: UoI_VAR P_B × P_λ parallelism sweep (model)",
+		Run:         fig8,
+	})
+	register(Driver{
+		Name:        "fig9",
+		Description: "Fig 9: UoI_VAR weak scaling (model)",
+		Run:         fig9,
+	})
+	register(Driver{
+		Name:        "fig10",
+		Description: "Fig 10: UoI_VAR strong scaling at 1TB (model)",
+		Run:         fig10,
+	})
+	register(Driver{
+		Name:        "finance470",
+		Description: "§VI: 470-company S&P runtime at 2,176 cores (model)",
+		Run:         finance470,
+	})
+	register(Driver{
+		Name:        "neuro192",
+		Description: "§VI: 192-electrode reach-task runtime at 81,600 cores (model)",
+		Run:         neuro192,
+	})
+}
+
+func tableI(w io.Writer) error {
+	fmt.Fprintln(w, "Analysis      Data/Problem Size   Cores(UoI_LASSO)  Cores(UoI_VAR)")
+	fmt.Fprintln(w, "Single Node   16GB                68                68")
+	type row struct {
+		bytes                float64
+		lassoCores, varCores int
+	}
+	weak := []row{
+		{128 * gb, 4352, 2176}, {256 * gb, 8704, 4352}, {512 * gb, 17408, 8704},
+		{1 * tb, 34816, 17408}, {2 * tb, 69632, 34816}, {4 * tb, 139264, 69632},
+		{8 * tb, 278528, 139264},
+	}
+	for _, r := range weak {
+		fmt.Fprintf(w, "Weak Scaling  %-18s  %-16d  %d\n", gigabytes(r.bytes), r.lassoCores, r.varCores)
+	}
+	strong := []row{
+		{1 * tb, 17408, 4352}, {1 * tb, 34816, 8704}, {1 * tb, 69632, 17408}, {1 * tb, 139264, 34816},
+	}
+	for _, r := range strong {
+		fmt.Fprintf(w, "Strong Scaling%-18s  %-16d  %d\n", " "+gigabytes(r.bytes), r.lassoCores, r.varCores)
+	}
+	return nil
+}
+
+func tableII(w io.Writer) error {
+	m := perfmodel.CoriKNL()
+	fmt.Fprintln(w, "Data Size | Conventional read(s) distr(s) | Randomized read(s) distr(s)")
+	cases := []struct {
+		bytes   float64
+		cores   int
+		striped bool
+	}{
+		{16 * gb, 68, false}, {128 * gb, 4352, true}, {256 * gb, 8704, true},
+		{512 * gb, 17408, true}, {1 * tb, 34816, true},
+	}
+	for _, c := range cases {
+		cr, cd := m.ConventionalIO(c.bytes)
+		rr, rd := m.RandomizedIO(c.bytes, c.cores, c.striped)
+		fmt.Fprintf(w, "%-9s | %18.2f %8.3f | %16.3f %8.3f\n", gigabytes(c.bytes), cr, cd, rr, rd)
+	}
+	return nil
+}
+
+func printBreakdown(w io.Writer, label string, b perfmodel.Breakdown) {
+	fmt.Fprintf(w, "%-28s dataIO %8.2fs  distribution %9.2fs  computation %9.2fs  communication %9.2fs  total %9.2fs\n",
+		label, b.DataIO, b.Distribution, b.Computation, b.Communication, b.Total())
+}
+
+func fig2(w io.Writer) error {
+	m := perfmodel.CoriKNL()
+	b := m.UoILasso(perfmodel.LassoScale{DataBytes: 16 * gb, Features: 20101, Cores: 68, B1: 5, B2: 5, Q: 8})
+	printBreakdown(w, "UoI_LASSO 16GB, 68 cores", b)
+	fmt.Fprintf(w, "computation fraction: %.0f%% (paper: ~90%%, communication <10%%)\n", 100*b.Computation/b.Total())
+	return nil
+}
+
+func fig3(w io.Writer) error {
+	m := perfmodel.CoriKNL()
+	fmt.Fprintln(w, "B1=B2=q=48; ADMM cores fixed per dataset; grid P_B × P_λ")
+	for _, cfg := range []struct {
+		bytes float64
+		cores int
+	}{{16 * gb, 2176}, {32 * gb, 4352}, {64 * gb, 8704}, {128 * gb, 17408}} {
+		for _, g := range [][2]int{{16, 2}, {8, 4}, {4, 8}, {2, 16}} {
+			b := m.UoILasso(perfmodel.LassoScale{
+				DataBytes: cfg.bytes, Features: 20101, Cores: cfg.cores,
+				B1: 48, B2: 48, Q: 48, PB: g[0], PLambda: g[1], Striped: true,
+			})
+			printBreakdown(w, fmt.Sprintf("%s %2d×%-2d", gigabytes(cfg.bytes), g[0], g[1]), b)
+		}
+	}
+	return nil
+}
+
+func fig4(w io.Writer) error {
+	m := perfmodel.CoriKNL()
+	for _, p := range lassoWeakPoints {
+		b := m.UoILasso(perfmodel.LassoScale{DataBytes: p.Bytes, Features: 20101, Cores: p.Cores, B1: 5, B2: 5, Q: 8, Striped: true})
+		printBreakdown(w, fmt.Sprintf("%s %6d cores", gigabytes(p.Bytes), p.Cores), b)
+	}
+	return nil
+}
+
+func fig5(w io.Writer) error {
+	m := perfmodel.CoriKNL()
+	msg := 20104.0 * 8
+	fmt.Fprintln(w, "MPI_Allreduce of the 20,101-feature estimate (one call)")
+	for _, p := range lassoWeakPoints {
+		tmin, tmax := m.AllreduceTime(p.Cores, msg)
+		fmt.Fprintf(w, "%6d cores: Tmin %.5fs  Tmax %.5fs\n", p.Cores, tmin, tmax)
+	}
+	return nil
+}
+
+func fig6(w io.Writer) error {
+	m := perfmodel.CoriKNL()
+	for _, cores := range lassoStrongCores {
+		b := m.UoILasso(perfmodel.LassoScale{DataBytes: 1 * tb, Features: 20101, Cores: cores, B1: 5, B2: 5, Q: 8, Striped: true})
+		printBreakdown(w, fmt.Sprintf("1TB %6d cores", cores), b)
+	}
+	return nil
+}
+
+func fig7(w io.Writer) error {
+	m := perfmodel.CoriKNL()
+	p := perfmodel.VARFeaturesForBytes(16*gb, 1)
+	b := m.UoIVAR(perfmodel.VARScale{Features: p, Cores: 68, B1: 5, B2: 5, Q: 8})
+	printBreakdown(w, fmt.Sprintf("UoI_VAR ≈16GB (p=%d), 68 cores", p), b)
+	fmt.Fprintf(w, "computation fraction: %.0f%% (paper: ~88%%)\n", 100*b.Computation/b.Total())
+	return nil
+}
+
+func fig8(w io.Writer) error {
+	m := perfmodel.CoriKNL()
+	fmt.Fprintln(w, "B1=B2=32, q=16; grid P_B × P_λ")
+	for _, cfg := range []struct {
+		bytes float64
+		cores int
+	}{{16 * gb, 2176}, {32 * gb, 4352}, {64 * gb, 8704}, {128 * gb, 17408}} {
+		p := perfmodel.VARFeaturesForBytes(cfg.bytes, 1)
+		for _, g := range [][2]int{{16, 2}, {8, 4}, {4, 8}, {2, 16}} {
+			b := m.UoIVAR(perfmodel.VARScale{Features: p, Cores: cfg.cores, B1: 32, B2: 32, Q: 16, PB: g[0], PLambda: g[1]})
+			printBreakdown(w, fmt.Sprintf("%s(p=%d) %2d×%-2d", gigabytes(cfg.bytes), p, g[0], g[1]), b)
+		}
+	}
+	return nil
+}
+
+func fig9(w io.Writer) error {
+	m := perfmodel.CoriKNL()
+	fmt.Fprintln(w, "B1=30, B2=20, q=20; no P_B/P_λ parallelism (log-scale plot in the paper)")
+	for _, pt := range varWeakPoints {
+		p := perfmodel.VARFeaturesForBytes(pt.Bytes, 1)
+		b := m.UoIVAR(perfmodel.VARScale{Features: p, Cores: pt.Cores, B1: 30, B2: 20, Q: 20})
+		printBreakdown(w, fmt.Sprintf("%s (p=%d) %6d cores", gigabytes(pt.Bytes), p, pt.Cores), b)
+	}
+	return nil
+}
+
+func fig10(w io.Writer) error {
+	m := perfmodel.CoriKNL()
+	p := perfmodel.VARFeaturesForBytes(1*tb, 1)
+	for _, cores := range varStrongCores {
+		b := m.UoIVAR(perfmodel.VARScale{Features: p, Cores: cores, B1: 30, B2: 20, Q: 20})
+		printBreakdown(w, fmt.Sprintf("1TB (p=%d) %6d cores", p, cores), b)
+	}
+	return nil
+}
+
+func finance470(w io.Writer) error {
+	m := perfmodel.CoriKNL()
+	b := m.UoIVAR(perfmodel.VARScale{Features: 470, Samples: 195, Cores: 2176, B1: 40, B2: 5, Q: 20})
+	printBreakdown(w, "S&P 470 companies, 195 samples", b)
+	fmt.Fprintf(w, "problem size: %s (paper: ≈80GB)\n", gigabytes(perfmodel.VARProblemBytes(470, 195, 1)))
+	fmt.Fprintln(w, "paper reported: computation 376.87s, communication 4.74s, Kron+vec 16.409s")
+	return nil
+}
+
+func neuro192(w io.Writer) error {
+	m := perfmodel.CoriKNL()
+	b := m.UoIVAR(perfmodel.VARScale{Features: 192, Samples: 51111, Cores: 81600, B1: 30, B2: 20, Q: 20})
+	printBreakdown(w, "Reach task, 192 electrodes", b)
+	fmt.Fprintf(w, "problem size: %s (paper: ≈1.3TB)\n", gigabytes(perfmodel.VARProblemBytes(192, 51111, 1)))
+	fmt.Fprintln(w, "paper reported: computation 96.9s, communication 1598.72s, distribution 3034.4s")
+	return nil
+}

@@ -1,0 +1,154 @@
+package hbf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// Writer streams a matrix into an HBF container row by row, so datasets
+// larger than memory can be generated chunk-wise (the paper's TB-scale
+// synthetic inputs are built this way; Create is the convenience path for
+// in-memory data).
+//
+// The row count must be declared up front (it determines the chunk/stripe
+// layout); Close validates that exactly that many rows were appended.
+type Writer struct {
+	meta     Meta
+	path     string
+	segs     []*os.File
+	rowsDone int
+	buf      []byte
+	// pending accumulates rows of the current chunk before flushing.
+	pending []float64
+}
+
+// NewWriter creates the container files and returns a streaming writer.
+func NewWriter(path string, rows, cols int, opts CreateOptions) (*Writer, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("hbf: invalid shape %dx%d", rows, cols)
+	}
+	chunkRows := opts.ChunkRows
+	if chunkRows <= 0 {
+		chunkRows = (1 << 20) / (cols * 8)
+		if chunkRows < 1 {
+			chunkRows = 1
+		}
+	}
+	if chunkRows > rows {
+		chunkRows = rows
+	}
+	stripes := opts.Stripes
+	if stripes <= 0 {
+		stripes = 1
+	}
+	meta := Meta{Rows: rows, Cols: cols, ChunkRows: chunkRows, Stripes: stripes}
+	if maxStripes := meta.NumChunks(); stripes > maxStripes {
+		meta.Stripes = maxStripes
+	}
+
+	hdr := make([]byte, headerSize)
+	copy(hdr, magic[:])
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(rows))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(cols))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(meta.ChunkRows))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(meta.Stripes))
+	if err := os.WriteFile(path, hdr, 0o644); err != nil {
+		return nil, err
+	}
+	w := &Writer{
+		meta:    meta,
+		path:    path,
+		segs:    make([]*os.File, meta.Stripes),
+		buf:     make([]byte, meta.ChunkRows*cols*8),
+		pending: make([]float64, 0, meta.ChunkRows*cols),
+	}
+	for s := range w.segs {
+		f, err := os.Create(segPath(path, s))
+		if err != nil {
+			w.abort()
+			return nil, err
+		}
+		w.segs[s] = f
+	}
+	return w, nil
+}
+
+// Meta returns the layout the writer was created with.
+func (w *Writer) Meta() Meta { return w.meta }
+
+// AppendRows appends len(data)/cols complete rows. Rows may be delivered in
+// any batch sizes but must arrive in order.
+func (w *Writer) AppendRows(data []float64) error {
+	cols := w.meta.Cols
+	if len(data)%cols != 0 {
+		return fmt.Errorf("hbf: AppendRows got %d values, not a multiple of %d columns", len(data), cols)
+	}
+	rows := len(data) / cols
+	if w.rowsDone+len(w.pending)/cols+rows > w.meta.Rows {
+		return fmt.Errorf("hbf: appending beyond declared %d rows", w.meta.Rows)
+	}
+	w.pending = append(w.pending, data...)
+	return w.flushFull()
+}
+
+// flushFull writes every complete chunk currently pending.
+func (w *Writer) flushFull() error {
+	cols := w.meta.Cols
+	chunkVals := w.meta.ChunkRows * cols
+	for len(w.pending) >= chunkVals {
+		if err := w.writeChunk(w.pending[:chunkVals]); err != nil {
+			return err
+		}
+		w.pending = w.pending[chunkVals:]
+	}
+	return nil
+}
+
+// writeChunk appends one chunk's values to its stripe.
+func (w *Writer) writeChunk(vals []float64) error {
+	chunkIdx := w.rowsDone / w.meta.ChunkRows
+	stripe := chunkIdx % w.meta.Stripes
+	encodeFloats(w.buf[:len(vals)*8], vals)
+	if _, err := w.segs[stripe].Write(w.buf[:len(vals)*8]); err != nil {
+		return err
+	}
+	w.rowsDone += len(vals) / w.meta.Cols
+	return nil
+}
+
+// Close flushes the trailing partial chunk, syncs, and validates the row
+// count.
+func (w *Writer) Close() error {
+	if len(w.pending) > 0 {
+		if err := w.writeChunk(w.pending); err != nil {
+			w.abort()
+			return err
+		}
+		w.pending = w.pending[:0]
+	}
+	if w.rowsDone != w.meta.Rows {
+		w.abort()
+		return fmt.Errorf("hbf: wrote %d rows, declared %d", w.rowsDone, w.meta.Rows)
+	}
+	var first error
+	for _, f := range w.segs {
+		if err := f.Sync(); err != nil && first == nil {
+			first = err
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// abort closes and removes partial output.
+func (w *Writer) abort() {
+	for _, f := range w.segs {
+		if f != nil {
+			f.Close()
+		}
+	}
+	_ = Remove(w.path)
+}

@@ -1,0 +1,122 @@
+package hbf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWriterMatchesCreate(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	rows, cols := 57, 6
+	data := make([]float64, rows*cols)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	dir := t.TempDir()
+	opts := CreateOptions{ChunkRows: 7, Stripes: 3}
+
+	pCreate := TempPath(dir, "create")
+	if _, err := Create(pCreate, rows, cols, data, opts); err != nil {
+		t.Fatal(err)
+	}
+	pStream := TempPath(dir, "stream")
+	w, err := NewWriter(pStream, rows, cols, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliver in awkward batch sizes: 1 row, 10 rows, the rest.
+	if err := w.AppendRows(data[:cols]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendRows(data[cols : 11*cols]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendRows(data[11*cols:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fa, err := Open(pCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fa.Close()
+	fb, err := Open(pStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+	if fa.Meta != fb.Meta {
+		t.Fatalf("meta differs: %+v vs %+v", fa.Meta, fb.Meta)
+	}
+	a, _ := fa.ReadAll()
+	b, _ := fb.ReadAll()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("content differs at %d", i)
+		}
+	}
+}
+
+func TestWriterRowValidation(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(TempPath(dir, "v"), 4, 3, CreateOptions{ChunkRows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendRows(make([]float64, 4)); err == nil {
+		t.Fatal("non-multiple of cols must fail")
+	}
+	if err := w.AppendRows(make([]float64, 3*3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendRows(make([]float64, 2*3)); err == nil {
+		t.Fatal("overflow must fail")
+	}
+	// Closing before completing the declared rows fails and cleans up.
+	if err := w.Close(); err == nil {
+		t.Fatal("short Close must fail")
+	}
+}
+
+func TestWriterPartialFinalChunk(t *testing.T) {
+	// rows not divisible by chunkRows: final chunk is short.
+	dir := t.TempDir()
+	rows, cols := 10, 2
+	w, err := NewWriter(TempPath(dir, "p"), rows, cols, CreateOptions{ChunkRows: 4, Stripes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]float64, rows*cols)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	if err := w.AppendRows(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(TempPath(dir, "p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := f.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestWriterInvalidShape(t *testing.T) {
+	if _, err := NewWriter(TempPath(t.TempDir(), "x"), 0, 3, CreateOptions{}); err == nil {
+		t.Fatal("zero rows must fail")
+	}
+}

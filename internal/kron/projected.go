@@ -1,0 +1,105 @@
+package kron
+
+import (
+	"math"
+
+	"uoivar/internal/admm"
+	"uoivar/internal/mat"
+	"uoivar/internal/mpi"
+)
+
+// SolveProjected runs distributed consensus OLS on the vectorized problem
+// restricted to the given support mask (length Q·P): the z-update projects
+// onto the support instead of soft-thresholding. This implements the
+// UoI_VAR estimation step (Algorithm 2 line 24) without re-assembling a
+// column-restricted problem.
+func (f *VecFactorization) SolveProjected(comm *mpi.Comm, support []bool, opts *admm.Options) *admm.Result {
+	o := optsWithDefaults(opts)
+	b := f.block
+	qTot := b.GlobalCols()
+	if len(support) != qTot {
+		panic("kron: support length mismatch")
+	}
+	nRanks := float64(comm.Size())
+	q := b.Q
+
+	z := make([]float64, qTot)
+	u := make([]float64, qTot)
+	x := make([]float64, qTot)
+	rhs := make([]float64, q)
+	zOld := make([]float64, qTot)
+	buf := make([]float64, qTot+3)
+	sqrtN := math.Sqrt(float64(qTot) * nRanks)
+
+	var primal, dual float64
+	iters := 0
+	converged := false
+	for iter := 1; iter <= o.MaxIter; iter++ {
+		iters = iter
+		for j := 0; j < b.P; j++ {
+			zj := z[j*q : (j+1)*q]
+			uj := u[j*q : (j+1)*q]
+			xj := x[j*q : (j+1)*q]
+			if j >= f.eqLo && j < f.eqHi {
+				e := j - f.eqLo
+				for i := 0; i < q; i++ {
+					rhs[i] = f.aty[e][i] + f.rho*(zj[i]-uj[i])
+				}
+				copy(xj, rhs)
+				f.chol[e].SolveInPlace(xj)
+			} else {
+				for i := 0; i < q; i++ {
+					xj[i] = zj[i] - uj[i]
+				}
+			}
+		}
+
+		var lp, lx, lu float64
+		for i := 0; i < qTot; i++ {
+			buf[i] = x[i] + u[i]
+			d := x[i] - z[i]
+			lp += d * d
+			lx += x[i] * x[i]
+			lu += u[i] * u[i]
+		}
+		buf[qTot], buf[qTot+1], buf[qTot+2] = lp, lx, lu
+		comm.Allreduce(mpi.OpSum, buf)
+
+		copy(zOld, z)
+		for i := 0; i < qTot; i++ {
+			if support[i] {
+				z[i] = buf[i] / nRanks
+			} else {
+				z[i] = 0
+			}
+		}
+		for i := range u {
+			u[i] += x[i] - z[i]
+		}
+
+		primal = math.Sqrt(buf[qTot])
+		dual = 0
+		for i := range z {
+			d := z[i] - zOld[i]
+			dual += d * d
+		}
+		dual = f.rho * math.Sqrt(nRanks) * math.Sqrt(dual)
+		normX := math.Sqrt(buf[qTot+1])
+		normZ := math.Sqrt(nRanks) * mat.Norm2(z)
+		normU := math.Sqrt(buf[qTot+2])
+		epsPrimal := sqrtN*o.AbsTol + o.RelTol*math.Max(normX, normZ)
+		epsDual := sqrtN*o.AbsTol + o.RelTol*f.rho*normU
+		if primal <= epsPrimal && dual <= epsDual {
+			converged = true
+			break
+		}
+	}
+	return &admm.Result{
+		Beta:       z,
+		Iters:      iters,
+		Converged:  converged,
+		PrimalRes:  primal,
+		DualRes:    dual,
+		AllreduceN: iters,
+	}
+}

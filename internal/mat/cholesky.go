@@ -1,0 +1,145 @@
+package mat
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPD reports that a matrix passed to Cholesky was not (numerically)
+// positive definite.
+var ErrNotPD = errors.New("mat: matrix not positive definite")
+
+// Cholesky holds a lower-triangular Cholesky factor L with A = L·Lᵀ.
+//
+// LASSO-ADMM factors (AᵀA + ρI) once per (bootstrap, λ-group) and reuses the
+// factor across all ADMM iterations; the paper identifies this triangular
+// solve as one of the three hot kernels (§IV-A1).
+type Cholesky struct {
+	n int
+	l []float64 // row-major lower triangle (full storage)
+}
+
+// NewCholesky factors the symmetric positive-definite matrix a.
+// a is not modified.
+func NewCholesky(a *Dense) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, ErrShape
+	}
+	n := a.Rows
+	l := make([]float64, n*n)
+	copy(l, a.Data)
+	for j := 0; j < n; j++ {
+		d := l[j*n+j]
+		for k := 0; k < j; k++ {
+			v := l[j*n+k]
+			d -= v * v
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPD
+		}
+		d = math.Sqrt(d)
+		l[j*n+j] = d
+		inv := 1 / d
+		for i := j + 1; i < n; i++ {
+			s := l[i*n+j]
+			li := l[i*n : i*n+j]
+			lj := l[j*n : j*n+j]
+			for k := range lj {
+				s -= li[k] * lj[k]
+			}
+			l[i*n+j] = s * inv
+		}
+	}
+	// Zero the upper triangle for cleanliness.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			l[i*n+j] = 0
+		}
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// Size returns the factored dimension.
+func (c *Cholesky) Size() int { return c.n }
+
+// Solve solves A·x = b (that is, L·Lᵀ·x = b) and returns x.
+func (c *Cholesky) Solve(b []float64) []float64 {
+	if len(b) != c.n {
+		panic(ErrShape)
+	}
+	y := make([]float64, c.n)
+	copy(y, b)
+	c.forwardSolve(y)
+	c.backwardSolve(y)
+	return y
+}
+
+// SolveInPlace is Solve reusing b as the output buffer.
+func (c *Cholesky) SolveInPlace(b []float64) {
+	if len(b) != c.n {
+		panic(ErrShape)
+	}
+	c.forwardSolve(b)
+	c.backwardSolve(b)
+}
+
+// forwardSolve solves L·y = b in place.
+func (c *Cholesky) forwardSolve(b []float64) {
+	n := c.n
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := c.l[i*n : i*n+i]
+		for k, v := range row {
+			s -= v * b[k]
+		}
+		b[i] = s / c.l[i*n+i]
+	}
+}
+
+// backwardSolve solves Lᵀ·x = y in place.
+func (c *Cholesky) backwardSolve(b []float64) {
+	n := c.n
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.l[k*n+i] * b[k]
+		}
+		b[i] = s / c.l[i*n+i]
+	}
+}
+
+// SolveMatrix solves A·X = B column-by-column.
+func (c *Cholesky) SolveMatrix(b *Dense) *Dense {
+	if b.Rows != c.n {
+		panic(ErrShape)
+	}
+	out := NewDense(b.Rows, b.Cols)
+	col := make([]float64, c.n)
+	for j := 0; j < b.Cols; j++ {
+		b.Col(j, col)
+		c.SolveInPlace(col)
+		out.SetCol(j, col)
+	}
+	return out
+}
+
+// SolveSPD is a convenience that factors a and solves a single system.
+func SolveSPD(a *Dense, b []float64) ([]float64, error) {
+	ch, err := NewCholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return ch.Solve(b), nil
+}
+
+// AddRidge returns a + rho*I as a new matrix (a must be square).
+func AddRidge(a *Dense, rho float64) *Dense {
+	if a.Rows != a.Cols {
+		panic(ErrShape)
+	}
+	out := a.Clone()
+	for i := 0; i < a.Rows; i++ {
+		out.Data[i*a.Cols+i] += rho
+	}
+	return out
+}

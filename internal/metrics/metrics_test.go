@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"uoivar/internal/mat"
+)
+
+func TestCompareSupports(t *testing.T) {
+	trueB := []float64{1, 0, -2, 0, 0.5}
+	estB := []float64{0.9, 0.1, 0, 0, 0.4}
+	s := CompareSupports(trueB, estB, 1e-6)
+	if s.TruePositives != 2 || s.FalsePositives != 1 || s.FalseNegatives != 1 || s.TrueNegatives != 1 {
+		t.Fatalf("Selection = %+v", s)
+	}
+	if math.Abs(s.Precision()-2.0/3.0) > 1e-12 {
+		t.Fatalf("Precision = %v", s.Precision())
+	}
+	if math.Abs(s.Recall()-2.0/3.0) > 1e-12 {
+		t.Fatalf("Recall = %v", s.Recall())
+	}
+	if math.Abs(s.F1()-2.0/3.0) > 1e-12 {
+		t.Fatalf("F1 = %v", s.F1())
+	}
+	if math.Abs(s.FalsePositiveRate()-0.5) > 1e-12 {
+		t.Fatalf("FPR = %v", s.FalsePositiveRate())
+	}
+}
+
+func TestSelectionDegenerateCases(t *testing.T) {
+	s := CompareSupports([]float64{0, 0}, []float64{0, 0}, 1e-6)
+	if s.Precision() != 1 || s.Recall() != 1 || s.FalsePositiveRate() != 0 {
+		t.Fatalf("empty-support metrics: %+v", s)
+	}
+	if s.F1() != 1 {
+		t.Fatalf("F1 = %v", s.F1())
+	}
+}
+
+func TestCompareEstimates(t *testing.T) {
+	trueB := []float64{2, 0, -1}
+	estB := []float64{2.5, 0, -1.5}
+	e := CompareEstimates(trueB, estB, 1e-9)
+	if math.Abs(e.Bias-0.0) > 1e-12 { // +0.5 and −0.5 cancel
+		t.Fatalf("Bias = %v", e.Bias)
+	}
+	if math.Abs(e.SupportRMSE-0.5) > 1e-12 {
+		t.Fatalf("SupportRMSE = %v", e.SupportRMSE)
+	}
+	want := math.Sqrt((0.25 + 0 + 0.25) / 3)
+	if math.Abs(e.RMSE-want) > 1e-12 {
+		t.Fatalf("RMSE = %v", e.RMSE)
+	}
+}
+
+func TestR2(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	if r := R2(y, y); r != 1 {
+		t.Fatalf("perfect R2 = %v", r)
+	}
+	mean := []float64{2.5, 2.5, 2.5, 2.5}
+	if r := R2(y, mean); math.Abs(r) > 1e-12 {
+		t.Fatalf("mean predictor R2 = %v", r)
+	}
+	konst := []float64{3, 3}
+	if r := R2(konst, []float64{3, 3}); r != 1 {
+		t.Fatalf("constant exact R2 = %v", r)
+	}
+	if r := R2(konst, []float64{1, 5}); r != 0 {
+		t.Fatalf("constant inexact R2 = %v", r)
+	}
+}
+
+func TestRMSEPrediction(t *testing.T) {
+	if v := RMSEPrediction([]float64{0, 0}, []float64{3, 4}); math.Abs(v-math.Sqrt(12.5)) > 1e-12 {
+		t.Fatalf("RMSE = %v", v)
+	}
+}
+
+func TestPredictionLoss(t *testing.T) {
+	x := mat.NewDenseData(2, 2, []float64{1, 0, 0, 1})
+	y := []float64{1, 2}
+	beta := []float64{1, 0}
+	if l := PredictionLoss(x, y, beta); math.Abs(l-2) > 1e-12 {
+		t.Fatalf("loss = %v", l)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"CompareSupports":  func() { CompareSupports([]float64{1}, []float64{1, 2}, 0) },
+		"CompareEstimates": func() { CompareEstimates([]float64{1}, []float64{1, 2}, 0) },
+		"R2":               func() { R2([]float64{1}, []float64{1, 2}) },
+		"RMSE":             func() { RMSEPrediction([]float64{1}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s must panic on length mismatch", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSupportCurveAndAUC(t *testing.T) {
+	trueBeta := []float64{1, 0, -1, 0, 0, 2}
+	// Perfectly ordered family: true features enter first.
+	family := [][]int{
+		{},
+		{0},
+		{0, 2},
+		{0, 2, 5},
+		{0, 2, 5, 1},
+		{0, 2, 5, 1, 3, 4},
+	}
+	pts := SupportCurve(family, trueBeta, 1e-9)
+	if len(pts) != 6 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// The all-true support: FPR 0, recall 1.
+	found := false
+	for _, p := range pts {
+		if p.Size == 3 && p.FPR == 0 && p.Recall == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("perfect support missing: %+v", pts)
+	}
+	if auc := AUC(pts); auc != 1 {
+		t.Fatalf("perfect-path AUC = %v, want 1", auc)
+	}
+
+	// Adversarial family: false features first.
+	bad := [][]int{{1}, {1, 3}, {1, 3, 4}}
+	badPts := SupportCurve(bad, trueBeta, 1e-9)
+	if auc := AUC(badPts); auc >= 0.6 {
+		t.Fatalf("bad-path AUC = %v, want low", auc)
+	}
+	// Empty input: neutral.
+	if AUC(nil) != 0.5 {
+		t.Fatal("empty AUC must be 0.5")
+	}
+}
+
+func TestSupportCurveDegenerate(t *testing.T) {
+	// Empty true support: recall defined as 1.
+	pts := SupportCurve([][]int{{0, 1}}, []float64{0, 0}, 1e-9)
+	if pts[0].Recall != 1 || pts[0].FPR != 1 {
+		t.Fatalf("degenerate point %+v", pts[0])
+	}
+	// All-true support vector: FPR stays 0.
+	pts2 := SupportCurve([][]int{{0}}, []float64{1, 2}, 1e-9)
+	if pts2[0].FPR != 0 || pts2[0].Recall != 0.5 {
+		t.Fatalf("all-true point %+v", pts2[0])
+	}
+}

@@ -1,0 +1,47 @@
+package mpi
+
+import "time"
+
+// Alltoallv exchanges variable-length blocks between every pair of ranks:
+// send[d] is delivered to rank d, and the call returns recv where recv[s]
+// is the block rank s addressed to this rank. The two-sided alternative to
+// the one-sided Tier-2 redistribution (compared in
+// BenchmarkAblationAlltoall).
+func (c *Comm) Alltoallv(send [][]float64) [][]float64 {
+	start := time.Now()
+	size := c.Size()
+	if len(send) != size {
+		panic("mpi: Alltoallv needs one send block per rank")
+	}
+	g := c.group
+	// Deposit all blocks, then read peers' blocks after the barrier — the
+	// shared-memory equivalent of the pairwise exchange.
+	g.mu.Lock()
+	if g.a2aSlots == nil {
+		g.a2aSlots = make([][][]float64, size)
+	}
+	g.a2aSlots[c.rank] = send
+	g.mu.Unlock()
+	g.bar.await()
+	recv := make([][]float64, size)
+	floats := 0
+	for s := 0; s < size; s++ {
+		g.mu.Lock()
+		block := g.a2aSlots[s][c.rank]
+		g.mu.Unlock()
+		out := make([]float64, len(block))
+		copy(out, block)
+		recv[s] = out
+		floats += len(block)
+	}
+	g.bar.await()
+	// Reset for reuse once everyone has read.
+	if c.rank == 0 {
+		g.mu.Lock()
+		g.a2aSlots = nil
+		g.mu.Unlock()
+	}
+	g.bar.await()
+	c.meter(CatP2P, floats, start)
+	return recv
+}

@@ -1,0 +1,531 @@
+// Package mpi is an in-process message-passing runtime that stands in for
+// MPI in the paper's implementation. Ranks are goroutines; the package
+// provides the primitives the UoI codes use: point-to-point Send/Recv,
+// Bcast, Allreduce, Reduce, Gather/Allgather, Scatter, Barrier, communicator
+// Split (for the P_B × P_λ process grids), and one-sided windows
+// (Put/Get/Accumulate between Fences) used by the randomized data
+// distribution and the distributed Kronecker product.
+//
+// The transport is shared memory, but the communication *structure* — who
+// sends what to whom, how many times, and how many bytes — is identical to
+// the MPI program's, and every call is metered per rank and per category so
+// experiments can report communication/distribution breakdowns the way the
+// paper does (MPI_Allreduce dominating communication, one-sided traffic
+// counted as "Distribution").
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Op is a reduction operator for Allreduce/Reduce.
+type Op int
+
+const (
+	// OpSum adds elementwise.
+	OpSum Op = iota
+	// OpMax takes the elementwise maximum.
+	OpMax
+	// OpMin takes the elementwise minimum.
+	OpMin
+)
+
+func (o Op) apply(dst, src []float64) {
+	switch o {
+	case OpSum:
+		for i, v := range src {
+			dst[i] += v
+		}
+	case OpMax:
+		for i, v := range src {
+			if v > dst[i] {
+				dst[i] = v
+			}
+		}
+	case OpMin:
+		for i, v := range src {
+			if v < dst[i] {
+				dst[i] = v
+			}
+		}
+	default:
+		panic(fmt.Sprintf("mpi: unknown op %d", o))
+	}
+}
+
+// Category labels metered traffic, mirroring the paper's runtime breakdown
+// bars (Figure 2/7): collective communication vs one-sided distribution.
+type Category int
+
+const (
+	// CatP2P covers Send/Recv.
+	CatP2P Category = iota
+	// CatCollective covers Bcast/Allreduce/Reduce/Gather/Scatter/Barrier.
+	CatCollective
+	// CatOneSided covers window Put/Get/Accumulate ("Distribution" in the paper).
+	CatOneSided
+	numCategories
+)
+
+// String returns the category name.
+func (c Category) String() string {
+	switch c {
+	case CatP2P:
+		return "p2p"
+	case CatCollective:
+		return "collective"
+	case CatOneSided:
+		return "one-sided"
+	}
+	return "unknown"
+}
+
+// Stats accumulates per-rank communication counters.
+type Stats struct {
+	Calls [numCategories]int64
+	Bytes [numCategories]int64
+	Time  [numCategories]time.Duration
+}
+
+// Total returns summed calls, bytes and time across categories.
+func (s *Stats) Total() (calls, bytes int64, d time.Duration) {
+	for c := 0; c < int(numCategories); c++ {
+		calls += s.Calls[c]
+		bytes += s.Bytes[c]
+		d += s.Time[c]
+	}
+	return
+}
+
+// add merges o into s.
+func (s *Stats) add(o *Stats) {
+	for c := 0; c < int(numCategories); c++ {
+		s.Calls[c] += o.Calls[c]
+		s.Bytes[c] += o.Bytes[c]
+		s.Time[c] += o.Time[c]
+	}
+}
+
+const bytesPerFloat = 8
+
+// World owns the shared state for one Run invocation.
+type World struct {
+	size    int
+	chans   sync.Map // chanKey -> chan []float64
+	commSeq atomic.Int64
+	// registry shares transient objects between ranks (Split group handoff).
+	registry sync.Map
+	stats    []Stats // indexed by world rank; written only by that rank's goroutine
+	statsMu  sync.Mutex
+	failOnce sync.Once
+	failErr  error
+}
+
+type chanKey struct {
+	comm     int64
+	src, dst int
+	tag      int
+}
+
+// ErrAborted is returned from Run when a rank calls Comm.Abort.
+var ErrAborted = errors.New("mpi: aborted")
+
+// Run launches size ranks, each executing body with its own Comm, and waits
+// for all of them. The first error returned by any rank is returned (all
+// ranks still run to completion; a well-formed SPMD body either all succeed
+// or the caller tolerates partial failure, as with MPI_Abort semantics).
+func Run(size int, body func(c *Comm) error) error {
+	if size <= 0 {
+		return fmt.Errorf("mpi: invalid world size %d", size)
+	}
+	w := &World{size: size, stats: make([]Stats, size)}
+	members := make([]int, size)
+	for i := range members {
+		members[i] = i
+	}
+	g := w.newGroup(members)
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+				}
+			}()
+			errs[rank] = body(&Comm{world: w, group: g, rank: rank, worldRank: rank})
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return w.failErr
+}
+
+// group is a communicator's shared collective context.
+type group struct {
+	id      int64
+	members []int // world ranks, ordered by comm rank
+	bar     *cyclicBarrier
+	mu      sync.Mutex
+	slots   [][]float64 // deposit area for collectives, indexed by comm rank
+	result  []float64
+	// iarCounters sequence the non-blocking collectives per rank.
+	iarCounters []atomic.Int64
+	// a2aSlots is the deposit area for Alltoallv exchanges.
+	a2aSlots [][][]float64
+}
+
+func (w *World) newGroup(members []int) *group {
+	return &group{
+		id:      w.commSeq.Add(1),
+		members: members,
+		bar:     newCyclicBarrier(len(members)),
+		slots:   make([][]float64, len(members)),
+	}
+}
+
+// Comm is one rank's handle on a communicator.
+type Comm struct {
+	world     *World
+	group     *group
+	rank      int // rank within this communicator
+	worldRank int // rank within the original world
+}
+
+// Rank returns this rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.group.members) }
+
+// WorldRank returns the rank in the original Run world.
+func (c *Comm) WorldRank() int { return c.worldRank }
+
+// Abort records err as the world's failure; Run returns it after all ranks
+// finish. Unlike MPI_Abort it does not tear down other ranks (shared-memory
+// goroutines cannot be killed), so bodies should return promptly after Abort.
+func (c *Comm) Abort(err error) {
+	c.world.failOnce.Do(func() { c.world.failErr = fmt.Errorf("%w: %v", ErrAborted, err) })
+}
+
+// meter records a communication event on this rank.
+func (c *Comm) meter(cat Category, floats int, start time.Time) {
+	elapsed := time.Since(start)
+	c.world.statsMu.Lock()
+	s := &c.world.stats[c.worldRank]
+	s.Calls[cat]++
+	s.Bytes[cat] += int64(floats * bytesPerFloat)
+	s.Time[cat] += elapsed
+	c.world.statsMu.Unlock()
+}
+
+// LocalStats returns a copy of this rank's counters.
+func (c *Comm) LocalStats() Stats {
+	c.world.statsMu.Lock()
+	defer c.world.statsMu.Unlock()
+	return c.world.stats[c.worldRank]
+}
+
+// GlobalStats returns counters summed over all world ranks. Counters from
+// ranks still inside a communication call may or may not be included; call
+// after a Barrier for a consistent view.
+func (c *Comm) GlobalStats() Stats {
+	c.world.statsMu.Lock()
+	defer c.world.statsMu.Unlock()
+	var out Stats
+	for i := range c.world.stats {
+		out.add(&c.world.stats[i])
+	}
+	return out
+}
+
+// channel returns the (lazily created) channel for (comm, src→dst, tag).
+func (c *Comm) channel(src, dst, tag int) chan []float64 {
+	key := chanKey{comm: c.group.id, src: src, dst: dst, tag: tag}
+	if v, ok := c.world.chans.Load(key); ok {
+		return v.(chan []float64)
+	}
+	v, _ := c.world.chans.LoadOrStore(key, make(chan []float64, 16))
+	return v.(chan []float64)
+}
+
+// Send transmits a copy of data to rank dst with the given tag.
+func (c *Comm) Send(dst, tag int, data []float64) {
+	start := time.Now()
+	c.checkRank(dst)
+	buf := make([]float64, len(data))
+	copy(buf, data)
+	c.channel(c.rank, dst, tag) <- buf
+	c.meter(CatP2P, len(data), start)
+}
+
+// Recv blocks until a message with the given tag arrives from src and
+// returns its payload.
+func (c *Comm) Recv(src, tag int) []float64 {
+	start := time.Now()
+	c.checkRank(src)
+	data := <-c.channel(src, c.rank, tag)
+	c.meter(CatP2P, len(data), start)
+	return data
+}
+
+func (c *Comm) checkRank(r int) {
+	if r < 0 || r >= c.Size() {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", r, c.Size()))
+	}
+}
+
+// Barrier blocks until all ranks in the communicator reach it.
+func (c *Comm) Barrier() {
+	start := time.Now()
+	c.group.bar.await()
+	c.meter(CatCollective, 0, start)
+}
+
+// Bcast copies root's data into every rank's data slice (lengths must match
+// across ranks, as in MPI).
+func (c *Comm) Bcast(root int, data []float64) {
+	start := time.Now()
+	c.checkRank(root)
+	g := c.group
+	if c.rank == root {
+		g.mu.Lock()
+		g.result = data
+		g.mu.Unlock()
+	}
+	g.bar.await()
+	if c.rank != root {
+		g.mu.Lock()
+		src := g.result
+		g.mu.Unlock()
+		if len(src) != len(data) {
+			panic("mpi: Bcast length mismatch")
+		}
+		copy(data, src)
+	}
+	g.bar.await()
+	c.meter(CatCollective, len(data), start)
+}
+
+// Allreduce reduces data elementwise across ranks with op and leaves the
+// result in every rank's data.
+func (c *Comm) Allreduce(op Op, data []float64) {
+	start := time.Now()
+	g := c.group
+	g.slots[c.rank] = data
+	g.bar.await()
+	if c.rank == 0 {
+		res := make([]float64, len(data))
+		copy(res, g.slots[0])
+		for r := 1; r < c.Size(); r++ {
+			if len(g.slots[r]) != len(res) {
+				panic("mpi: Allreduce length mismatch")
+			}
+			op.apply(res, g.slots[r])
+		}
+		g.mu.Lock()
+		g.result = res
+		g.mu.Unlock()
+	}
+	g.bar.await()
+	g.mu.Lock()
+	res := g.result
+	g.mu.Unlock()
+	copy(data, res)
+	g.bar.await()
+	c.meter(CatCollective, len(data), start)
+}
+
+// AllreduceScalar is Allreduce over a single value.
+func (c *Comm) AllreduceScalar(op Op, v float64) float64 {
+	buf := []float64{v}
+	c.Allreduce(op, buf)
+	return buf[0]
+}
+
+// Reduce reduces onto root only; other ranks' data is unchanged.
+func (c *Comm) Reduce(root int, op Op, data []float64) {
+	start := time.Now()
+	c.checkRank(root)
+	g := c.group
+	g.slots[c.rank] = data
+	g.bar.await()
+	if c.rank == root {
+		res := make([]float64, len(data))
+		copy(res, g.slots[0])
+		for r := 1; r < c.Size(); r++ {
+			op.apply(res, g.slots[r])
+		}
+		copy(data, res)
+	}
+	g.bar.await()
+	c.meter(CatCollective, len(data), start)
+}
+
+// Gather collects equal-length contributions onto root, concatenated in rank
+// order. Non-root ranks receive nil.
+func (c *Comm) Gather(root int, data []float64) []float64 {
+	start := time.Now()
+	c.checkRank(root)
+	g := c.group
+	g.slots[c.rank] = data
+	g.bar.await()
+	var out []float64
+	if c.rank == root {
+		for r := 0; r < c.Size(); r++ {
+			if len(g.slots[r]) != len(data) {
+				panic("mpi: Gather length mismatch")
+			}
+			out = append(out, g.slots[r]...)
+		}
+	}
+	g.bar.await()
+	c.meter(CatCollective, len(data), start)
+	return out
+}
+
+// Allgather concatenates equal-length contributions in rank order on every rank.
+func (c *Comm) Allgather(data []float64) []float64 {
+	start := time.Now()
+	g := c.group
+	g.slots[c.rank] = data
+	g.bar.await()
+	out := make([]float64, 0, len(data)*c.Size())
+	for r := 0; r < c.Size(); r++ {
+		if len(g.slots[r]) != len(data) {
+			panic("mpi: Allgather length mismatch")
+		}
+		out = append(out, g.slots[r]...)
+	}
+	g.bar.await()
+	c.meter(CatCollective, len(data)*c.Size(), start)
+	return out
+}
+
+// Scatter splits root's src (length = count·Size) into equal chunks and
+// returns this rank's chunk. src is ignored on non-root ranks.
+func (c *Comm) Scatter(root int, src []float64, count int) []float64 {
+	start := time.Now()
+	c.checkRank(root)
+	g := c.group
+	if c.rank == root {
+		if len(src) != count*c.Size() {
+			panic("mpi: Scatter length mismatch")
+		}
+		g.mu.Lock()
+		g.result = src
+		g.mu.Unlock()
+	}
+	g.bar.await()
+	g.mu.Lock()
+	whole := g.result
+	g.mu.Unlock()
+	out := make([]float64, count)
+	copy(out, whole[c.rank*count:(c.rank+1)*count])
+	g.bar.await()
+	c.meter(CatCollective, count, start)
+	return out
+}
+
+// Split partitions the communicator by color (ranks sharing a color form a
+// new communicator, ordered by key then by current rank), mirroring
+// MPI_Comm_split. The paper's P_B × P_λ parallelism is built from two Splits.
+func (c *Comm) Split(color, key int) *Comm {
+	start := time.Now()
+	g := c.group
+	type entry struct{ color, key, rank, worldRank int }
+	contrib := []float64{float64(color), float64(key), float64(c.rank), float64(c.worldRank)}
+	all := c.Allgather(contrib)
+	var mine []entry
+	for r := 0; r < c.Size(); r++ {
+		e := entry{int(all[4*r]), int(all[4*r+1]), int(all[4*r+2]), int(all[4*r+3])}
+		if e.color == color {
+			mine = append(mine, e)
+		}
+	}
+	sort.Slice(mine, func(i, j int) bool {
+		if mine[i].key != mine[j].key {
+			return mine[i].key < mine[j].key
+		}
+		return mine[i].rank < mine[j].rank
+	})
+	members := make([]int, len(mine))
+	newRank := -1
+	for i, e := range mine {
+		members[i] = e.worldRank
+		if e.rank == c.rank {
+			newRank = i
+		}
+	}
+	// All ranks of the same color must agree on one group object. Rank 0 of
+	// the subgroup publishes it through a world-level registry keyed by
+	// (parent comm, color).
+	keyStr := groupKey{parent: g.id, color: color}
+	var ng *group
+	if newRank == 0 {
+		ng = c.world.newGroup(members)
+		c.world.registry.Store(keyStr, ng)
+	}
+	c.Barrier() // publish before lookup
+	if ng == nil {
+		v, ok := c.world.registry.Load(keyStr)
+		if !ok {
+			panic("mpi: Split registry miss")
+		}
+		ng = v.(*group)
+	}
+	c.Barrier() // everyone has the group before the registry entry is reused
+	if newRank == 0 {
+		c.world.registry.Delete(keyStr)
+	}
+	c.meter(CatCollective, 0, start)
+	return &Comm{world: c.world, group: ng, rank: newRank, worldRank: c.worldRank}
+}
+
+type groupKey struct {
+	parent int64
+	color  int
+}
+
+// cyclicBarrier is a reusable synchronization barrier.
+type cyclicBarrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	size  int
+	count int
+	gen   int
+}
+
+func newCyclicBarrier(n int) *cyclicBarrier {
+	b := &cyclicBarrier{size: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *cyclicBarrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,420 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunSizes(t *testing.T) {
+	for _, size := range []int{1, 2, 7, 16} {
+		var count atomic.Int64
+		err := Run(size, func(c *Comm) error {
+			if c.Size() != size {
+				return fmt.Errorf("size = %d, want %d", c.Size(), size)
+			}
+			count.Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(count.Load()) != size {
+			t.Fatalf("ran %d bodies, want %d", count.Load(), size)
+		}
+	}
+	if err := Run(0, func(c *Comm) error { return nil }); err == nil {
+		t.Fatal("Run(0) must fail")
+	}
+}
+
+func TestRanksAreDistinct(t *testing.T) {
+	seen := make([]atomic.Int64, 8)
+	err := Run(8, func(c *Comm) error {
+		seen[c.Rank()].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range seen {
+		if seen[r].Load() != 1 {
+			t.Fatalf("rank %d seen %d times", r, seen[r].Load())
+		}
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := Run(4, func(c *Comm) error {
+		if c.Rank() == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+}
+
+func TestRunRecoversPanic(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected panic to surface as error")
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []float64{1, 2, 3})
+		} else {
+			got := c.Recv(0, 7)
+			if len(got) != 3 || got[2] != 3 {
+				return fmt.Errorf("Recv got %v", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []float64{42}
+			c.Send(1, 0, buf)
+			buf[0] = -1 // must not affect the receiver
+			c.Barrier()
+		} else {
+			c.Barrier()
+			if got := c.Recv(0, 0); got[0] != 42 {
+				return fmt.Errorf("payload aliased: %v", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagsSeparateStreams(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []float64{1})
+			c.Send(1, 2, []float64{2})
+		} else {
+			// Receive in the opposite order of sending.
+			if got := c.Recv(0, 2); got[0] != 2 {
+				return fmt.Errorf("tag 2 got %v", got)
+			}
+			if got := c.Recv(0, 1); got[0] != 1 {
+				return fmt.Errorf("tag 1 got %v", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	err := Run(5, func(c *Comm) error {
+		data := make([]float64, 4)
+		if c.Rank() == 2 {
+			for i := range data {
+				data[i] = float64(10 + i)
+			}
+		}
+		c.Bcast(2, data)
+		for i := range data {
+			if data[i] != float64(10+i) {
+				return fmt.Errorf("rank %d: Bcast data %v", c.Rank(), data)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	const n = 6
+	err := Run(n, func(c *Comm) error {
+		data := []float64{float64(c.Rank()), 1}
+		c.Allreduce(OpSum, data)
+		wantSum := float64(n*(n-1)) / 2
+		if data[0] != wantSum || data[1] != n {
+			return fmt.Errorf("rank %d: Allreduce got %v", c.Rank(), data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceMaxMin(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		v := float64(c.Rank())
+		if got := c.AllreduceScalar(OpMax, v); got != 3 {
+			return fmt.Errorf("max got %v", got)
+		}
+		if got := c.AllreduceScalar(OpMin, v); got != 0 {
+			return fmt.Errorf("min got %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceRepeated(t *testing.T) {
+	// Exercises barrier reuse across many collective rounds.
+	err := Run(3, func(c *Comm) error {
+		acc := 0.0
+		for i := 0; i < 50; i++ {
+			acc = c.AllreduceScalar(OpSum, 1)
+			if acc != 3 {
+				return fmt.Errorf("round %d: got %v", i, acc)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		data := []float64{1}
+		c.Reduce(3, OpSum, data)
+		if c.Rank() == 3 && data[0] != 4 {
+			return fmt.Errorf("root got %v", data[0])
+		}
+		if c.Rank() != 3 && data[0] != 1 {
+			return fmt.Errorf("non-root modified: %v", data[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherAllgatherScatter(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		mine := []float64{float64(c.Rank()), float64(c.Rank() * 10)}
+		g := c.Gather(0, mine)
+		if c.Rank() == 0 {
+			want := []float64{0, 0, 1, 10, 2, 20}
+			for i := range want {
+				if g[i] != want[i] {
+					return fmt.Errorf("Gather got %v", g)
+				}
+			}
+		} else if g != nil {
+			return fmt.Errorf("non-root Gather must return nil")
+		}
+		ag := c.Allgather(mine)
+		if len(ag) != 6 || ag[3] != 10 || ag[4] != 2 {
+			return fmt.Errorf("Allgather got %v", ag)
+		}
+		var src []float64
+		if c.Rank() == 1 {
+			src = []float64{0, 1, 2, 3, 4, 5}
+		}
+		chunk := c.Scatter(1, src, 2)
+		if chunk[0] != float64(2*c.Rank()) || chunk[1] != float64(2*c.Rank()+1) {
+			return fmt.Errorf("rank %d Scatter got %v", c.Rank(), chunk)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitGrid(t *testing.T) {
+	// 6 ranks → 2×3 grid: rows by color=rank/3, cols by color=rank%3.
+	err := Run(6, func(c *Comm) error {
+		row := c.Split(c.Rank()/3, c.Rank()%3)
+		col := c.Split(c.Rank()%3, c.Rank()/3)
+		if row.Size() != 3 || col.Size() != 2 {
+			return fmt.Errorf("rank %d: row size %d col size %d", c.Rank(), row.Size(), col.Size())
+		}
+		if row.Rank() != c.Rank()%3 || col.Rank() != c.Rank()/3 {
+			return fmt.Errorf("rank %d: got row rank %d col rank %d", c.Rank(), row.Rank(), col.Rank())
+		}
+		// Collectives on the sub-communicators must stay within the group.
+		sum := row.AllreduceScalar(OpSum, float64(c.Rank()))
+		wantRow := []float64{0 + 1 + 2, 3 + 4 + 5}[c.Rank()/3]
+		if sum != wantRow {
+			return fmt.Errorf("rank %d: row sum %v want %v", c.Rank(), sum, wantRow)
+		}
+		csum := col.AllreduceScalar(OpSum, float64(c.Rank()))
+		wantCol := float64(c.Rank()%3)*2 + 3
+		if csum != wantCol {
+			return fmt.Errorf("rank %d: col sum %v want %v", c.Rank(), csum, wantCol)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitKeyOrdersRanks(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		// Reverse ordering via key.
+		sub := c.Split(0, -c.Rank())
+		if sub.Rank() != 3-c.Rank() {
+			return fmt.Errorf("rank %d got sub rank %d", c.Rank(), sub.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsMetering(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 0, make([]float64, 100))
+		} else {
+			c.Recv(0, 0)
+		}
+		c.Allreduce(OpSum, make([]float64, 10))
+		c.Barrier()
+		s := c.LocalStats()
+		if s.Calls[CatP2P] != 1 || s.Bytes[CatP2P] != 800 {
+			return fmt.Errorf("rank %d p2p stats %+v", c.Rank(), s)
+		}
+		if s.Calls[CatCollective] < 2 {
+			return fmt.Errorf("collective calls %d", s.Calls[CatCollective])
+		}
+		c.Barrier()
+		g := c.GlobalStats()
+		if g.Bytes[CatP2P] != 1600 {
+			return fmt.Errorf("global p2p bytes %d", g.Bytes[CatP2P])
+		}
+		calls, bytes, _ := g.Total()
+		if calls <= 0 || bytes <= 0 {
+			return fmt.Errorf("Total() = %d, %d", calls, bytes)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbort(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() == 1 {
+			c.Abort(errors.New("fatal condition"))
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if CatP2P.String() != "p2p" || CatCollective.String() != "collective" ||
+		CatOneSided.String() != "one-sided" || Category(99).String() != "unknown" {
+		t.Fatal("Category.String wrong")
+	}
+}
+
+func TestAllreduceLargeVector(t *testing.T) {
+	const n, p = 4096, 4
+	err := Run(p, func(c *Comm) error {
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = float64(c.Rank() + 1)
+		}
+		c.Allreduce(OpSum, data)
+		want := float64(p*(p+1)) / 2
+		for i := range data {
+			if math.Abs(data[i]-want) > 0 {
+				return fmt.Errorf("data[%d] = %v want %v", i, data[i], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallv(t *testing.T) {
+	const size = 4
+	err := Run(size, func(c *Comm) error {
+		// Rank r sends to rank d a block [r*10+d] repeated (d+1) times.
+		send := make([][]float64, size)
+		for d := 0; d < size; d++ {
+			block := make([]float64, d+1)
+			for i := range block {
+				block[i] = float64(c.Rank()*10 + d)
+			}
+			send[d] = block
+		}
+		recv := c.Alltoallv(send)
+		if len(recv) != size {
+			return fmt.Errorf("recv blocks %d", len(recv))
+		}
+		for s := 0; s < size; s++ {
+			if len(recv[s]) != c.Rank()+1 {
+				return fmt.Errorf("rank %d: block from %d has %d values, want %d", c.Rank(), s, len(recv[s]), c.Rank()+1)
+			}
+			for _, v := range recv[s] {
+				if v != float64(s*10+c.Rank()) {
+					return fmt.Errorf("rank %d: wrong value from %d: %v", c.Rank(), s, v)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallvRepeated(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		for round := 0; round < 10; round++ {
+			send := make([][]float64, 3)
+			for d := range send {
+				send[d] = []float64{float64(round*100 + c.Rank()*10 + d)}
+			}
+			recv := c.Alltoallv(send)
+			for s := range recv {
+				want := float64(round*100 + s*10 + c.Rank())
+				if recv[s][0] != want {
+					return fmt.Errorf("round %d from %d: %v want %v", round, s, recv[s][0], want)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

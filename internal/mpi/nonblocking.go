@@ -1,0 +1,120 @@
+package mpi
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Request is a handle on an in-flight non-blocking collective.
+type Request struct {
+	done   chan struct{}
+	result []float64
+	target []float64
+	comm   *Comm
+	start  time.Time
+	floats int
+}
+
+// Wait blocks until the operation completes and the result is visible in
+// the slice passed to the initiating call.
+func (r *Request) Wait() {
+	<-r.done
+	copy(r.target, r.result)
+	r.comm.meter(CatCollective, r.floats, r.start)
+}
+
+// Test reports whether the operation has completed without blocking.
+func (r *Request) Test() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// iarTagBase offsets the tag space used by non-blocking collectives away
+// from user tags.
+const iarTagBase = 1 << 24
+
+// IAllreduce starts a non-blocking Allreduce — the paper's proposed future
+// work ("we are evaluating non-blocking MPI and asynchronous execution
+// models to enable further scaling"). The reduction runs on a binomial tree
+// of point-to-point messages in the background; the caller overlaps
+// computation and calls Wait before reading data.
+//
+// As with MPI's non-blocking collectives, every rank must issue its
+// IAllreduce calls in the same order.
+func (c *Comm) IAllreduce(op Op, data []float64) *Request {
+	start := time.Now()
+	seq := int(c.group.iarSeq(c.rank))
+	req := &Request{
+		done:   make(chan struct{}),
+		target: data,
+		comm:   c,
+		start:  start,
+		floats: len(data),
+	}
+	buf := make([]float64, len(data))
+	copy(buf, data)
+	size, rank := c.Size(), c.rank
+	tag := iarTagBase + seq
+
+	go func() {
+		// Binomial-tree reduce to rank 0: in round k, ranks with the k-th
+		// bit set send to (rank − 2^k) and exit; others may receive.
+		val := buf
+		for k := 1; k < size; k <<= 1 {
+			if rank&k != 0 {
+				c.Send(rank-k, tag, val)
+				break
+			}
+			if rank+k < size {
+				other := c.Recv(rank+k, tag)
+				if len(other) != len(val) {
+					panic(fmt.Sprintf("mpi: IAllreduce length mismatch (%d vs %d)", len(other), len(val)))
+				}
+				op.apply(val, other)
+			}
+		}
+		// Broadcast back down the same tree, in reverse.
+		// Find the highest round in which this rank participated as a
+		// receiver-from-parent.
+		if rank != 0 {
+			// parent = rank with the lowest set bit cleared.
+			parent := rank - rank&(-rank)
+			val = c.Recv(parent, tag+1)
+		}
+		for k := highestPow2Below(size); k >= 1; k >>= 1 {
+			if rank&(k-1) == 0 && rank&k == 0 && rank+k < size {
+				c.Send(rank+k, tag+1, val)
+			}
+		}
+		req.result = val
+		close(req.done)
+	}()
+	return req
+}
+
+// highestPow2Below returns the largest power of two < n (≥1 for n≥2).
+func highestPow2Below(n int) int {
+	p := 1
+	for p*2 < n {
+		p *= 2
+	}
+	return p
+}
+
+// iarSeq returns the per-rank non-blocking-collective sequence number.
+// Each rank counts its own calls; MPI's ordering requirement makes the
+// sequences agree across ranks.
+func (g *group) iarSeq(rank int) int64 {
+	g.mu.Lock()
+	if g.iarCounters == nil {
+		g.iarCounters = make([]atomic.Int64, len(g.members))
+	}
+	g.mu.Unlock()
+	// Tag space: two tags per operation (reduce + broadcast).
+	return g.iarCounters[rank].Add(2)
+}

@@ -1,0 +1,143 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestIAllreduceMatchesBlocking(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 4, 6, 8, 13} {
+		err := Run(size, func(c *Comm) error {
+			n := 17
+			async := make([]float64, n)
+			sync := make([]float64, n)
+			for i := 0; i < n; i++ {
+				async[i] = float64(c.Rank()*n + i)
+				sync[i] = async[i]
+			}
+			req := c.IAllreduce(OpSum, async)
+			c.Allreduce(OpSum, sync)
+			req.Wait()
+			for i := range sync {
+				if async[i] != sync[i] {
+					return fmt.Errorf("size %d: IAllreduce[%d] = %v, Allreduce %v", size, i, async[i], sync[i])
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestIAllreduceMaxMin(t *testing.T) {
+	err := Run(5, func(c *Comm) error {
+		v := []float64{float64(c.Rank())}
+		req := c.IAllreduce(OpMax, v)
+		req.Wait()
+		if v[0] != 4 {
+			return fmt.Errorf("max = %v", v[0])
+		}
+		v[0] = float64(c.Rank())
+		c.IAllreduce(OpMin, v).Wait()
+		if v[0] != 0 {
+			return fmt.Errorf("min = %v", v[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIAllreduceOverlap(t *testing.T) {
+	// The point of non-blocking collectives: local work proceeds while the
+	// reduction is in flight, and the pre-Wait buffer is untouched.
+	err := Run(4, func(c *Comm) error {
+		data := []float64{1, 2}
+		req := c.IAllreduce(OpSum, data)
+		// Overlapped "computation": the original data slice must not be
+		// mutated before Wait.
+		local := 0.0
+		for i := 0; i < 1000; i++ {
+			local += float64(i)
+		}
+		if data[0] != 1 || data[1] != 2 {
+			return fmt.Errorf("buffer mutated before Wait: %v", data)
+		}
+		req.Wait()
+		if data[0] != 4 || data[1] != 8 {
+			return fmt.Errorf("after Wait: %v (local=%v)", data, local)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIAllreducePipelined(t *testing.T) {
+	// Several operations in flight simultaneously, completed out of order.
+	err := Run(4, func(c *Comm) error {
+		a := []float64{1}
+		b := []float64{10}
+		d := []float64{100}
+		ra := c.IAllreduce(OpSum, a)
+		rb := c.IAllreduce(OpSum, b)
+		rd := c.IAllreduce(OpSum, d)
+		rd.Wait()
+		rb.Wait()
+		ra.Wait()
+		if a[0] != 4 || b[0] != 40 || d[0] != 400 {
+			return fmt.Errorf("pipelined results: %v %v %v", a[0], b[0], d[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIAllreduceRepeatedRounds(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		for round := 0; round < 40; round++ {
+			v := []float64{1}
+			c.IAllreduce(OpSum, v).Wait()
+			if v[0] != 3 {
+				return fmt.Errorf("round %d: %v", round, v[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestTest(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		v := []float64{1}
+		req := c.IAllreduce(OpSum, v)
+		// Eventually Test must report completion.
+		for !req.Test() {
+		}
+		req.Wait()
+		if v[0] != 2 {
+			return fmt.Errorf("v = %v", v[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHighestPow2Below(t *testing.T) {
+	cases := map[int]int{2: 1, 3: 2, 4: 2, 5: 4, 8: 4, 9: 8, 16: 8, 17: 16}
+	for n, want := range cases {
+		if got := highestPow2Below(n); got != want {
+			t.Fatalf("highestPow2Below(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

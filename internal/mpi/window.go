@@ -1,0 +1,104 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+)
+
+// Win is a one-sided communication window, the analogue of an MPI RMA
+// window. Every rank contributes a local buffer at creation; between Fence
+// calls any rank may Get from, Put to, or Accumulate into any rank's buffer.
+//
+// The paper uses one-sided windows twice: Tier-2 of the randomized data
+// distribution (§III-B1) and the distributed Kronecker product/vectorization
+// (§III-B2), where a few n_reader processes expose their data blocks through
+// windows and the compute ranks Get the pieces they need.
+type Win struct {
+	comm    *Comm
+	buffers [][]float64 // indexed by comm rank
+}
+
+// CreateWin collectively creates a window exposing local on each rank.
+// local may be nil for ranks exposing nothing (pure consumers).
+func (c *Comm) CreateWin(local []float64) *Win {
+	start := time.Now()
+	g := c.group
+	g.slots[c.rank] = local
+	g.bar.await()
+	buffers := make([][]float64, c.Size())
+	copy(buffers, g.slots)
+	g.bar.await()
+	c.meter(CatOneSided, 0, start)
+	return &Win{comm: c, buffers: buffers}
+}
+
+// Fence separates RMA epochs: all operations issued before the fence are
+// complete on every rank once Fence returns.
+func (w *Win) Fence() {
+	start := time.Now()
+	w.comm.group.bar.await()
+	w.comm.meter(CatOneSided, 0, start)
+}
+
+// Get copies len(dst) values from target's buffer starting at offset.
+func (w *Win) Get(target, offset int, dst []float64) {
+	start := time.Now()
+	buf := w.target(target)
+	if offset < 0 || offset+len(dst) > len(buf) {
+		panic(fmt.Sprintf("mpi: Get [%d,%d) outside window of %d on rank %d",
+			offset, offset+len(dst), len(buf), target))
+	}
+	copy(dst, buf[offset:offset+len(dst)])
+	w.comm.meter(CatOneSided, len(dst), start)
+}
+
+// Put copies src into target's buffer starting at offset. Concurrent Puts to
+// disjoint ranges are safe (as with MPI_Put under proper epoch discipline);
+// overlapping Puts within an epoch are a program error in MPI and here.
+func (w *Win) Put(target, offset int, src []float64) {
+	start := time.Now()
+	buf := w.target(target)
+	if offset < 0 || offset+len(src) > len(buf) {
+		panic(fmt.Sprintf("mpi: Put [%d,%d) outside window of %d on rank %d",
+			offset, offset+len(src), len(buf), target))
+	}
+	copy(buf[offset:offset+len(src)], src)
+	w.comm.meter(CatOneSided, len(src), start)
+}
+
+// Accumulate adds src into target's buffer at offset under a window-wide
+// lock (MPI_Accumulate is atomic per element; a single lock is a faithful
+// over-approximation for correctness).
+func (w *Win) Accumulate(target, offset int, src []float64) {
+	start := time.Now()
+	buf := w.target(target)
+	if offset < 0 || offset+len(src) > len(buf) {
+		panic(fmt.Sprintf("mpi: Accumulate [%d,%d) outside window of %d on rank %d",
+			offset, offset+len(src), len(buf), target))
+	}
+	// Serialize on the communicator's shared lock: each rank holds its own
+	// Win value, so a per-Win mutex would not be shared. Accumulates never
+	// overlap group collectives under correct fence discipline.
+	w.comm.group.mu.Lock()
+	for i, v := range src {
+		buf[offset+i] += v
+	}
+	w.comm.group.mu.Unlock()
+	w.comm.meter(CatOneSided, len(src), start)
+}
+
+// LocalLen returns the length of target's exposed buffer.
+func (w *Win) LocalLen(target int) int { return len(w.target(target)) }
+
+func (w *Win) target(r int) []float64 {
+	if r < 0 || r >= len(w.buffers) {
+		panic(fmt.Sprintf("mpi: window target %d out of range", r))
+	}
+	return w.buffers[r]
+}
+
+// Free is collective and invalidates the window.
+func (w *Win) Free() {
+	w.comm.group.bar.await()
+	w.buffers = nil
+}

@@ -1,0 +1,155 @@
+package perfmodel
+
+import "math"
+
+// VARScale describes one UoI_VAR run at scale (a point on Figures 7–10).
+type VARScale struct {
+	// Features is the process dimension p (356 → 1000 in Table I).
+	Features int
+	// Samples is the effective design row count m = N − d. The paper's
+	// problem-size table corresponds to m = p (see EXPERIMENTS.md note on
+	// the "samples are twice the features" remark); 0 selects m = p.
+	Samples int
+	// Order is the VAR order d.
+	Order int
+	// Cores is the total core count; NReaders the reader-process count for
+	// the distributed Kronecker windows (0 → min(Samples, Cores/8), "a
+	// small number of processes, usually equal to the number of samples
+	// based on the availability of resources").
+	Cores, NReaders int
+	// B1, B2, Q, PB, PLambda, Iters as in LassoScale.
+	B1, B2, Q   int
+	PB, PLambda int
+	Iters       int
+}
+
+func (s VARScale) normalize() VARScale {
+	if s.Order <= 0 {
+		s.Order = 1
+	}
+	if s.Samples <= 0 {
+		s.Samples = s.Features
+	}
+	if s.NReaders <= 0 {
+		s.NReaders = s.Samples
+		if cap8 := s.Cores / 8; s.NReaders > cap8 && cap8 >= 1 {
+			s.NReaders = cap8
+		}
+		if s.NReaders < 1 {
+			s.NReaders = 1
+		}
+	}
+	if s.PB <= 0 {
+		s.PB = 1
+	}
+	if s.PLambda <= 0 {
+		s.PLambda = 1
+	}
+	if s.Iters <= 0 {
+		s.Iters = 60
+	}
+	if s.B1 <= 0 {
+		s.B1 = 1
+	}
+	if s.B2 <= 0 {
+		s.B2 = 1
+	}
+	if s.Q <= 0 {
+		s.Q = 1
+	}
+	return s
+}
+
+// VARProblemBytes returns the size of the materialized vectorized problem
+// (the dense I ⊗ X): (m·p) rows × (d·p²) columns × 8 bytes = 8·m·d·p³.
+// This is the "problem size" of Table I: p=356 ⇒ 128 GB, p=1000 ⇒ 8 TB
+// (with m = p).
+func VARProblemBytes(p, m, d int) float64 {
+	return 8 * float64(m) * float64(d) * math.Pow(float64(p), 3)
+}
+
+// VARFeaturesForBytes inverts VARProblemBytes for m = p (the Table I
+// convention), returning the p that produces the given problem size.
+func VARFeaturesForBytes(bytes float64, d int) int {
+	if d <= 0 {
+		d = 1
+	}
+	return int(math.Round(math.Pow(bytes/(8*float64(d)), 0.25)))
+}
+
+// UoIVAR predicts the phase breakdown of a distributed UoI_VAR run.
+//
+//	DataIO        = reading the (small, MBs) series file by the readers
+//	Distribution  = distributed Kronecker product + vectorization: one-sided
+//	                Gets of every compact row from the few reader windows,
+//	                once per bootstrap (selection) and twice per estimation
+//	                bootstrap (train+eval) — the phase that explodes with
+//	                problem size (Fig. 9) and grows with core count through
+//	                reader contention (Fig. 10)
+//	Computation   = per-equation sparse Gram/Cholesky per bootstrap plus
+//	                sparse A/Aᵀ applications and triangular solves per ADMM
+//	                iteration; per-λ support intersection over the d·p²
+//	                coefficients (sharded across λ groups — the term that
+//	                makes computation fall as P_λ rises in Fig. 8)
+//	Communication = one Allreduce of the (d·p²+3)-vector per iteration
+func (m *Machine) UoIVAR(s VARScale) Breakdown {
+	s = s.normalize()
+	var b Breakdown
+	p := float64(s.Features)
+	d := float64(s.Order)
+	samples := float64(s.Samples)
+	q := d * p // columns per equation
+	groups := float64(s.PB * s.PLambda)
+	admmCores := float64(s.Cores) / groups
+	if admmCores < 1 {
+		admmCores = 1
+	}
+
+	// --- Data I/O: the raw series is tiny (8·N·p). ---
+	seriesBytes := 8 * (samples + d) * p
+	b.DataIO = seriesBytes/(float64(s.NReaders)*m.OSTBandwidth) + 0.05
+
+	// --- Distribution: the distributed Kron/vec assembly. ---
+	nB1 := math.Ceil(float64(s.B1) / float64(s.PB))
+	nB2 := math.Ceil(float64(s.B2) / float64(s.PB))
+	assemblies := nB1 + 2*nB2 // selection + (train, eval) pairs
+	getBytes := samples * p * (q + 1) * 8
+	readerBW := m.ReaderBandwidth
+	winSetup := m.WindowSetup
+	if m.Nodes(s.Cores) == 1 {
+		readerBW = m.NodeReaderBandwidth
+		winSetup = m.NodeWindowSetup
+	}
+	perAssembly := getBytes/(float64(s.NReaders)*readerBW) +
+		winSetup*float64(s.Cores)
+	b.Distribution = assemblies * perAssembly
+
+	// --- Computation (sparse kernels). ---
+	sparse := m.SparseGFLOPS * 1e9
+	rowsPerCore := samples * p / admmCores
+	eqPerCore := math.Max(1, p/admmCores)
+	// Local Gram cost: 2·q ops per compact row at the sparse rate, plus one
+	// dense q³/3 Cholesky per owned equation at the MKL dense rate (the
+	// factor is dense even when the design is sparse).
+	factor := 2*rowsPerCore*q/sparse + eqPerCore*q*q*q/3/(m.GemmGFLOPS*1e9)
+	nLam := math.Ceil(float64(s.Q) / float64(s.PLambda))
+	// Per iteration: A and Aᵀ applications over the compact local rows plus
+	// triangular solves on owned equations, plus the (partitioned) z-update
+	// over this core's share of the d·p² coefficients.
+	perIter := (4*rowsPerCore*q+eqPerCore*2*q*q)/sparse + 6*(d*p*p/admmCores)/sparse
+	// Per λ: support intersection bookkeeping over d·p² coefficients × B1
+	// bootstraps (memory-bound sweeps), sharded across λ groups only — the
+	// term behind Fig. 8's computation falling as P_λ rises.
+	perLambda := 150 * d * p * p * float64(s.B1) / (m.GemvGFLOPS * 1e9)
+
+	selection := nB1*(factor+nLam*float64(s.Iters)*perIter) + nLam*perLambda
+	estimation := nB2 * (factor + nLam*0.4*float64(s.Iters)*perIter)
+	b.Computation = selection + estimation
+
+	// --- Communication: Allreduce of the d·p² estimate per iteration. ---
+	msg := (d*p*p + 3) * 8
+	_, arMax := m.AllreduceTime(int(admmCores), msg)
+	totalIters := nB1*nLam*float64(s.Iters) + nB2*nLam*0.4*float64(s.Iters)
+	b.Communication = totalIters * arMax
+	return b
+}

@@ -1,0 +1,130 @@
+package resample
+
+import "fmt"
+
+// Bootstrap draws n indices uniformly with replacement from [0, n): the iid
+// bootstrap used by UoI_LASSO's Map steps (Algorithm 1 lines 3, 14).
+func Bootstrap(rng *RNG, n int) []int {
+	if n <= 0 {
+		panic("resample: Bootstrap with non-positive n")
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = rng.Intn(n)
+	}
+	return idx
+}
+
+// TrainEvalSplit shuffles [0, n) and splits it into a training set of
+// ceil(frac·n) indices and an evaluation set of the rest. UoI_LASSO's model
+// estimation uses such resampled train/evaluation pairs (Algorithm 1 lines
+// 14–16) with Tier-2 reshuffling providing the randomization (Figure 1c).
+func TrainEvalSplit(rng *RNG, n int, frac float64) (train, eval []int) {
+	if n <= 1 {
+		panic("resample: TrainEvalSplit needs n > 1")
+	}
+	if frac <= 0 || frac >= 1 {
+		panic(fmt.Sprintf("resample: train fraction %v outside (0,1)", frac))
+	}
+	p := rng.Perm(n)
+	k := int(float64(n)*frac + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k >= n {
+		k = n - 1
+	}
+	return p[:k], p[k:]
+}
+
+// MovingBlockBootstrap draws a block bootstrap sample of n indices from a
+// series of length n using overlapping blocks of the given length: blocks
+// start at uniform positions in [0, n-blockLen] and are concatenated until n
+// indices are produced (the last block is truncated). This is the "randomly
+// selecting time series blocks" scheme of §III-B2, preserving within-block
+// temporal dependence.
+func MovingBlockBootstrap(rng *RNG, n, blockLen int) []int {
+	if n <= 0 {
+		panic("resample: MovingBlockBootstrap with non-positive n")
+	}
+	if blockLen <= 0 {
+		panic("resample: non-positive block length")
+	}
+	if blockLen > n {
+		blockLen = n
+	}
+	idx := make([]int, 0, n+blockLen)
+	for len(idx) < n {
+		start := rng.Intn(n - blockLen + 1)
+		for j := 0; j < blockLen && len(idx) < n; j++ {
+			idx = append(idx, start+j)
+		}
+	}
+	return idx
+}
+
+// CircularBlockBootstrap is the circular variant: block starts are uniform
+// over [0, n) and wrap around, giving every observation equal inclusion
+// probability.
+func CircularBlockBootstrap(rng *RNG, n, blockLen int) []int {
+	if n <= 0 {
+		panic("resample: CircularBlockBootstrap with non-positive n")
+	}
+	if blockLen <= 0 {
+		panic("resample: non-positive block length")
+	}
+	if blockLen > n {
+		blockLen = n
+	}
+	idx := make([]int, 0, n+blockLen)
+	for len(idx) < n {
+		start := rng.Intn(n)
+		for j := 0; j < blockLen && len(idx) < n; j++ {
+			idx = append(idx, (start+j)%n)
+		}
+	}
+	return idx
+}
+
+// BlockTrainEvalSplit splits a time series of length n into contiguous
+// blocks of blockLen and assigns whole blocks to train/eval with the given
+// training fraction, preserving temporal structure within each side.
+func BlockTrainEvalSplit(rng *RNG, n, blockLen int, frac float64) (train, eval []int) {
+	if blockLen <= 0 || blockLen > n {
+		panic("resample: bad block length")
+	}
+	if frac <= 0 || frac >= 1 {
+		panic("resample: bad train fraction")
+	}
+	numBlocks := (n + blockLen - 1) / blockLen
+	if numBlocks < 2 {
+		panic("resample: need at least two blocks to split")
+	}
+	order := rng.Perm(numBlocks)
+	kTrain := int(float64(numBlocks)*frac + 0.5)
+	if kTrain < 1 {
+		kTrain = 1
+	}
+	if kTrain >= numBlocks {
+		kTrain = numBlocks - 1
+	}
+	inTrain := make([]bool, numBlocks)
+	for _, b := range order[:kTrain] {
+		inTrain[b] = true
+	}
+	for b := 0; b < numBlocks; b++ {
+		lo := b * blockLen
+		hi := lo + blockLen
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			if inTrain[b] {
+				train = append(train, i)
+			} else {
+				eval = append(eval, i)
+			}
+		}
+	}
+	return train, eval
+}

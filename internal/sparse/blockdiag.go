@@ -1,0 +1,119 @@
+package sparse
+
+import (
+	"uoivar/internal/mat"
+)
+
+// BlockDiag is the identity-Kronecker operator I_p ⊗ X: a block-diagonal
+// matrix with p copies of the dense block X along the diagonal.
+//
+// Algorithm 2 (lines 5, 21–22) materializes this operator; at scale the
+// paper assembles it with MPI one-sided windows (internal/kron). BlockDiag
+// is the local, lazy form: it applies the operator without storing the
+// (p·n) × (p·q) zeros, which is the "communication-avoiding / local
+// computation" alternative the paper's Discussion proposes.
+type BlockDiag struct {
+	Block  *mat.Dense // the repeated diagonal block X (n×q)
+	Copies int        // p, the number of diagonal copies
+}
+
+// NewBlockDiag wraps block as I_copies ⊗ block.
+func NewBlockDiag(block *mat.Dense, copies int) *BlockDiag {
+	if copies <= 0 {
+		panic("sparse: BlockDiag needs at least one copy")
+	}
+	return &BlockDiag{Block: block, Copies: copies}
+}
+
+// Dims returns the operator shape (Copies·n, Copies·q).
+func (b *BlockDiag) Dims() (rows, cols int) {
+	return b.Copies * b.Block.Rows, b.Copies * b.Block.Cols
+}
+
+// Sparsity returns the fraction of structurally zero entries, 1 − 1/p for a
+// dense block — the quantity the paper quotes in §IV-B1.
+func (b *BlockDiag) Sparsity() float64 {
+	return 1 - 1/float64(b.Copies)
+}
+
+// MulVec computes y = (I ⊗ X)·v block by block.
+func (b *BlockDiag) MulVec(v []float64) []float64 {
+	n, q := b.Block.Rows, b.Block.Cols
+	if len(v) != b.Copies*q {
+		panic(mat.ErrShape)
+	}
+	y := make([]float64, b.Copies*n)
+	for c := 0; c < b.Copies; c++ {
+		seg := mat.MulVec(b.Block, v[c*q:(c+1)*q])
+		copy(y[c*n:(c+1)*n], seg)
+	}
+	return y
+}
+
+// MulTVec computes y = (I ⊗ X)ᵀ·v block by block.
+func (b *BlockDiag) MulTVec(v []float64) []float64 {
+	n, q := b.Block.Rows, b.Block.Cols
+	if len(v) != b.Copies*n {
+		panic(mat.ErrShape)
+	}
+	y := make([]float64, b.Copies*q)
+	for c := 0; c < b.Copies; c++ {
+		seg := mat.MulTVec(b.Block, v[c*n:(c+1)*n])
+		copy(y[c*q:(c+1)*q], seg)
+	}
+	return y
+}
+
+// Gram computes (I ⊗ X)ᵀ(I ⊗ X) = I ⊗ (XᵀX); only the q×q block is stored.
+func (b *BlockDiag) Gram() *mat.Dense {
+	return mat.AtA(b.Block)
+}
+
+// ToCSR materializes the block-diagonal operator as an explicit CSR matrix.
+// This is the memory-hungry path the paper's distributed Kronecker product
+// constructs across nodes; it is exposed for tests and the ablation bench.
+func (b *BlockDiag) ToCSR() *CSR {
+	n, q := b.Block.Rows, b.Block.Cols
+	builder := NewBuilder(b.Copies*n, b.Copies*q)
+	for c := 0; c < b.Copies; c++ {
+		for i := 0; i < n; i++ {
+			row := b.Block.Row(i)
+			for j, v := range row {
+				if v != 0 {
+					builder.Add(c*n+i, c*q+j, v)
+				}
+			}
+		}
+	}
+	return builder.Build()
+}
+
+// Kron materializes a general Kronecker product A ⊗ B as dense. It is used
+// only in tests to validate the specialized operators against the textbook
+// definition; production paths never form it.
+func Kron(a, b *mat.Dense) *mat.Dense {
+	out := mat.NewDense(a.Rows*b.Rows, a.Cols*b.Cols)
+	for ia := 0; ia < a.Rows; ia++ {
+		for ja := 0; ja < a.Cols; ja++ {
+			av := a.At(ia, ja)
+			if av == 0 {
+				continue
+			}
+			for ib := 0; ib < b.Rows; ib++ {
+				for jb := 0; jb < b.Cols; jb++ {
+					out.Set(ia*b.Rows+ib, ja*b.Cols+jb, av*b.At(ib, jb))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Identity returns the n×n dense identity (test/bench helper).
+func Identity(n int) *mat.Dense {
+	m := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}

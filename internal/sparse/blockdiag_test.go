@@ -1,0 +1,112 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"uoivar/internal/mat"
+)
+
+func TestKronMatchesDefinition(t *testing.T) {
+	a := mat.NewDenseData(2, 2, []float64{1, 2, 3, 4})
+	b := mat.NewDenseData(1, 2, []float64{5, 6})
+	k := Kron(a, b)
+	want := mat.NewDenseData(2, 4, []float64{
+		5, 6, 10, 12,
+		15, 18, 20, 24,
+	})
+	if !k.Equal(want, 0) {
+		t.Fatalf("Kron = %v", k.Data)
+	}
+}
+
+func TestBlockDiagMatchesExplicitKron(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	x := randomSparseDense(rng, 4, 3, 0.8)
+	p := 5
+	bd := NewBlockDiag(x, p)
+	explicit := Kron(Identity(p), x)
+
+	r, c := bd.Dims()
+	if r != explicit.Rows || c != explicit.Cols {
+		t.Fatalf("Dims = (%d,%d), want (%d,%d)", r, c, explicit.Rows, explicit.Cols)
+	}
+	if !bd.ToCSR().ToDense().Equal(explicit, 0) {
+		t.Fatal("ToCSR does not match I ⊗ X")
+	}
+
+	v := make([]float64, c)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	got := bd.MulVec(v)
+	want := mat.MulVec(explicit, v)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("BlockDiag MulVec[%d] mismatch", i)
+		}
+	}
+
+	u := make([]float64, r)
+	for i := range u {
+		u[i] = rng.NormFloat64()
+	}
+	gotT := bd.MulTVec(u)
+	wantT := mat.MulTVec(explicit, u)
+	for i := range gotT {
+		if math.Abs(gotT[i]-wantT[i]) > 1e-12 {
+			t.Fatalf("BlockDiag MulTVec[%d] mismatch", i)
+		}
+	}
+}
+
+func TestBlockDiagGram(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	x := randomSparseDense(rng, 6, 4, 1.0)
+	bd := NewBlockDiag(x, 3)
+	g := bd.Gram()
+	if !g.Equal(mat.AtA(x), 0) {
+		t.Fatal("Gram must equal XᵀX")
+	}
+	// The full Gram of I ⊗ X is I ⊗ (XᵀX); check one off-diagonal block is zero
+	// via the explicit operator.
+	full := mat.AtA(bd.ToCSR().ToDense())
+	q := x.Cols
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			if math.Abs(full.At(i, q+j)) > 1e-12 {
+				t.Fatal("off-diagonal Gram block must vanish")
+			}
+			if math.Abs(full.At(i, j)-g.At(i, j)) > 1e-10 {
+				t.Fatal("diagonal Gram block mismatch")
+			}
+		}
+	}
+}
+
+func TestBlockDiagSparsityFormula(t *testing.T) {
+	// Paper §IV-B1: a dense data set with p features yields sparsity 1 − 1/p;
+	// for p = 95 that is ≈ 98.94%.
+	x := mat.NewDense(2, 2)
+	x.Fill(1)
+	bd := NewBlockDiag(x, 95)
+	if got := bd.Sparsity(); math.Abs(got-0.98947368) > 1e-6 {
+		t.Fatalf("Sparsity(p=95) = %v, want ≈0.9895", got)
+	}
+	// Cross-check against the actual materialized density.
+	csr := bd.ToCSR()
+	if math.Abs((1-csr.Density())-bd.Sparsity()) > 1e-12 {
+		t.Fatalf("formula %v disagrees with materialized %v", bd.Sparsity(), 1-csr.Density())
+	}
+}
+
+func TestBlockDiagPanics(t *testing.T) {
+	x := mat.NewDense(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero copies")
+		}
+	}()
+	NewBlockDiag(x, 0)
+}

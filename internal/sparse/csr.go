@@ -1,0 +1,194 @@
+// Package sparse provides the compressed sparse row (CSR) matrix kernels
+// used on the vectorized VAR problem.
+//
+// The Kronecker product I ⊗ X of Algorithm 2 is block diagonal with sparsity
+// 1 − 1/p (paper §IV-B1), so the paper switches UoI_VAR to Eigen's sparse
+// backend. This package supplies the CSR representation and the specialized
+// block-diagonal operator that exploits the identity-Kronecker structure
+// without materializing it.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"uoivar/internal/mat"
+)
+
+// CSR is a compressed sparse row matrix.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int     // length Rows+1
+	ColIdx     []int     // length NNZ, column indices sorted within each row
+	Val        []float64 // length NNZ
+}
+
+// NNZ returns the number of stored (structurally nonzero) entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// Density returns NNZ / (Rows*Cols).
+func (m *CSR) Density() float64 {
+	if m.Rows == 0 || m.Cols == 0 {
+		return 0
+	}
+	return float64(m.NNZ()) / (float64(m.Rows) * float64(m.Cols))
+}
+
+// coo is a coordinate-format triplet used during construction.
+type coo struct {
+	r, c int
+	v    float64
+}
+
+// Builder accumulates triplets and converts to CSR. Duplicate (r,c) entries
+// are summed, matching conventional sparse assembly semantics.
+type Builder struct {
+	rows, cols int
+	entries    []coo
+}
+
+// NewBuilder creates a Builder for an r×c matrix.
+func NewBuilder(r, c int) *Builder { return &Builder{rows: r, cols: c} }
+
+// Add accumulates value v at (r, c). Zero values are dropped.
+func (b *Builder) Add(r, c int, v float64) {
+	if r < 0 || r >= b.rows || c < 0 || c >= b.cols {
+		panic(fmt.Sprintf("sparse: entry (%d,%d) outside %dx%d", r, c, b.rows, b.cols))
+	}
+	if v == 0 {
+		return
+	}
+	b.entries = append(b.entries, coo{r, c, v})
+}
+
+// Build converts the accumulated triplets to CSR.
+func (b *Builder) Build() *CSR {
+	sort.Slice(b.entries, func(i, j int) bool {
+		if b.entries[i].r != b.entries[j].r {
+			return b.entries[i].r < b.entries[j].r
+		}
+		return b.entries[i].c < b.entries[j].c
+	})
+	// Merge duplicates.
+	merged := b.entries[:0]
+	for _, e := range b.entries {
+		if n := len(merged); n > 0 && merged[n-1].r == e.r && merged[n-1].c == e.c {
+			merged[n-1].v += e.v
+			continue
+		}
+		merged = append(merged, e)
+	}
+	m := &CSR{
+		Rows:   b.rows,
+		Cols:   b.cols,
+		RowPtr: make([]int, b.rows+1),
+		ColIdx: make([]int, 0, len(merged)),
+		Val:    make([]float64, 0, len(merged)),
+	}
+	for _, e := range merged {
+		m.RowPtr[e.r+1]++
+		m.ColIdx = append(m.ColIdx, e.c)
+		m.Val = append(m.Val, e.v)
+	}
+	for i := 0; i < b.rows; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	return m
+}
+
+// FromDense converts a dense matrix to CSR, dropping exact zeros.
+func FromDense(d *mat.Dense) *CSR {
+	b := NewBuilder(d.Rows, d.Cols)
+	for i := 0; i < d.Rows; i++ {
+		row := d.Row(i)
+		for j, v := range row {
+			if v != 0 {
+				b.Add(i, j, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// ToDense expands the CSR matrix to dense form.
+func (m *CSR) ToDense() *mat.Dense {
+	d := mat.NewDense(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			d.Set(i, m.ColIdx[k], m.Val[k])
+		}
+	}
+	return d
+}
+
+// At returns element (i, j) — O(log nnz(row)) via binary search.
+func (m *CSR) At(i, j int) float64 {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	k := lo + sort.SearchInts(m.ColIdx[lo:hi], j)
+	if k < hi && m.ColIdx[k] == j {
+		return m.Val[k]
+	}
+	return 0
+}
+
+// MulVec computes y = M·x.
+func (m *CSR) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(mat.ErrShape)
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Val[k] * x[m.ColIdx[k]]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// MulTVec computes y = Mᵀ·x without forming the transpose.
+func (m *CSR) MulTVec(x []float64) []float64 {
+	if len(x) != m.Rows {
+		panic(mat.ErrShape)
+	}
+	y := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			y[m.ColIdx[k]] += m.Val[k] * xi
+		}
+	}
+	return y
+}
+
+// AtA computes the Gram matrix MᵀM as dense (the ADMM normal-equation
+// operand is small relative to the sparse design).
+func (m *CSR) AtA() *mat.Dense {
+	g := mat.NewDense(m.Cols, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		for a := lo; a < hi; a++ {
+			ca, va := m.ColIdx[a], m.Val[a]
+			grow := g.Data[ca*g.Cols:]
+			for b := lo; b < hi; b++ {
+				grow[m.ColIdx[b]] += va * m.Val[b]
+			}
+		}
+	}
+	return g
+}
+
+// Transpose returns Mᵀ in CSR form.
+func (m *CSR) Transpose() *CSR {
+	b := NewBuilder(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			b.Add(m.ColIdx[k], i, m.Val[k])
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,159 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"uoivar/internal/mat"
+)
+
+func randomSparseDense(rng *rand.Rand, r, c int, density float64) *mat.Dense {
+	m := mat.NewDense(r, c)
+	for i := range m.Data {
+		if rng.Float64() < density {
+			m.Data[i] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+func TestBuilderRoundTrip(t *testing.T) {
+	b := NewBuilder(3, 4)
+	b.Add(0, 1, 2)
+	b.Add(2, 3, -1)
+	b.Add(1, 0, 5)
+	b.Add(0, 1, 3) // duplicate: summed to 5
+	b.Add(1, 2, 0) // zero: dropped
+	m := b.Build()
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", m.NNZ())
+	}
+	if m.At(0, 1) != 5 {
+		t.Fatalf("duplicate not summed: At(0,1) = %v", m.At(0, 1))
+	}
+	if m.At(1, 2) != 0 || m.At(2, 2) != 0 {
+		t.Fatal("absent entries must read 0")
+	}
+	if m.At(2, 3) != -1 || m.At(1, 0) != 5 {
+		t.Fatal("stored entries wrong")
+	}
+}
+
+func TestBuilderBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range entry")
+		}
+	}()
+	NewBuilder(2, 2).Add(2, 0, 1)
+}
+
+func TestFromDenseToDenseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	d := randomSparseDense(rng, 15, 9, 0.3)
+	m := FromDense(d)
+	if !m.ToDense().Equal(d, 0) {
+		t.Fatal("FromDense→ToDense round trip failed")
+	}
+	nz := 0
+	for _, v := range d.Data {
+		if v != 0 {
+			nz++
+		}
+	}
+	if m.NNZ() != nz {
+		t.Fatalf("NNZ = %d, want %d", m.NNZ(), nz)
+	}
+}
+
+func TestCSRMulVecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	d := randomSparseDense(rng, 25, 13, 0.25)
+	m := FromDense(d)
+	x := make([]float64, 13)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := m.MulVec(x)
+	want := mat.MulVec(d, x)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("MulVec[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCSRMulTVecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	d := randomSparseDense(rng, 18, 11, 0.3)
+	m := FromDense(d)
+	x := make([]float64, 18)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := m.MulTVec(x)
+	want := mat.MulTVec(d, x)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("MulTVec[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCSRAtAMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	d := randomSparseDense(rng, 30, 8, 0.4)
+	m := FromDense(d)
+	if !m.AtA().Equal(mat.AtA(d), 1e-10) {
+		t.Fatal("CSR AtA mismatch")
+	}
+}
+
+func TestCSRTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	d := randomSparseDense(rng, 7, 12, 0.3)
+	m := FromDense(d)
+	if !m.Transpose().ToDense().Equal(d.T(), 0) {
+		t.Fatal("Transpose mismatch")
+	}
+}
+
+func TestDensity(t *testing.T) {
+	b := NewBuilder(4, 5)
+	b.Add(0, 0, 1)
+	b.Add(3, 4, 1)
+	m := b.Build()
+	if got := m.Density(); math.Abs(got-2.0/20.0) > 1e-15 {
+		t.Fatalf("Density = %v", got)
+	}
+	empty := NewBuilder(0, 0).Build()
+	if empty.Density() != 0 {
+		t.Fatal("empty density must be 0")
+	}
+}
+
+// Property: Mᵀᵀ == M and (Mᵀx)·y == x·(My) (adjoint identity).
+func TestCSRAdjointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(12), 1+rng.Intn(12)
+		d := randomSparseDense(rng, r, c, 0.4)
+		m := FromDense(d)
+		x := make([]float64, r)
+		y := make([]float64, c)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+		lhs := mat.Dot(m.MulTVec(x), y)
+		rhs := mat.Dot(x, m.MulVec(y))
+		return math.Abs(lhs-rhs) < 1e-9*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

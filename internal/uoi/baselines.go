@@ -1,0 +1,179 @@
+package uoi
+
+import (
+	"fmt"
+	"math"
+
+	"uoivar/internal/admm"
+	"uoivar/internal/mat"
+	"uoivar/internal/metrics"
+	"uoivar/internal/resample"
+	"uoivar/internal/varsim"
+)
+
+// BaselineResult is a fitted comparator model.
+type BaselineResult struct {
+	Beta   []float64
+	Lambda float64 // chosen regularization (0 for OLS/ridge-α reporting)
+}
+
+// LassoCV fits a plain LASSO with λ chosen by K-fold cross-validation — the
+// primary comparator of the UoI papers ("state of the art feature selection
+// ... compared with many regression algorithms (e.g., LASSO, SCAD and
+// Ridge)"). The final model refits on all data at the winning λ.
+func LassoCV(x *mat.Dense, y []float64, folds, q int, seed uint64) (*BaselineResult, error) {
+	if folds < 2 {
+		folds = 5
+	}
+	if q <= 0 {
+		q = 16
+	}
+	n := x.Rows
+	if n < folds {
+		return nil, fmt.Errorf("uoi: %d samples for %d folds", n, folds)
+	}
+	lambdas := admm.LogSpaceLambdas(admm.LambdaMax(x, y), 1e-3, q)
+	rng := resample.NewRNG(seed)
+	perm := rng.Perm(n)
+
+	cvLoss := make([]float64, len(lambdas))
+	for f := 0; f < folds; f++ {
+		var trainIdx, evalIdx []int
+		for i, v := range perm {
+			if i%folds == f {
+				evalIdx = append(evalIdx, v)
+			} else {
+				trainIdx = append(trainIdx, v)
+			}
+		}
+		xt, yt := x.SelectRows(trainIdx), selectVec(y, trainIdx)
+		xe, ye := x.SelectRows(evalIdx), selectVec(y, evalIdx)
+		fac, err := admm.NewFactorization(xt, yt, 0)
+		if err != nil {
+			return nil, err
+		}
+		var warmZ []float64
+		for j, lam := range lambdas {
+			r := fac.Solve(lam, &admm.Options{WarmZ: warmZ})
+			warmZ = r.Beta
+			cvLoss[j] += metrics.PredictionLoss(xe, ye, r.Beta)
+		}
+	}
+	best := 0
+	for j := range cvLoss {
+		if cvLoss[j] < cvLoss[best] {
+			best = j
+		}
+	}
+	final, err := admm.Lasso(x, y, lambdas[best], nil)
+	if err != nil {
+		return nil, err
+	}
+	return &BaselineResult{Beta: final.Beta, Lambda: lambdas[best]}, nil
+}
+
+// LassoBIC fits a LASSO path and selects λ by the Bayesian information
+// criterion n·log(RSS/n) + k·log(n), a cheaper comparator than CV.
+func LassoBIC(x *mat.Dense, y []float64, q int) (*BaselineResult, error) {
+	if q <= 0 {
+		q = 16
+	}
+	n := float64(x.Rows)
+	lambdas := admm.LogSpaceLambdas(admm.LambdaMax(x, y), 1e-3, q)
+	fac, err := admm.NewFactorization(x, y, 0)
+	if err != nil {
+		return nil, err
+	}
+	bestBIC := math.Inf(1)
+	var bestBeta []float64
+	bestLambda := lambdas[0]
+	var warmZ []float64
+	for _, lam := range lambdas {
+		r := fac.Solve(lam, &admm.Options{WarmZ: warmZ})
+		warmZ = r.Beta
+		rss := 2 * metrics.PredictionLoss(x, y, r.Beta)
+		if rss <= 0 {
+			rss = 1e-300
+		}
+		k := float64(len(admm.Support(r.Beta, 1e-7)))
+		bic := n*math.Log(rss/n) + k*math.Log(n)
+		if bic < bestBIC {
+			bestBIC = bic
+			cp := make([]float64, len(r.Beta))
+			copy(cp, r.Beta)
+			bestBeta = cp
+			bestLambda = lam
+		}
+	}
+	return &BaselineResult{Beta: bestBeta, Lambda: bestLambda}, nil
+}
+
+// VARLassoCV is the plain-LASSO comparator for VAR models: a single LASSO
+// on the vectorized problem with λ chosen by block cross-validation.
+// Returns the vectorized estimate plus its partition.
+func VARLassoCV(series *mat.Dense, order int, intercept bool, folds, q int, seed uint64) (*BaselineResult, []*mat.Dense, []float64, error) {
+	if order <= 0 {
+		order = 1
+	}
+	if folds < 2 {
+		folds = 5
+	}
+	if q <= 0 {
+		q = 16
+	}
+	full := varsim.NewDesign(series, order, intercept)
+	m := full.X.Rows
+	p := full.P
+	rowsB := full.X.Cols
+	lambdas := admm.LogSpaceLambdas(vecLambdaMax(full), 1e-3, q)
+	blockLen := int(math.Ceil(math.Sqrt(float64(m))))
+	rng := resample.NewRNG(seed)
+
+	cvLoss := make([]float64, len(lambdas))
+	for f := 0; f < folds; f++ {
+		trainIdx, evalIdx := resample.BlockTrainEvalSplit(rng.Derive(uint64(f)), m, blockLen, 1-1/float64(folds))
+		toTargets := func(idx []int) []int {
+			out := make([]int, len(idx))
+			for i, v := range idx {
+				out[i] = order + v
+			}
+			return out
+		}
+		trainDes := varsim.NewDesignFromRows(series, order, intercept, toTargets(trainIdx))
+		evalDes := varsim.NewDesignFromRows(series, order, intercept, toTargets(evalIdx))
+		fac, err := admm.NewFactorizationGram(mat.AtA(trainDes.X), 0)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		yCol := make([]float64, trainDes.X.Rows)
+		beta := make([]float64, rowsB*p)
+		for j, lam := range lambdas {
+			for eq := 0; eq < p; eq++ {
+				trainDes.Y.Col(eq, yCol)
+				r := fac.SolveRHS(mat.AtVec(trainDes.X, yCol), lam, nil)
+				copy(beta[eq*rowsB:(eq+1)*rowsB], r.Beta)
+			}
+			cvLoss[j] += vecLoss(evalDes, beta)
+		}
+	}
+	best := 0
+	for j := range cvLoss {
+		if cvLoss[j] < cvLoss[best] {
+			best = j
+		}
+	}
+	// Refit on all data at the winning λ.
+	fac, err := admm.NewFactorizationGram(mat.AtA(full.X), 0)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	yCol := make([]float64, full.X.Rows)
+	beta := make([]float64, rowsB*p)
+	for eq := 0; eq < p; eq++ {
+		full.Y.Col(eq, yCol)
+		r := fac.SolveRHS(mat.AtVec(full.X, yCol), lambdas[best], nil)
+		copy(beta[eq*rowsB:(eq+1)*rowsB], r.Beta)
+	}
+	a, mu := full.PartitionBeta(beta)
+	return &BaselineResult{Beta: beta, Lambda: lambdas[best]}, a, mu, nil
+}

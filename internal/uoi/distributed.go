@@ -1,0 +1,248 @@
+package uoi
+
+import (
+	"fmt"
+	"time"
+
+	"uoivar/internal/admm"
+	"uoivar/internal/mat"
+	"uoivar/internal/mpi"
+	"uoivar/internal/preprocess"
+	"uoivar/internal/resample"
+)
+
+// Grid describes the P_B × P_λ process-grid parallelism of §III: bootstrap
+// groups (P_B) times regularization groups (P_λ), with the remaining factor
+// of the world size dedicated to distributed ADMM (ADMM_cores). The paper's
+// Figure 3 sweeps 16×2, 8×4, 4×8 and 2×16 at fixed total cores; its
+// multi-node scaling runs use 1×1 (all cores in one ADMM group).
+type Grid struct {
+	PB      int // bootstrap-level parallelism (1 = none)
+	PLambda int // λ-level parallelism (1 = none)
+}
+
+func (g Grid) normalize() Grid {
+	if g.PB <= 0 {
+		g.PB = 1
+	}
+	if g.PLambda <= 0 {
+		g.PLambda = 1
+	}
+	return g
+}
+
+// Groups returns PB·PLambda.
+func (g Grid) Groups() int { return g.PB * g.PLambda }
+
+// LassoDistributed runs UoI_LASSO across the ranks of comm. Each rank holds
+// a row block (xLocal, yLocal) of the global data — typically produced by
+// distio.RandomizedDistribute, whose Tier-2 randomization is what makes
+// per-rank local resampling a faithful bootstrap of the global data.
+//
+// With grid = {1,1} every (bootstrap, λ) solve is a comm-wide consensus
+// ADMM run in sequence. With larger grids the world is Split into
+// PB·PLambda ADMM groups; selection work is sharded as bootstraps k ≡ b
+// (mod PB) and λ indices j ≡ l (mod PLambda), supports are re-combined with
+// a single world Allreduce(Min) over indicator vectors (the intersection of
+// eq. 3), and estimation bootstraps are sharded across all groups with the
+// final union/average combined by a world Allreduce(Sum).
+//
+// Every rank returns the identical Result.
+func LassoDistributed(comm *mpi.Comm, xLocal *mat.Dense, yLocal []float64, cfg *LassoConfig, grid Grid) (*Result, error) {
+	return LassoDistributedPhases(comm, xLocal, yLocal, xLocal, yLocal, cfg, grid)
+}
+
+// LassoDistributedPhases is LassoDistributed with distinct local blocks for
+// the selection and estimation phases — the paper's Fig. 1c pipeline, where
+// a Tier-2 reshuffle re-randomizes row ownership between model selection
+// and model estimation so the two phases resample independent
+// randomizations:
+//
+//	selBlock, _ := distio.RandomizedDistribute(comm, path, seed)
+//	estBlock, _ := distio.Reshuffle(comm, selBlock, seed+1)
+//	res, _ := uoi.LassoDistributedPhases(comm, xSel, ySel, xEst, yEst, cfg, grid)
+func LassoDistributedPhases(comm *mpi.Comm, xSel *mat.Dense, ySel []float64, xEst *mat.Dense, yEst []float64, cfg *LassoConfig, grid Grid) (*Result, error) {
+	c := cfg.defaults()
+	if c.Standardize {
+		// Global moments agreed by Allreduce; both phases share the scaler
+		// (same global data, different row ownership), and the estimate maps
+		// back to original units at the end.
+		scaler := preprocess.FitDistributed(comm, xSel, ySel)
+		inner := c
+		inner.Standardize = false
+		res, err := LassoDistributedPhases(comm,
+			scaler.Transform(xSel), scaler.TransformY(ySel),
+			scaler.Transform(xEst), scaler.TransformY(yEst), &inner, grid)
+		if err != nil {
+			return nil, err
+		}
+		beta, intercept := scaler.InverseBeta(res.Beta)
+		res.Beta = beta
+		res.Intercept = intercept
+		res.SelectedSupport = admm.Support(res.Beta, c.SupportTol)
+		return res, nil
+	}
+	grid = grid.normalize()
+	size := comm.Size()
+	groups := grid.Groups()
+	if size%groups != 0 {
+		return nil, fmt.Errorf("uoi: world size %d not divisible by grid %dx%d", size, grid.PB, grid.PLambda)
+	}
+	admmCores := size / groups
+	g := comm.Rank() / admmCores
+	b := g / grid.PLambda
+	l := g % grid.PLambda
+	sub := comm
+	if groups > 1 {
+		sub = comm.Split(g, comm.Rank())
+	}
+
+	p := xSel.Cols
+	nLocal := xSel.Rows
+	nEst := xEst.Rows
+	// Collective-safe validation: local-block problems may differ per rank,
+	// so agree before anyone leaves the collective sequence.
+	valid := 1.0
+	if nLocal != len(ySel) || nLocal < 4 || nEst != len(yEst) || nEst < 4 || xEst.Cols != p {
+		valid = 0
+	}
+	if comm.AllreduceScalar(mpi.OpMin, valid) == 0 {
+		return nil, fmt.Errorf("uoi: invalid local block on some rank (here: sel %d/%d, est %d/%d)", nLocal, len(ySel), nEst, len(yEst))
+	}
+
+	// λ grid must be identical everywhere: compute the global λmax with one
+	// Allreduce over local |Xᵀy|∞ contributions.
+	lambdas := c.Lambdas
+	if lambdas == nil {
+		localAty := mat.AtVec(xSel, ySel)
+		lmax := comm.AllreduceScalar(mpi.OpMax, mat.NormInf(localAty))
+		if lmax <= 0 {
+			lmax = 1
+		}
+		lambdas = admm.LogSpaceLambdas(lmax, c.LambdaRatio, c.Q)
+	}
+	q := len(lambdas)
+	root := resample.NewRNG(c.Seed)
+	res := &Result{Lambdas: lambdas}
+
+	// ---- Model selection ----
+	tSel := time.Now()
+	// counts[j*p+i] tallies, across this group's processed bootstraps, the
+	// supports at λ_j containing feature i. Within an ADMM group every rank
+	// holds the same consensus estimate, so the world-wide Sum reduction
+	// over-counts by admmCores exactly; the selection threshold scales
+	// accordingly. The (possibly soft) intersection of eq. 3 is then a
+	// threshold on the summed counts.
+	counts := make([]float64, q*p)
+	for k := 0; k < c.B1; k++ {
+		if k%grid.PB != b {
+			continue
+		}
+		rng := root.Derive(uint64(k) + 1).Derive(uint64(comm.Rank()) + 1)
+		idx := resample.Bootstrap(rng, nLocal)
+		xb := xSel.SelectRows(idx)
+		yb := selectVec(ySel, idx)
+		var solver *admm.ConsensusSolver
+		var err error
+		if c.L2 > 0 {
+			solver, err = admm.NewConsensusSolverElastic(sub, xb, yb, c.ADMM.Rho, c.L2)
+		} else {
+			solver, err = admm.NewConsensusSolver(sub, xb, yb, c.ADMM.Rho)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("uoi: selection bootstrap %d: %w", k, err)
+		}
+		var warmZ []float64
+		for j, lam := range lambdas {
+			if j%grid.PLambda != l {
+				continue
+			}
+			opts := c.ADMM
+			opts.WarmZ = warmZ
+			r := solver.Solve(lam, &opts)
+			warmZ = r.Beta
+			res.Diag.LassoFits++
+			res.Diag.ADMMIters += r.Iters
+			for i, v := range r.Beta {
+				if v > c.SupportTol || v < -c.SupportTol {
+					counts[j*p+i]++
+				}
+			}
+		}
+	}
+	// World-wide combination across bootstrap groups; every rank of an ADMM
+	// group contributed identical counts, so divide by admmCores.
+	comm.Allreduce(mpi.OpSum, counts)
+	threshold := float64(selectionThreshold(c.SelectionFrac, c.B1))
+	supports := make([][]int, q)
+	for j := 0; j < q; j++ {
+		for i := 0; i < p; i++ {
+			if counts[j*p+i]/float64(admmCores) >= threshold-0.5 {
+				supports[j] = append(supports[j], i)
+			}
+		}
+	}
+	res.Supports = supports
+	res.Diag.SelectionTime = time.Since(tSel)
+
+	// ---- Model estimation ----
+	tEst := time.Now()
+	distinct := dedupeSupports(supports)
+	// winners[k*p:(k+1)*p] collects estimation bootstrap k's winning
+	// estimate; groups fill their own k rows and a world Sum reduction
+	// (divided by admmCores) assembles the full set, so both the averaging
+	// union and the median union see every winner.
+	winners := make([]float64, c.B2*p)
+	for k := 0; k < c.B2; k++ {
+		if k%groups != g {
+			continue
+		}
+		rng := root.Derive(1_000_000 + uint64(k)).Derive(uint64(comm.Rank()) + 1)
+		trainIdx, evalIdx := resample.TrainEvalSplit(rng, nEst, c.TrainFrac)
+		xt := xEst.SelectRows(trainIdx)
+		yt := selectVec(yEst, trainIdx)
+		xe := xEst.SelectRows(evalIdx)
+		ye := selectVec(yEst, evalIdx)
+		solver, err := admm.NewConsensusSolver(sub, xt, yt, c.ADMM.Rho)
+		if err != nil {
+			return nil, fmt.Errorf("uoi: estimation bootstrap %d: %w", k, err)
+		}
+		bestLoss := 0.0
+		var bestBeta []float64
+		first := true
+		for _, s := range distinct {
+			mask := admm.SupportMask(p, s)
+			r := solver.SolveProjected(mask, &c.ADMM)
+			res.Diag.OLSFits++
+			res.Diag.ADMMIters += r.Iters
+			// Held-out loss over the group's evaluation rows.
+			localLoss := predictionLossLocal(xe, ye, r.Beta)
+			loss := sub.AllreduceScalar(mpi.OpSum, localLoss)
+			if first || loss < bestLoss {
+				bestLoss = loss
+				bestBeta = r.Beta
+				first = false
+			}
+		}
+		if bestBeta == nil {
+			bestBeta = make([]float64, p)
+		}
+		copy(winners[k*p:(k+1)*p], bestBeta)
+	}
+	comm.Allreduce(mpi.OpSum, winners)
+	winnerRows := make([][]float64, c.B2)
+	for k := 0; k < c.B2; k++ {
+		row := winners[k*p : (k+1)*p]
+		mat.ScaleVec(row, 1/float64(admmCores))
+		winnerRows[k] = row
+	}
+	res.Beta = combineWinners(winnerRows, p, c.MedianUnion)
+	res.SelectedSupport = admm.Support(res.Beta, c.SupportTol)
+	res.Diag.EstimationTime = time.Since(tEst)
+	return res, nil
+}
+
+func predictionLossLocal(x *mat.Dense, y, beta []float64) float64 {
+	r := mat.Sub(mat.MulVec(x, beta), y)
+	return 0.5 * mat.Dot(r, r)
+}

@@ -1,0 +1,400 @@
+// Package uoi implements the Union of Intersections framework: the
+// UoI_LASSO algorithm (paper Algorithm 1) and the UoI_VAR algorithm (paper
+// Algorithm 2), in both serial and distributed (mpi) forms.
+//
+// UoI separates model selection from model estimation:
+//
+//   - Selection: over B1 bootstrap resamples, fit the LASSO path across a λ
+//     grid; for each λ take the *intersection* of supports across
+//     bootstraps (eq. 3), producing a family of candidate supports with few
+//     false positives.
+//   - Estimation: over B2 train/evaluation resamples, fit the unbiased OLS
+//     on every candidate support, keep the support that minimizes held-out
+//     loss per resample, and average ("union", eq. 4) the winning estimates
+//     — low variance, and nonzero wherever any winner was nonzero.
+package uoi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"uoivar/internal/admm"
+	"uoivar/internal/mat"
+	"uoivar/internal/metrics"
+	"uoivar/internal/preprocess"
+	"uoivar/internal/resample"
+)
+
+// LassoConfig configures UoI_LASSO.
+type LassoConfig struct {
+	// B1 is the number of selection bootstraps (default 20).
+	B1 int
+	// B2 is the number of estimation bootstraps (default 10).
+	B2 int
+	// Lambdas is the explicit regularization grid; when nil a Q-point
+	// geometric grid below λ_max(X, y) is used.
+	Lambdas []float64
+	// Q is the λ-grid size when Lambdas is nil (default 8, the single-node
+	// setting of §IV-A1).
+	Q int
+	// LambdaRatio is λ_min/λ_max for the generated grid (default 1e-3).
+	LambdaRatio float64
+	// Seed drives all resampling; a given (Seed, data) pair is fully
+	// deterministic, including across rank counts.
+	Seed uint64
+	// TrainFrac is the estimation train/evaluation split (default 0.8).
+	TrainFrac float64
+	// SupportTol is the |β|>tol nonzero threshold (default 1e-7).
+	SupportTol float64
+	// SelectionFrac softens the intersection: a feature survives at λ_j if
+	// it appears in at least SelectionFrac·B1 bootstrap supports. 0 (and 1)
+	// select the paper's hard intersection (eq. 3); pyUoI exposes the same
+	// relaxation as selection_frac.
+	SelectionFrac float64
+	// MedianUnion replaces the estimation-step averaging (Algorithm 1 line
+	// 24) with an elementwise median of the per-bootstrap winners — a
+	// robust variant of the union step.
+	MedianUnion bool
+	// Standardize centers and unit-scales the features (and centers the
+	// response) before fitting, then maps the estimate back to the original
+	// units and reports the intercept in Result.Intercept. LASSO penalties
+	// are scale-sensitive, so raw-unit designs with heterogeneous feature
+	// scales should set this.
+	Standardize bool
+	// L2 adds an elastic-net ℓ2 penalty ½·L2·‖β‖² to every selection solve
+	// (UoI_ElasticNet). Estimation remains unbiased OLS on the selected
+	// supports, i.e. the relaxed elastic net. Correlated designs select far
+	// more stably with a modest L2.
+	L2 float64
+	// Workers runs bootstraps concurrently in the serial algorithms (the
+	// in-process form of the paper's P_B parallelism). Results are
+	// identical at any worker count; 0/1 = sequential.
+	Workers int
+	// ADMM carries solver options.
+	ADMM admm.Options
+}
+
+func (c *LassoConfig) defaults() LassoConfig {
+	out := LassoConfig{B1: 20, B2: 10, Q: 8, LambdaRatio: 1e-3, TrainFrac: 0.8, SupportTol: 1e-7}
+	if c == nil {
+		return out
+	}
+	o := *c
+	if o.B1 <= 0 {
+		o.B1 = out.B1
+	}
+	if o.B2 <= 0 {
+		o.B2 = out.B2
+	}
+	if o.Q <= 0 {
+		o.Q = out.Q
+	}
+	if o.LambdaRatio <= 0 || o.LambdaRatio >= 1 {
+		o.LambdaRatio = out.LambdaRatio
+	}
+	if o.TrainFrac <= 0 || o.TrainFrac >= 1 {
+		o.TrainFrac = out.TrainFrac
+	}
+	if o.SupportTol <= 0 {
+		o.SupportTol = out.SupportTol
+	}
+	if o.SelectionFrac <= 0 || o.SelectionFrac > 1 {
+		o.SelectionFrac = 1
+	}
+	return o
+}
+
+// selectionThreshold returns the minimum bootstrap count a feature needs to
+// survive selection: ceil(frac·B1), at least 1, at most B1.
+func selectionThreshold(frac float64, b1 int) int {
+	t := int(math.Ceil(frac * float64(b1)))
+	if t < 1 {
+		t = 1
+	}
+	if t > b1 {
+		t = b1
+	}
+	return t
+}
+
+// combineWinners reduces the B2 winning estimates to the final β*: the mean
+// (the paper's averaging union) or the elementwise median.
+func combineWinners(winners [][]float64, p int, median bool) []float64 {
+	out := make([]float64, p)
+	if len(winners) == 0 {
+		return out
+	}
+	if !median {
+		for _, w := range winners {
+			mat.Axpy(out, 1, w)
+		}
+		mat.ScaleVec(out, 1/float64(len(winners)))
+		return out
+	}
+	col := make([]float64, len(winners))
+	for i := 0; i < p; i++ {
+		for k, w := range winners {
+			col[k] = w[i]
+		}
+		out[i] = median64(col)
+	}
+	return out
+}
+
+// median64 returns the median of xs (xs is scrambled in place).
+func median64(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return 0.5 * (xs[n/2-1] + xs[n/2])
+}
+
+// Diagnostics reports where a UoI run spent its time and work, mirroring
+// the phase breakdown the paper reports (computation vs communication vs
+// distribution; Figures 2 and 7).
+type Diagnostics struct {
+	SelectionTime  time.Duration
+	EstimationTime time.Duration
+	LassoFits      int // LASSO solves in selection
+	OLSFits        int // OLS solves in estimation
+	ADMMIters      int // total ADMM iterations across all solves
+}
+
+// Result is a fitted UoI model.
+type Result struct {
+	// Beta is the final averaged estimate β* (Algorithm 1 line 24).
+	Beta []float64
+	// Lambdas is the grid actually used.
+	Lambdas []float64
+	// Supports holds the per-λ intersected supports S_j (Algorithm 1
+	// line 10), in λ order.
+	Supports [][]int
+	// SelectedSupport is the nonzero set of Beta.
+	SelectedSupport []int
+	// Intercept is the fitted offset when Standardize was set (0 otherwise).
+	Intercept float64
+	// Diag reports timing/work counters.
+	Diag Diagnostics
+}
+
+// Lasso runs serial UoI_LASSO on design x and response y.
+func Lasso(x *mat.Dense, y []float64, cfg *LassoConfig) (*Result, error) {
+	c := cfg.defaults()
+	if c.Standardize {
+		return lassoStandardized(x, y, &c)
+	}
+	n, p := x.Rows, x.Cols
+	if n != len(y) {
+		return nil, fmt.Errorf("uoi: %d rows but %d responses", n, len(y))
+	}
+	if n < 4 {
+		return nil, fmt.Errorf("uoi: need at least 4 samples, have %d", n)
+	}
+	lambdas := c.Lambdas
+	if lambdas == nil {
+		lambdas = admm.LogSpaceLambdas(admm.LambdaMax(x, y), c.LambdaRatio, c.Q)
+	}
+	root := resample.NewRNG(c.Seed)
+	res := &Result{Lambdas: lambdas}
+
+	// ---- Model selection (Algorithm 1 lines 2–11) ----
+	tSel := time.Now()
+	// counts[j][i] tallies the bootstraps whose support at λ_j contains
+	// feature i; the (possibly softened) intersection keeps features
+	// reaching the selection threshold.
+	counts := make([][]int, len(lambdas))
+	for j := range counts {
+		counts[j] = make([]int, p)
+	}
+	var selMu sync.Mutex
+	err := forEachBootstrap(c.Workers, c.B1, func(k int) error {
+		rng := root.Derive(uint64(k) + 1)
+		idx := resample.Bootstrap(rng, n)
+		xb := x.SelectRows(idx)
+		yb := selectVec(y, idx)
+		var f *admm.Factorization
+		var err error
+		if c.L2 > 0 {
+			f, err = admm.NewFactorizationElastic(mat.AtA(xb), c.ADMM.Rho, c.L2)
+			if err == nil {
+				f.SetRHS(mat.AtVec(xb, yb))
+			}
+		} else {
+			f, err = admm.NewFactorization(xb, yb, c.ADMM.Rho)
+		}
+		if err != nil {
+			return fmt.Errorf("uoi: selection bootstrap %d: %w", k, err)
+		}
+		localCounts := make([][]int, len(lambdas))
+		var warmZ []float64
+		fits, iters := 0, 0
+		for j, lam := range lambdas {
+			opts := c.ADMM
+			opts.WarmZ = warmZ
+			r := f.Solve(lam, &opts)
+			warmZ = r.Beta
+			fits++
+			iters += r.Iters
+			lc := make([]int, p)
+			for i, v := range r.Beta {
+				if v > c.SupportTol || v < -c.SupportTol {
+					lc[i] = 1
+				}
+			}
+			localCounts[j] = lc
+		}
+		selMu.Lock()
+		res.Diag.LassoFits += fits
+		res.Diag.ADMMIters += iters
+		for j := range counts {
+			for i, v := range localCounts[j] {
+				counts[j][i] += v
+			}
+		}
+		selMu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	threshold := selectionThreshold(c.SelectionFrac, c.B1)
+	supports := make([][]int, len(lambdas))
+	for j := range supports {
+		for i, ct := range counts[j] {
+			if ct >= threshold {
+				supports[j] = append(supports[j], i)
+			}
+		}
+	}
+	res.Supports = supports
+	res.Diag.SelectionTime = time.Since(tSel)
+
+	// ---- Model estimation (Algorithm 1 lines 12–24) ----
+	tEst := time.Now()
+	distinct := dedupeSupports(supports)
+	winners := make([][]float64, c.B2)
+	var estMu sync.Mutex
+	err = forEachBootstrap(c.Workers, c.B2, func(k int) error {
+		rng := root.Derive(1_000_000 + uint64(k))
+		trainIdx, evalIdx := resample.TrainEvalSplit(rng, n, c.TrainFrac)
+		xt := x.SelectRows(trainIdx)
+		yt := selectVec(y, trainIdx)
+		xe := x.SelectRows(evalIdx)
+		ye := selectVec(y, evalIdx)
+
+		bestLoss := 0.0
+		var bestBeta []float64
+		first := true
+		fits := 0
+		for _, s := range distinct {
+			beta := admm.OLSOnSupport(xt, yt, s)
+			fits++
+			loss := metrics.PredictionLoss(xe, ye, beta)
+			if first || loss < bestLoss {
+				bestLoss = loss
+				bestBeta = beta
+				first = false
+			}
+		}
+		if bestBeta == nil {
+			bestBeta = make([]float64, p)
+		}
+		estMu.Lock()
+		res.Diag.OLSFits += fits
+		estMu.Unlock()
+		winners[k] = bestBeta
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Beta = combineWinners(winners, p, c.MedianUnion)
+	res.SelectedSupport = admm.Support(res.Beta, c.SupportTol)
+	res.Diag.EstimationTime = time.Since(tEst)
+	return res, nil
+}
+
+// selectVec gathers y[idx].
+func selectVec(y []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = y[j]
+	}
+	return out
+}
+
+// maskToSupport converts a boolean mask to a sorted index list.
+func maskToSupport(mask []bool) []int {
+	var s []int
+	for i, b := range mask {
+		if b {
+			s = append(s, i)
+		}
+	}
+	return s
+}
+
+// dedupeSupports removes duplicate candidate supports (identical supports
+// produce identical OLS fits; the paper's family S may repeat across λ).
+// The empty support is kept if present — it corresponds to the null model.
+func dedupeSupports(supports [][]int) [][]int {
+	seen := map[string]bool{}
+	var out [][]int
+	for _, s := range supports {
+		key := supportKey(s)
+		if !seen[key] {
+			seen[key] = true
+			cp := make([]int, len(s))
+			copy(cp, s)
+			sort.Ints(cp)
+			out = append(out, cp)
+		}
+	}
+	return out
+}
+
+func supportKey(s []int) string {
+	b := make([]byte, 0, len(s)*3)
+	for _, v := range s {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16))
+	}
+	return string(b)
+}
+
+// lassoStandardized fits in standardized space and maps back.
+func lassoStandardized(x *mat.Dense, y []float64, c *LassoConfig) (*Result, error) {
+	if x.Rows != len(y) {
+		return nil, fmt.Errorf("uoi: %d rows but %d responses", x.Rows, len(y))
+	}
+	scaler := preprocess.FitXY(x, y)
+	inner := *c
+	inner.Standardize = false
+	res, err := Lasso(scaler.Transform(x), scaler.TransformY(y), &inner)
+	if err != nil {
+		return nil, err
+	}
+	beta, intercept := scaler.InverseBeta(res.Beta)
+	res.Beta = beta
+	res.Intercept = intercept
+	res.SelectedSupport = admm.Support(res.Beta, c.SupportTol)
+	return res, nil
+}
+
+// Predict evaluates the fitted model on new inputs: Xβ + intercept.
+func (r *Result) Predict(x *mat.Dense) []float64 {
+	out := mat.MulVec(x, r.Beta)
+	if r.Intercept != 0 {
+		for i := range out {
+			out[i] += r.Intercept
+		}
+	}
+	return out
+}

@@ -1,0 +1,315 @@
+package uoi
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"uoivar/internal/admm"
+	"uoivar/internal/mat"
+	"uoivar/internal/resample"
+	"uoivar/internal/varsim"
+)
+
+// VARConfig configures UoI_VAR (paper Algorithm 2).
+type VARConfig struct {
+	// Order is the autoregressive order d (default 1).
+	Order int
+	// NoIntercept drops the μ term; by default the design carries an
+	// intercept, matching Algorithm 2's partition into (A_1..A_d) and μ.
+	NoIntercept bool
+	// BlockLen is the block-bootstrap block length; 0 selects ⌈√m⌉ where m
+	// is the design row count, a standard rate-optimal choice.
+	BlockLen int
+	// B1, B2, Lambdas, Q, LambdaRatio, Seed, TrainFrac, SupportTol, ADMM:
+	// as in LassoConfig.
+	B1, B2      int
+	Lambdas     []float64
+	Q           int
+	LambdaRatio float64
+	Seed        uint64
+	TrainFrac   float64
+	SupportTol  float64
+	// SelectionFrac and MedianUnion as in LassoConfig: soft intersection
+	// threshold and robust union.
+	SelectionFrac float64
+	MedianUnion   bool
+	// L2 adds an elastic-net ℓ2 penalty to every selection solve
+	// (UoI_ElasticNet for VAR); estimation remains OLS on the supports.
+	L2 float64
+	// Workers runs bootstraps concurrently (in-process P_B parallelism);
+	// results are identical at any worker count. 0/1 = sequential.
+	Workers int
+	ADMM    admm.Options
+}
+
+func (c *VARConfig) defaults() VARConfig {
+	out := VARConfig{Order: 1, B1: 20, B2: 10, Q: 8, LambdaRatio: 1e-3, TrainFrac: 0.8, SupportTol: 1e-7}
+	if c == nil {
+		return out
+	}
+	o := *c
+	if o.Order <= 0 {
+		o.Order = out.Order
+	}
+	if o.B1 <= 0 {
+		o.B1 = out.B1
+	}
+	if o.B2 <= 0 {
+		o.B2 = out.B2
+	}
+	if o.Q <= 0 {
+		o.Q = out.Q
+	}
+	if o.LambdaRatio <= 0 || o.LambdaRatio >= 1 {
+		o.LambdaRatio = out.LambdaRatio
+	}
+	if o.TrainFrac <= 0 || o.TrainFrac >= 1 {
+		o.TrainFrac = out.TrainFrac
+	}
+	if o.SupportTol <= 0 {
+		o.SupportTol = out.SupportTol
+	}
+	if o.SelectionFrac <= 0 || o.SelectionFrac > 1 {
+		o.SelectionFrac = 1
+	}
+	return o
+}
+
+// VARResult is a fitted UoI_VAR model.
+type VARResult struct {
+	// Beta is the averaged vectorized estimate vec(B) (Algorithm 2 line 30).
+	Beta []float64
+	// A holds the partitioned lag matrices A_1..A_d and Mu the intercept
+	// (Algorithm 2 lines 31–32).
+	A  []*mat.Dense
+	Mu []float64
+	// Lambdas and Supports mirror the UoI_LASSO result (supports index into
+	// vec(B)).
+	Lambdas  []float64
+	Supports [][]int
+	// Diag carries phase timings; KronTime aggregates the vectorization /
+	// Kronecker-construction work (design construction per bootstrap),
+	// the paper's "distribution" phase analogue in the serial code.
+	Diag     Diagnostics
+	KronTime time.Duration
+}
+
+// VAR runs serial UoI_VAR on an N×p series.
+func VAR(series *mat.Dense, cfg *VARConfig) (*VARResult, error) {
+	c := cfg.defaults()
+	nTotal, p := series.Rows, series.Cols
+	d := c.Order
+	if nTotal <= d+4 {
+		return nil, fmt.Errorf("uoi: series of %d samples too short for order %d", nTotal, d)
+	}
+	m := nTotal - d
+	blockLen := c.BlockLen
+	if blockLen <= 0 {
+		blockLen = int(math.Ceil(math.Sqrt(float64(m))))
+	}
+
+	tKron := time.Now()
+	full := varsim.NewDesign(series, d, !c.NoIntercept)
+	kronTime := time.Since(tKron)
+	rowsB := full.X.Cols // q: columns per equation (dp, +1 with intercept)
+	betaLen := rowsB * p
+
+	lambdas := c.Lambdas
+	if lambdas == nil {
+		lambdas = admm.LogSpaceLambdas(vecLambdaMax(full), c.LambdaRatio, c.Q)
+	}
+	root := resample.NewRNG(c.Seed)
+	res := &VARResult{Lambdas: lambdas}
+
+	// ---- Model selection (Algorithm 2 lines 2–13) ----
+	tSel := time.Now()
+	counts := make([][]int, len(lambdas))
+	for j := range counts {
+		counts[j] = make([]int, betaLen)
+	}
+	var selMu sync.Mutex
+	err := forEachBootstrap(c.Workers, c.B1, func(k int) error {
+		rng := root.Derive(uint64(k) + 1)
+		idx := resample.MovingBlockBootstrap(rng, m, blockLen)
+		targets := make([]int, len(idx))
+		for i, v := range idx {
+			targets[i] = d + v
+		}
+		t0 := time.Now()
+		des := varsim.NewDesignFromRows(series, d, !c.NoIntercept, targets)
+		kTime := time.Since(t0)
+
+		// One factorization shared across all p equations and the λ path —
+		// the block-diagonal Gram of (I ⊗ X_T) is I ⊗ (X_TᵀX_T).
+		var f *admm.Factorization
+		var err error
+		if c.L2 > 0 {
+			f, err = admm.NewFactorizationElastic(mat.AtA(des.X), c.ADMM.Rho, c.L2)
+		} else {
+			f, err = admm.NewFactorizationGram(mat.AtA(des.X), c.ADMM.Rho)
+		}
+		if err != nil {
+			return fmt.Errorf("uoi: VAR selection bootstrap %d: %w", k, err)
+		}
+		local := make([][]int, len(lambdas))
+		for j := range local {
+			local[j] = make([]int, betaLen)
+		}
+		fits, iters := 0, 0
+		yCol := make([]float64, des.X.Rows)
+		for eq := 0; eq < p; eq++ {
+			des.Y.Col(eq, yCol)
+			aty := mat.AtVec(des.X, yCol)
+			var warmZ []float64
+			for j, lam := range lambdas {
+				opts := c.ADMM
+				opts.WarmZ = warmZ
+				r := f.SolveRHS(aty, lam, &opts)
+				warmZ = r.Beta
+				fits++
+				iters += r.Iters
+				ct := local[j][eq*rowsB : (eq+1)*rowsB]
+				for i, v := range r.Beta {
+					if v > c.SupportTol || v < -c.SupportTol {
+						ct[i] = 1
+					}
+				}
+			}
+		}
+		selMu.Lock()
+		kronTime += kTime
+		res.Diag.LassoFits += fits
+		res.Diag.ADMMIters += iters
+		for j := range counts {
+			for i, v := range local[j] {
+				counts[j][i] += v
+			}
+		}
+		selMu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	threshold := selectionThreshold(c.SelectionFrac, c.B1)
+	supports := make([][]int, len(lambdas))
+	for j := range supports {
+		for i, ct := range counts[j] {
+			if ct >= threshold {
+				supports[j] = append(supports[j], i)
+			}
+		}
+	}
+	res.Supports = supports
+	res.Diag.SelectionTime = time.Since(tSel)
+
+	// ---- Model estimation (Algorithm 2 lines 15–30) ----
+	tEst := time.Now()
+	distinct := dedupeSupports(supports)
+	winners := make([][]float64, c.B2)
+	var estMu sync.Mutex
+	err = forEachBootstrap(c.Workers, c.B2, func(k int) error {
+		rng := root.Derive(1_000_000 + uint64(k))
+		trainIdx, evalIdx := resample.BlockTrainEvalSplit(rng, m, blockLen, c.TrainFrac)
+		toTargets := func(idx []int) []int {
+			out := make([]int, len(idx))
+			for i, v := range idx {
+				out[i] = d + v
+			}
+			return out
+		}
+		t0 := time.Now()
+		trainDes := varsim.NewDesignFromRows(series, d, !c.NoIntercept, toTargets(trainIdx))
+		evalDes := varsim.NewDesignFromRows(series, d, !c.NoIntercept, toTargets(evalIdx))
+		kTime := time.Since(t0)
+
+		bestLoss := 0.0
+		var bestBeta []float64
+		first := true
+		fits := 0
+		for _, s := range distinct {
+			beta := olsOnVecSupport(trainDes, s)
+			fits++
+			loss := vecLoss(evalDes, beta)
+			if first || loss < bestLoss {
+				bestLoss = loss
+				bestBeta = beta
+				first = false
+			}
+		}
+		if bestBeta == nil {
+			bestBeta = make([]float64, betaLen)
+		}
+		estMu.Lock()
+		kronTime += kTime
+		res.Diag.OLSFits += fits
+		estMu.Unlock()
+		winners[k] = bestBeta
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Beta = combineWinners(winners, betaLen, c.MedianUnion)
+	res.A, res.Mu = full.PartitionBeta(res.Beta)
+	res.Diag.EstimationTime = time.Since(tEst)
+	res.KronTime = kronTime
+	return res, nil
+}
+
+// vecLambdaMax is ‖(I⊗X)ᵀ vec(Y)‖∞ = max_j ‖Xᵀ y_j‖∞.
+func vecLambdaMax(des *varsim.Design) float64 {
+	p := des.P
+	yCol := make([]float64, des.X.Rows)
+	maxV := 0.0
+	for j := 0; j < p; j++ {
+		des.Y.Col(j, yCol)
+		if v := mat.NormInf(mat.AtVec(des.X, yCol)); v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		return 1
+	}
+	return maxV
+}
+
+// olsOnVecSupport fits the support-restricted OLS equation by equation
+// (the vec problem is block separable).
+func olsOnVecSupport(des *varsim.Design, support []int) []float64 {
+	p := des.P
+	rowsB := des.X.Cols
+	beta := make([]float64, rowsB*p)
+	// Split the vec support into per-equation supports.
+	perEq := make([][]int, p)
+	for _, g := range support {
+		eq := g / rowsB
+		perEq[eq] = append(perEq[eq], g%rowsB)
+	}
+	yCol := make([]float64, des.X.Rows)
+	for eq := 0; eq < p; eq++ {
+		if len(perEq[eq]) == 0 {
+			continue
+		}
+		des.Y.Col(eq, yCol)
+		sub := admm.OLSOnSupport(des.X, yCol, perEq[eq])
+		copy(beta[eq*rowsB:(eq+1)*rowsB], sub)
+	}
+	return beta
+}
+
+// vecLoss is ½‖vec(Y) − (I⊗X)β‖² evaluated blockwise.
+func vecLoss(des *varsim.Design, beta []float64) float64 {
+	r := des.Residual(beta)
+	return 0.5 * mat.Dot(r, r)
+}
+
+// Model packages the fitted coefficients as a varsim.Model so the
+// forecasting, impulse-response and FEVD helpers apply directly:
+//
+//	fc := res.Model().Forecast(series, 10)
+func (r *VARResult) Model() *varsim.Model {
+	return varsim.ModelFromEstimate(r.A, r.Mu)
+}

@@ -1,0 +1,99 @@
+package varsim
+
+import (
+	"math"
+
+	"uoivar/internal/mat"
+)
+
+// GrangerEdge is a directed Granger-causal edge: Source's past helps predict
+// Target, with the maximum-magnitude coefficient across lags as Weight.
+type GrangerEdge struct {
+	Source, Target int
+	Weight         float64
+}
+
+// GrangerEdges extracts the directed edge set {k → i : ∃j (A_j)_{i,k} ≠ 0}
+// from estimated lag matrices, using tol as the nonzero threshold. Self
+// loops are included only when selfLoops is true (network figures such as
+// the paper's Fig. 11 typically drop them).
+func GrangerEdges(a []*mat.Dense, tol float64, selfLoops bool) []GrangerEdge {
+	if len(a) == 0 {
+		return nil
+	}
+	p := a[0].Rows
+	var edges []GrangerEdge
+	for i := 0; i < p; i++ {
+		for k := 0; k < p; k++ {
+			if i == k && !selfLoops {
+				continue
+			}
+			w := 0.0
+			for _, aj := range a {
+				if v := math.Abs(aj.At(i, k)); v > w {
+					w = v
+				}
+			}
+			if w > tol {
+				edges = append(edges, GrangerEdge{Source: k, Target: i, Weight: w})
+			}
+		}
+	}
+	return edges
+}
+
+// TrueSupport returns the boolean p×p adjacency (over all lags) of a model,
+// the ground truth for selection-accuracy metrics.
+func (m *Model) TrueSupport(tol float64) [][]bool {
+	p := m.P()
+	adj := make([][]bool, p)
+	for i := range adj {
+		adj[i] = make([]bool, p)
+	}
+	for _, a := range m.A {
+		for i := 0; i < p; i++ {
+			for k := 0; k < p; k++ {
+				if math.Abs(a.At(i, k)) > tol {
+					adj[i][k] = true
+				}
+			}
+		}
+	}
+	return adj
+}
+
+// FirstDifferences returns the (n−1)×p series of X_{t+1} − X_t, the
+// transformation the paper applies to weekly closes to obtain a plausibly
+// stationary series (§VI).
+func FirstDifferences(series *mat.Dense) *mat.Dense {
+	out := mat.NewDense(series.Rows-1, series.Cols)
+	for t := 0; t < out.Rows; t++ {
+		a, b := series.Row(t+1), series.Row(t)
+		dst := out.Row(t)
+		for j := range dst {
+			dst[j] = a[j] - b[j]
+		}
+	}
+	return out
+}
+
+// AggregateEvery averages non-overlapping windows of k rows (daily → weekly
+// aggregation in the paper's finance preprocessing). Trailing partial
+// windows are dropped.
+func AggregateEvery(series *mat.Dense, k int) *mat.Dense {
+	if k <= 0 {
+		panic("varsim: non-positive aggregation window")
+	}
+	n := series.Rows / k
+	out := mat.NewDense(n, series.Cols)
+	for w := 0; w < n; w++ {
+		dst := out.Row(w)
+		for t := w * k; t < (w+1)*k; t++ {
+			mat.Axpy(dst, 1, series.Row(t))
+		}
+		for j := range dst {
+			dst[j] /= float64(k)
+		}
+	}
+	return out
+}

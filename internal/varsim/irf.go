@@ -1,0 +1,84 @@
+package varsim
+
+import (
+	"fmt"
+
+	"uoivar/internal/mat"
+)
+
+// ImpulseResponse computes the moving-average (MA) coefficient matrices
+// Φ_0..Φ_h of the VAR process: Φ_0 = I and
+//
+//	Φ_s = Σ_{j=1..min(s,d)} A_j · Φ_{s−j}
+//
+// (Lütkepohl §2.1.2). Φ_s[i][k] is the response of series i at horizon s to
+// a unit shock in series k at time 0 — the standard way to read dynamic
+// Granger influence strength out of a fitted network.
+func (m *Model) ImpulseResponse(h int) []*mat.Dense {
+	if h < 0 {
+		panic(fmt.Sprintf("varsim: negative horizon %d", h))
+	}
+	p, d := m.P(), m.D()
+	phi := make([]*mat.Dense, h+1)
+	phi[0] = identityDense(p)
+	for s := 1; s <= h; s++ {
+		acc := mat.NewDense(p, p)
+		for j := 1; j <= d && j <= s; j++ {
+			acc.AddScaled(1, mat.Mul(m.A[j-1], phi[s-j]))
+		}
+		phi[s] = acc
+	}
+	return phi
+}
+
+// CumulativeImpulse sums the impulse responses through horizon h, the
+// long-run effect matrix Σ_{s=0..h} Φ_s.
+func (m *Model) CumulativeImpulse(h int) *mat.Dense {
+	phi := m.ImpulseResponse(h)
+	out := mat.NewDense(m.P(), m.P())
+	for _, f := range phi {
+		out.AddScaled(1, f)
+	}
+	return out
+}
+
+// FEVD computes the forecast error variance decomposition at horizon h
+// under the model's diagonal disturbance covariance: entry (i, k) is the
+// share of series i's h-step forecast error variance attributable to shocks
+// in series k (rows sum to 1). With diagonal Σ the orthogonalization is
+// trivial, so this is exactly the textbook decomposition.
+func (m *Model) FEVD(h int) *mat.Dense {
+	if h < 1 {
+		panic("varsim: FEVD needs horizon ≥ 1")
+	}
+	p := m.P()
+	phi := m.ImpulseResponse(h - 1)
+	out := mat.NewDense(p, p)
+	for i := 0; i < p; i++ {
+		total := 0.0
+		for k := 0; k < p; k++ {
+			contrib := 0.0
+			for s := 0; s < h; s++ {
+				v := phi[s].At(i, k) * m.NoiseStd[k]
+				contrib += v * v
+			}
+			out.Set(i, k, contrib)
+			total += contrib
+		}
+		if total > 0 {
+			row := out.Row(i)
+			for k := range row {
+				row[k] /= total
+			}
+		}
+	}
+	return out
+}
+
+func identityDense(n int) *mat.Dense {
+	m := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}

@@ -1,0 +1,119 @@
+package varsim
+
+import (
+	"math"
+	"testing"
+
+	"uoivar/internal/mat"
+	"uoivar/internal/resample"
+)
+
+func TestImpulseResponseVAR1ClosedForm(t *testing.T) {
+	// For VAR(1), Φ_s = A^s exactly.
+	a := mat.NewDenseData(2, 2, []float64{0.5, 0.2, -0.1, 0.3})
+	m := &Model{A: []*mat.Dense{a}, Mu: make([]float64, 2), NoiseStd: []float64{1, 1}}
+	phi := m.ImpulseResponse(4)
+	if len(phi) != 5 {
+		t.Fatalf("got %d matrices", len(phi))
+	}
+	want := identityDense(2)
+	for s := 0; s <= 4; s++ {
+		if !phi[s].Equal(want, 1e-12) {
+			t.Fatalf("Φ_%d != A^%d", s, s)
+		}
+		want = mat.Mul(a, want)
+	}
+}
+
+func TestImpulseResponseMatchesSimulatedShock(t *testing.T) {
+	// A noiseless simulation seeded with a unit shock in one variable must
+	// trace out exactly the corresponding impulse-response column.
+	rng := resample.NewRNG(21)
+	m := GenerateStable(rng, 4, 2, nil)
+	p, d := 4, 2
+	h := 6
+	phi := m.ImpulseResponse(h)
+	for shock := 0; shock < p; shock++ {
+		// Hand-iterate the deterministic recursion with X_0 = e_shock.
+		states := make([][]float64, h+1)
+		states[0] = make([]float64, p)
+		states[0][shock] = 1
+		for s := 1; s <= h; s++ {
+			cur := make([]float64, p)
+			for j := 1; j <= d && j <= s; j++ {
+				mat.Axpy(cur, 1, mat.MulVec(m.A[j-1], states[s-j]))
+			}
+			states[s] = cur
+		}
+		for s := 0; s <= h; s++ {
+			for i := 0; i < p; i++ {
+				if math.Abs(phi[s].At(i, shock)-states[s][i]) > 1e-10 {
+					t.Fatalf("shock %d horizon %d series %d: Φ %v vs simulated %v",
+						shock, s, i, phi[s].At(i, shock), states[s][i])
+				}
+			}
+		}
+	}
+}
+
+func TestImpulseResponseDecaysForStableModel(t *testing.T) {
+	rng := resample.NewRNG(22)
+	m := GenerateStable(rng, 6, 1, &GenOptions{SpectralTarget: 0.5})
+	phi := m.ImpulseResponse(30)
+	early := phi[1].FrobeniusNorm()
+	late := phi[30].FrobeniusNorm()
+	if late >= early*0.1 {
+		t.Fatalf("stable IRF must decay: ‖Φ_1‖=%v ‖Φ_30‖=%v", early, late)
+	}
+}
+
+func TestCumulativeImpulse(t *testing.T) {
+	a := mat.NewDenseData(1, 1, []float64{0.5})
+	m := &Model{A: []*mat.Dense{a}, Mu: []float64{0}, NoiseStd: []float64{1}}
+	// Σ_{s=0..h} 0.5^s → 2 as h → ∞.
+	c := m.CumulativeImpulse(40)
+	if math.Abs(c.At(0, 0)-2) > 1e-9 {
+		t.Fatalf("cumulative impulse %v, want ≈2", c.At(0, 0))
+	}
+}
+
+func TestFEVDRowsSumToOne(t *testing.T) {
+	rng := resample.NewRNG(23)
+	m := GenerateStable(rng, 5, 1, nil)
+	m.NoiseStd = []float64{1, 2, 0.5, 1, 1.5}
+	f := m.FEVD(8)
+	for i := 0; i < 5; i++ {
+		sum := 0.0
+		for k := 0; k < 5; k++ {
+			v := f.At(i, k)
+			if v < 0 {
+				t.Fatalf("negative FEVD share at (%d,%d)", i, k)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-10 {
+			t.Fatalf("FEVD row %d sums to %v", i, sum)
+		}
+	}
+	// At horizon 1, all of series i's variance is its own shock (Φ_0 = I).
+	f1 := m.FEVD(1)
+	for i := 0; i < 5; i++ {
+		if math.Abs(f1.At(i, i)-1) > 1e-12 {
+			t.Fatalf("horizon-1 FEVD must be identity-like, row %d: %v", i, f1.At(i, i))
+		}
+	}
+}
+
+func TestFEVDReflectsConnectivity(t *testing.T) {
+	// 1 → 0 strongly; at a long horizon series 0's variance has a large
+	// share from shock 1, while series 1 (driven only by itself) does not.
+	a := mat.NewDenseData(2, 2, []float64{0.2, 0.7, 0, 0.2})
+	m := &Model{A: []*mat.Dense{a}, Mu: make([]float64, 2), NoiseStd: []float64{1, 1}}
+	f := m.FEVD(20)
+	if f.At(0, 1) < 0.2 {
+		t.Fatalf("series 0 should inherit variance from shock 1: %v", f.At(0, 1))
+	}
+	if f.At(1, 0) > 1e-9 {
+		t.Fatalf("series 1 must not respond to shock 0: %v", f.At(1, 0))
+	}
+}

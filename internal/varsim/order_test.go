@@ -1,0 +1,61 @@
+package varsim
+
+import (
+	"testing"
+
+	"uoivar/internal/resample"
+)
+
+func TestSelectOrderRecoversTrueOrder(t *testing.T) {
+	rng := resample.NewRNG(31)
+	for _, trueD := range []int{1, 2} {
+		model := GenerateStable(rng.Derive(uint64(trueD)), 5, trueD, &GenOptions{Density: 0.3, SpectralTarget: 0.7, NoiseStd: 0.5})
+		series := model.Simulate(rng.Derive(uint64(trueD)+10), 1200, 100)
+		got, scores, err := SelectOrder(series, 4, BIC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != trueD {
+			t.Fatalf("true order %d: BIC selected %d (scores %+v)", trueD, got, scores)
+		}
+		if len(scores) != 4 {
+			t.Fatalf("expected 4 candidate scores, got %d", len(scores))
+		}
+		// RSS must be non-increasing in order (larger models fit better).
+		for i := 1; i < len(scores); i++ {
+			if scores[i].RSS > scores[i-1].RSS*1.0001 {
+				t.Fatalf("RSS increased with order: %+v", scores)
+			}
+		}
+	}
+}
+
+func TestSelectOrderAICAtLeastBICOrder(t *testing.T) {
+	rng := resample.NewRNG(32)
+	model := GenerateStable(rng, 4, 1, &GenOptions{SpectralTarget: 0.6})
+	series := model.Simulate(rng.Derive(1), 800, 100)
+	bicD, _, err := SelectOrder(series, 4, BIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aicD, _, err := SelectOrder(series, 4, AIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AIC penalizes less, so it never selects a smaller order than BIC.
+	if aicD < bicD {
+		t.Fatalf("AIC order %d < BIC order %d", aicD, bicD)
+	}
+}
+
+func TestSelectOrderValidation(t *testing.T) {
+	rng := resample.NewRNG(33)
+	model := GenerateStable(rng, 3, 1, nil)
+	series := model.Simulate(rng.Derive(1), 20, 10)
+	if _, _, err := SelectOrder(series, 0, BIC); err == nil {
+		t.Fatal("maxOrder 0 must fail")
+	}
+	if _, _, err := SelectOrder(series, 10, BIC); err == nil {
+		t.Fatal("insufficient samples must fail")
+	}
+}

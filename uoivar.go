@@ -1,0 +1,260 @@
+// Package uoivar is the public API of the UoI_VAR reproduction: scalable
+// Union of Intersections inference of sparse regressions (UoI_LASSO) and
+// Granger-causal networks (UoI_VAR), after Balasubramanian et al., "Scaling
+// of Union of Intersections for Inference of Granger Causal Networks from
+// Observational Data" (IPDPS Workshops 2020).
+//
+// # Fitting models
+//
+// Serial fits take plain matrices:
+//
+//	reg := uoivar.MakeRegression(1, 3000, 80, nil)
+//	res, err := uoivar.FitLasso(reg.X, reg.Y, &uoivar.LassoConfig{B1: 20, B2: 10})
+//
+//	model, err := uoivar.FitVAR(series, &uoivar.VARConfig{Order: 1, B1: 40, B2: 5})
+//	edges := uoivar.Edges(model.A, 1e-7, false)
+//
+// Distributed fits run across simulated MPI ranks with the paper's
+// randomized data distribution and distributed Kronecker assembly:
+//
+//	err := uoivar.Run(8, func(c *uoivar.Comm) error {
+//	    block, err := uoivar.RandomizedDistribute(c, "data.hbf", seed)
+//	    if err != nil { return err }
+//	    x, y := block.XY()
+//	    res, err := uoivar.FitLassoDistributed(c, x, y, cfg, uoivar.Grid{})
+//	    ...
+//	})
+//
+// # Layout
+//
+// The implementation lives in internal packages (see DESIGN.md for the
+// inventory); this package re-exports the surface a downstream user needs:
+// model fitting, data distribution, workload generation, evaluation
+// metrics, network export, and the calibrated performance model that
+// regenerates the paper's at-scale figures.
+package uoivar
+
+import (
+	"uoivar/internal/admm"
+	"uoivar/internal/datagen"
+	"uoivar/internal/distio"
+	"uoivar/internal/graph"
+	"uoivar/internal/hbf"
+	"uoivar/internal/mat"
+	"uoivar/internal/metrics"
+	"uoivar/internal/mpi"
+	"uoivar/internal/perfmodel"
+	"uoivar/internal/preprocess"
+	"uoivar/internal/resample"
+	"uoivar/internal/uoi"
+	"uoivar/internal/varsim"
+)
+
+// ---- Linear algebra ----
+
+// Dense is a row-major dense matrix (element (i,j) at Data[i*Cols+j]).
+type Dense = mat.Dense
+
+// NewDense allocates a zeroed r×c matrix.
+func NewDense(r, c int) *Dense { return mat.NewDense(r, c) }
+
+// NewDenseData wraps data (not copied) as an r×c matrix.
+func NewDenseData(r, c int, data []float64) *Dense { return mat.NewDenseData(r, c, data) }
+
+// ---- UoI model fitting ----
+
+// LassoConfig configures UoI_LASSO (paper Algorithm 1).
+type LassoConfig = uoi.LassoConfig
+
+// LassoResult is a fitted UoI_LASSO model.
+type LassoResult = uoi.Result
+
+// VARConfig configures UoI_VAR (paper Algorithm 2).
+type VARConfig = uoi.VARConfig
+
+// VARResult is a fitted UoI_VAR model with partitioned lag matrices.
+type VARResult = uoi.VARResult
+
+// VARDistOptions configures distributed UoI_VAR runs (reader counts,
+// communication-avoiding assembly, process grids).
+type VARDistOptions = uoi.VARDistOptions
+
+// Grid is the P_B × P_λ process grid of the paper's §III parallelism.
+type Grid = uoi.Grid
+
+// ADMMOptions tunes the inner LASSO-ADMM solver.
+type ADMMOptions = admm.Options
+
+// FitLasso runs serial UoI_LASSO on design x and response y.
+func FitLasso(x *Dense, y []float64, cfg *LassoConfig) (*LassoResult, error) {
+	return uoi.Lasso(x, y, cfg)
+}
+
+// FitLassoDistributed runs UoI_LASSO across the ranks of comm; each rank
+// passes its local row block (see RandomizedDistribute).
+func FitLassoDistributed(comm *Comm, xLocal *Dense, yLocal []float64, cfg *LassoConfig, grid Grid) (*LassoResult, error) {
+	return uoi.LassoDistributed(comm, xLocal, yLocal, cfg, grid)
+}
+
+// FitVAR runs serial UoI_VAR on an n×p series.
+func FitVAR(series *Dense, cfg *VARConfig) (*VARResult, error) {
+	return uoi.VAR(series, cfg)
+}
+
+// FitVARDistributed runs UoI_VAR across the ranks of comm with the
+// distributed Kronecker/vectorization assembly; series must be non-nil on
+// reader ranks.
+func FitVARDistributed(comm *Comm, series *Dense, cfg *VARConfig, opts *VARDistOptions) (*VARResult, error) {
+	return uoi.VARDistributed(comm, series, cfg, opts)
+}
+
+// LassoCV fits the plain cross-validated LASSO baseline.
+func LassoCV(x *Dense, y []float64, folds, q int, seed uint64) (*uoi.BaselineResult, error) {
+	return uoi.LassoCV(x, y, folds, q, seed)
+}
+
+// ---- Simulated MPI runtime ----
+
+// Comm is one rank's communicator handle.
+type Comm = mpi.Comm
+
+// Run launches size ranks, each executing body, and waits for all of them.
+func Run(size int, body func(c *Comm) error) error { return mpi.Run(size, body) }
+
+// ---- Data distribution and storage ----
+
+// Block is one rank's share of a distributed dataset.
+type Block = distio.Block
+
+// RandomizedDistribute spreads an HBF dataset over the ranks with the
+// paper's three-tier randomized distribution.
+func RandomizedDistribute(comm *Comm, path string, seed uint64) (*Block, error) {
+	return distio.RandomizedDistribute(comm, path, seed)
+}
+
+// ConventionalDistribute is the Table II single-reader baseline.
+func ConventionalDistribute(comm *Comm, path string) (*Block, error) {
+	return distio.ConventionalDistribute(comm, path)
+}
+
+// HBFCreateOptions configures HBF container layout.
+type HBFCreateOptions = hbf.CreateOptions
+
+// WriteHBF stores a row-major matrix as an HBF container.
+func WriteHBF(path string, rows, cols int, data []float64, opts HBFCreateOptions) error {
+	_, err := hbf.Create(path, rows, cols, data, opts)
+	return err
+}
+
+// OpenHBF opens an HBF container for (concurrent) reads.
+func OpenHBF(path string) (*hbf.File, error) { return hbf.Open(path) }
+
+// ---- VAR substrate ----
+
+// VARModel is a vector autoregressive process (true or estimated).
+type VARModel = varsim.Model
+
+// GrangerEdge is a directed Granger-causal edge.
+type GrangerEdge = varsim.GrangerEdge
+
+// Edges extracts the directed Granger network from lag matrices.
+func Edges(a []*Dense, tol float64, selfLoops bool) []GrangerEdge {
+	return varsim.GrangerEdges(a, tol, selfLoops)
+}
+
+// EstimatedModel packages fitted lag matrices for forecasting.
+func EstimatedModel(a []*Dense, mu []float64) *VARModel {
+	return varsim.ModelFromEstimate(a, mu)
+}
+
+// SelectOrder chooses the VAR order by information criterion.
+func SelectOrder(series *Dense, maxOrder int, criterion varsim.OrderCriterion) (int, []varsim.OrderScore, error) {
+	return varsim.SelectOrder(series, maxOrder, criterion)
+}
+
+// PairwiseGrangerF runs the classical bivariate Granger F-test baseline.
+func PairwiseGrangerF(series *Dense, d int, alpha float64) ([]varsim.FTestResult, error) {
+	return varsim.PairwiseGrangerF(series, d, alpha)
+}
+
+// ADFTest runs the augmented Dickey–Fuller unit-root test per series.
+func ADFTest(series *Dense, lags int, level float64) ([]varsim.DFResult, error) {
+	return varsim.ADFTest(series, lags, level)
+}
+
+// FirstDifferences returns X_{t+1} − X_t, the paper's §VI stationarity
+// preprocessing.
+func FirstDifferences(series *Dense) *Dense { return varsim.FirstDifferences(series) }
+
+// ---- Workload generation ----
+
+// Regression is a synthetic sparse linear-model dataset.
+type Regression = datagen.Regression
+
+// MakeRegression draws an n×p sparse regression problem.
+func MakeRegression(seed uint64, n, p int, opts *datagen.RegressionOptions) *Regression {
+	return datagen.MakeRegression(seed, n, p, opts)
+}
+
+// MakeFinance generates the S&P-500-like sector-structured market series.
+func MakeFinance(seed uint64, p, n int, opts *datagen.FinanceOptions) *datagen.Finance {
+	return datagen.MakeFinance(seed, p, n, opts)
+}
+
+// MakeNeuro generates the electrode-array-like spike-count series.
+func MakeNeuro(seed uint64, p, n int) *datagen.Neuro {
+	return datagen.MakeNeuro(seed, p, n)
+}
+
+// NewRNG returns the deterministic generator used across the library.
+func NewRNG(seed uint64) *resample.RNG { return resample.NewRNG(seed) }
+
+// ---- Evaluation ----
+
+// Selection summarizes support recovery (TP/FP/FN, precision, recall, F1).
+type Selection = metrics.Selection
+
+// CompareSupports scores an estimate's support against ground truth.
+func CompareSupports(trueBeta, estBeta []float64, tol float64) Selection {
+	return metrics.CompareSupports(trueBeta, estBeta, tol)
+}
+
+// DirectedGraph is a weighted directed network with DOT export.
+type DirectedGraph = graph.Directed
+
+// NewGraph creates an empty directed graph over n nodes.
+func NewGraph(n int) *DirectedGraph { return graph.New(n) }
+
+// ---- Performance model ----
+
+// Machine is the calibrated Cori-KNL-like machine model.
+type Machine = perfmodel.Machine
+
+// CoriKNL returns the calibrated machine used to regenerate Figures 2–10.
+func CoriKNL() *Machine { return perfmodel.CoriKNL() }
+
+// LassoScale and VARScale describe at-scale runs for the model.
+type (
+	LassoScale = perfmodel.LassoScale
+	VARScale   = perfmodel.VARScale
+)
+
+// ---- Solver extensions ----
+
+// ElasticNet solves min ½‖Xβ−y‖² + λ₁‖β‖₁ + ½λ₂‖β‖² with ADMM.
+func ElasticNet(x *Dense, y []float64, lambda1, lambda2 float64, opts *ADMMOptions) (*admm.Result, error) {
+	return admm.ElasticNet(x, y, lambda1, lambda2, opts)
+}
+
+// LassoAdaptive solves the LASSO with over-relaxed, residual-balanced ADMM.
+func LassoAdaptive(x *Dense, y []float64, lambda float64, opts *admm.AdaptiveOptions) (*admm.Result, error) {
+	return admm.LassoAdaptive(x, y, lambda, opts)
+}
+
+// ---- Preprocessing ----
+
+// Scaler standardizes designs and maps coefficients back to raw units.
+type Scaler = preprocess.Scaler
+
+// FitScaler computes feature means/scales and the response mean.
+func FitScaler(x *Dense, y []float64) *Scaler { return preprocess.FitXY(x, y) }
