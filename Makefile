@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench vet fmt experiments csv examples clean
+.PHONY: build test test-short test-race bench vet fmt experiments csv examples clean
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,11 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detector pass over the concurrent layers (mpi runtime, fault
+# injection, bootstrap workers); -short keeps the chaos schedules small.
+test-race:
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

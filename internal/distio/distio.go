@@ -33,6 +33,25 @@ type Block struct {
 	// DistributeTime is the time spent in inter-rank redistribution
 	// (Tier-2 one-sided traffic, or the conventional send loop).
 	DistributeTime time.Duration
+	// ReadRetries counts transient read faults this rank retried through
+	// (nonzero only when a ReadOptions retry policy was in effect).
+	ReadRetries int64
+}
+
+// ReadOptions configures the fault-tolerant read path: a bounded
+// exponential-backoff retry policy for transient faults and an optional
+// deterministic fault injector (internal/fault's Plan.IOFault).
+type ReadOptions struct {
+	Retry hbf.RetryPolicy
+	Fault func(chunk, attempt int) error
+}
+
+// open opens path honoring the (possibly nil) read options.
+func (o *ReadOptions) open(path string) (*hbf.File, error) {
+	if o == nil {
+		return hbf.Open(path)
+	}
+	return hbf.OpenWithOptions(path, o.Retry, o.Fault)
 }
 
 // XY splits the block into a design matrix (all but the last column) and a
@@ -64,7 +83,14 @@ func seq(lo, hi int) []int {
 // The random permutation is derived from seed identically on every rank, so
 // no coordination traffic is needed beyond the Puts themselves.
 func RandomizedDistribute(comm *mpi.Comm, path string, seed uint64) (*Block, error) {
-	f, err := hbf.Open(path)
+	return RandomizedDistributeOpts(comm, path, seed, nil)
+}
+
+// RandomizedDistributeOpts is RandomizedDistribute with a fault-tolerant
+// read path: transient Tier-1 read faults are retried per opts.Retry, and
+// the retry count is metered in Block.ReadRetries.
+func RandomizedDistributeOpts(comm *mpi.Comm, path string, seed uint64, opts *ReadOptions) (*Block, error) {
+	f, err := opts.open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -108,6 +134,7 @@ func RandomizedDistribute(comm *mpi.Comm, path string, seed uint64) (*Block, err
 		GlobalRows:     n,
 		ReadTime:       readTime,
 		DistributeTime: distTime,
+		ReadRetries:    f.Stats().Retries,
 	}, nil
 }
 
@@ -149,11 +176,17 @@ func Reshuffle(comm *mpi.Comm, b *Block, seed uint64) (*Block, error) {
 // problems — small chunked reads, repeated file access, and no parallel
 // readers — are preserved.
 func ConventionalDistribute(comm *mpi.Comm, path string) (*Block, error) {
+	return ConventionalDistributeOpts(comm, path, nil)
+}
+
+// ConventionalDistributeOpts is ConventionalDistribute with a
+// fault-tolerant read path on the single reader rank.
+func ConventionalDistributeOpts(comm *mpi.Comm, path string, opts *ReadOptions) (*Block, error) {
 	size, rank := comm.Size(), comm.Rank()
 	const tag = 9301
 
 	if rank == 0 {
-		f, err := hbf.Open(path)
+		f, err := opts.open(path)
 		if err != nil {
 			return nil, err
 		}
@@ -202,6 +235,7 @@ func ConventionalDistribute(comm *mpi.Comm, path string) (*Block, error) {
 			GlobalRows:     n,
 			ReadTime:       readTime,
 			DistributeTime: distTime,
+			ReadRetries:    f.Stats().Retries,
 		}, nil
 	}
 
@@ -264,7 +298,13 @@ func rankOfRow(n, size, row int) int {
 // transports, since one-sided RMA vs two-sided alltoall is a classic
 // design choice on real interconnects.
 func RandomizedDistributeAlltoall(comm *mpi.Comm, path string, seed uint64) (*Block, error) {
-	f, err := hbf.Open(path)
+	return RandomizedDistributeAlltoallOpts(comm, path, seed, nil)
+}
+
+// RandomizedDistributeAlltoallOpts is RandomizedDistributeAlltoall with a
+// fault-tolerant read path (see RandomizedDistributeOpts).
+func RandomizedDistributeAlltoallOpts(comm *mpi.Comm, path string, seed uint64, opts *ReadOptions) (*Block, error) {
+	f, err := opts.open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -317,5 +357,6 @@ func RandomizedDistributeAlltoall(comm *mpi.Comm, path string, seed uint64) (*Bl
 		GlobalRows:     n,
 		ReadTime:       readTime,
 		DistributeTime: time.Since(tDist),
+		ReadRetries:    f.Stats().Retries,
 	}, nil
 }

@@ -1,0 +1,76 @@
+package distio
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"uoivar/internal/fault"
+	"uoivar/internal/hbf"
+	"uoivar/internal/mpi"
+)
+
+func TestRandomizedDistributeRetriesTransientFaults(t *testing.T) {
+	const rows, cols, ranks = 24, 3, 4
+	path := writeMatrix(t, rows, cols, 2)
+	plan := fault.NewPlan(ranks, fault.Event{Kind: fault.IORead, Chunk: -1, Count: 1})
+	opts := &ReadOptions{
+		Retry: hbf.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Microsecond},
+		Fault: plan.IOFault,
+	}
+	err := mpi.Run(ranks, func(c *mpi.Comm) error {
+		b, err := RandomizedDistributeOpts(c, path, 7, opts)
+		if err != nil {
+			return err
+		}
+		if b.ReadRetries == 0 {
+			t.Errorf("rank %d: expected metered retries", c.Rank())
+		}
+		ref, err := RandomizedDistribute(c, path, 7)
+		if err != nil {
+			return err
+		}
+		for i, v := range b.Data.Data {
+			if ref.Data.Data[i] != v {
+				t.Errorf("rank %d: faulted read diverges at %d", c.Rank(), i)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomizedDistributeExhaustedRetriesFailsTyped(t *testing.T) {
+	const rows, cols, ranks = 24, 3, 4
+	path := writeMatrix(t, rows, cols, 2)
+	plan := fault.NewPlan(ranks, fault.Event{Kind: fault.IORead, Chunk: -1, Count: 1 << 30})
+	opts := &ReadOptions{
+		Retry: hbf.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Microsecond},
+		Fault: plan.IOFault,
+	}
+	err := mpi.RunWithOptions(ranks, mpi.RunOptions{CollectiveTimeout: 10 * time.Second}, func(c *mpi.Comm) error {
+		_, err := RandomizedDistributeOpts(c, path, 7, opts)
+		return err
+	})
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("err = %v, want fault.ErrInjected", err)
+	}
+}
+
+// writeMatrix creates a small striped HBF matrix for fault tests.
+func writeMatrix(t *testing.T, rows, cols, stripes int) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := hbf.TempPath(dir, "fault")
+	data := make([]float64, rows*cols)
+	for i := range data {
+		data[i] = float64(i) * 0.5
+	}
+	if _, err := hbf.Create(path, rows, cols, data, hbf.CreateOptions{ChunkRows: 4, Stripes: stripes}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}

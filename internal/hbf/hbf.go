@@ -21,9 +21,14 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"uoivar/internal/resample"
 )
 
 // magic identifies an HBF header file.
@@ -48,8 +53,67 @@ func (m Meta) Bytes() int64 { return int64(m.Rows) * int64(m.Cols) * 8 }
 // NumChunks returns the number of row chunks.
 func (m Meta) NumChunks() int { return (m.Rows + m.ChunkRows - 1) / m.ChunkRows }
 
-// ErrCorrupt reports an unreadable or inconsistent HBF file.
+// ErrCorrupt reports an unreadable or inconsistent HBF file (bad magic,
+// nonsensical metadata, truncated segment). Corruption is persistent: reads
+// failing with ErrCorrupt are never retried.
 var ErrCorrupt = errors.New("hbf: corrupt file")
+
+// ErrRange reports a read request outside the stored matrix. Like
+// ErrCorrupt it is never retried.
+var ErrRange = errors.New("hbf: out of range")
+
+// retryable reports whether a read error may be transient — anything that
+// is not structural corruption or a caller mistake (injected transient
+// faults and flaky-filesystem errors are the retry targets).
+func retryable(err error) bool {
+	return !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrRange)
+}
+
+// RetryPolicy bounds the retry loop around transient read faults with
+// exponential backoff and seeded jitter. The zero value disables retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first
+	// (values below 1 mean a single attempt, i.e. no retry).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 1ms when
+	// retries are enabled); it doubles per retry up to MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 50ms).
+	MaxDelay time.Duration
+	// Seed drives the jitter stream; the same (Seed, chunk, attempt)
+	// always sleeps the same duration, keeping chaos schedules replayable.
+	Seed uint64
+}
+
+func (p RetryPolicy) defaults() RetryPolicy {
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 50 * time.Millisecond
+	}
+	return p
+}
+
+// backoff returns the pre-retry sleep for 1-based retry r of chunk c:
+// exponential growth capped at MaxDelay, scaled by a deterministic jitter
+// factor in [0.5, 1.5) so simultaneous retries across ranks decorrelate.
+func (p RetryPolicy) backoff(chunk, r int) time.Duration {
+	d := p.BaseDelay << (r - 1)
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	rng := resample.NewRNG(p.Seed).Derive(uint64(chunk + 1)).Derive(uint64(r))
+	return time.Duration((0.5 + rng.Float64()) * float64(d))
+}
+
+// ReadStats meters a File's read path: attempts actually issued, retries
+// after transient faults, and faults observed (injected or genuine).
+type ReadStats struct {
+	Attempts int64
+	Retries  int64
+	Faults   int64
+}
 
 // CreateOptions configures Create.
 type CreateOptions struct {
@@ -140,15 +204,33 @@ func segPath(path string, s int) string {
 
 // File is an open HBF matrix.
 type File struct {
-	Meta Meta
-	path string
-	segs []*os.File
+	Meta  Meta
+	path  string
+	segs  []*os.File
+	retry RetryPolicy
+	fault func(chunk, attempt int) error
+	stats struct{ attempts, retries, faults atomic.Int64 }
 }
 
 // Open opens an HBF matrix for reading. The returned File is safe for
 // concurrent reads (all reads use ReadAt).
 func Open(path string) (*File, error) {
-	hdr, err := os.ReadFile(path)
+	return OpenWithOptions(path, RetryPolicy{}, nil)
+}
+
+// OpenWithOptions opens an HBF matrix with a retry policy for transient
+// read faults and an optional fault injector. The injector is consulted
+// before every read attempt with the chunk index (-1 for the header) and
+// the 0-based attempt number; a non-nil return fails that attempt. The
+// header read itself runs through the same retry loop.
+func OpenWithOptions(path string, retry RetryPolicy, faultFn func(chunk, attempt int) error) (*File, error) {
+	f := &File{path: path, retry: retry.defaults(), fault: faultFn}
+	var hdr []byte
+	err := f.attempt(-1, func() error {
+		var rerr error
+		hdr, rerr = os.ReadFile(path)
+		return rerr
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -164,7 +246,21 @@ func Open(path string) (*File, error) {
 	if meta.Rows <= 0 || meta.Cols <= 0 || meta.ChunkRows <= 0 || meta.Stripes <= 0 {
 		return nil, fmt.Errorf("%w: bad meta %+v", ErrCorrupt, meta)
 	}
-	f := &File{Meta: meta, path: path, segs: make([]*os.File, meta.Stripes)}
+	// Reject internally inconsistent metadata before it can drive huge
+	// allocations or nonsense chunk arithmetic: the writer never produces
+	// more stripes than chunks, oversized chunks, or a payload that
+	// overflows int64.
+	if meta.ChunkRows > meta.Rows {
+		return nil, fmt.Errorf("%w: chunk of %d rows exceeds %d total rows", ErrCorrupt, meta.ChunkRows, meta.Rows)
+	}
+	if meta.Stripes > meta.NumChunks() {
+		return nil, fmt.Errorf("%w: %d stripes for %d chunks", ErrCorrupt, meta.Stripes, meta.NumChunks())
+	}
+	if int64(meta.Rows) > math.MaxInt64/8/int64(meta.Cols) {
+		return nil, fmt.Errorf("%w: payload size overflows (%d x %d)", ErrCorrupt, meta.Rows, meta.Cols)
+	}
+	f.Meta = meta
+	f.segs = make([]*os.File, meta.Stripes)
 	for s := 0; s < meta.Stripes; s++ {
 		seg, err := os.Open(segPath(path, s))
 		if err != nil {
@@ -174,6 +270,59 @@ func Open(path string) (*File, error) {
 		f.segs[s] = seg
 	}
 	return f, nil
+}
+
+// SetRetryPolicy replaces the retry policy for subsequent reads.
+func (f *File) SetRetryPolicy(p RetryPolicy) { f.retry = p.defaults() }
+
+// SetFault installs a read-fault injector (see OpenWithOptions); nil
+// removes it. internal/fault's Plan.IOFault matches this signature.
+func (f *File) SetFault(fn func(chunk, attempt int) error) { f.fault = fn }
+
+// Stats returns the read-path counters accumulated so far.
+func (f *File) Stats() ReadStats {
+	return ReadStats{
+		Attempts: f.stats.attempts.Load(),
+		Retries:  f.stats.retries.Load(),
+		Faults:   f.stats.faults.Load(),
+	}
+}
+
+// attempt runs op under the retry policy for the given chunk (-1 = header):
+// transient failures are retried with exponential backoff and seeded
+// jitter; ErrCorrupt/ErrRange fail immediately.
+func (f *File) attempt(chunk int, op func() error) error {
+	attempts := f.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var last error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			f.stats.retries.Add(1)
+			time.Sleep(f.retry.backoff(chunk, a))
+		}
+		f.stats.attempts.Add(1)
+		var err error
+		if f.fault != nil {
+			err = f.fault(chunk, a)
+		}
+		if err == nil {
+			err = op()
+		}
+		if err == nil {
+			return nil
+		}
+		f.stats.faults.Add(1)
+		if !retryable(err) {
+			return err
+		}
+		last = err
+	}
+	if attempts == 1 {
+		return last
+	}
+	return fmt.Errorf("hbf: chunk %d unreadable after %d attempts: %w", chunk, attempts, last)
 }
 
 // Close releases all segment handles.
@@ -208,14 +357,14 @@ func (f *File) chunkLocation(c int) (stripe int, offset int64) {
 func (f *File) ReadRows(lo, hi int, dst []float64) ([]float64, error) {
 	m := f.Meta
 	if lo < 0 || hi > m.Rows || lo > hi {
-		return nil, fmt.Errorf("hbf: row range [%d,%d) outside %d rows", lo, hi, m.Rows)
+		return nil, fmt.Errorf("%w: row range [%d,%d) outside %d rows", ErrRange, lo, hi, m.Rows)
 	}
 	want := (hi - lo) * m.Cols
 	if dst == nil {
 		dst = make([]float64, want)
 	}
 	if len(dst) != want {
-		return nil, fmt.Errorf("hbf: dst length %d, want %d", len(dst), want)
+		return nil, fmt.Errorf("%w: dst length %d, want %d", ErrRange, len(dst), want)
 	}
 	if want == 0 {
 		return dst, nil
@@ -236,7 +385,19 @@ func (f *File) ReadRows(lo, hi int, dst []float64) ([]float64, error) {
 		stripe, base := f.chunkLocation(c)
 		off := base + int64(readLo-chunkLo)*int64(m.Cols)*8
 		nBytes := (readHi - readLo) * m.Cols * 8
-		if _, err := f.segs[stripe].ReadAt(buf[:nBytes], off); err != nil {
+		err := f.attempt(c, func() error {
+			_, rerr := f.segs[stripe].ReadAt(buf[:nBytes], off)
+			if rerr != nil {
+				// A short read means the segment file is truncated — that
+				// is corruption, not a transient fault, and never retried.
+				if errors.Is(rerr, io.EOF) || errors.Is(rerr, io.ErrUnexpectedEOF) {
+					return fmt.Errorf("%w: segment %d truncated reading chunk %d: %v", ErrCorrupt, stripe, c, rerr)
+				}
+				return rerr
+			}
+			return nil
+		})
+		if err != nil {
 			return nil, fmt.Errorf("hbf: read chunk %d: %w", c, err)
 		}
 		decodeFloats(dst[(readLo-lo)*m.Cols:(readHi-lo)*m.Cols], buf[:nBytes])
@@ -251,7 +412,7 @@ func (f *File) ReadRows(lo, hi int, dst []float64) ([]float64, error) {
 func (f *File) ReadHyperslab(rowLo, rowHi, colLo, colHi int) ([]float64, error) {
 	m := f.Meta
 	if colLo < 0 || colHi > m.Cols || colLo > colHi {
-		return nil, fmt.Errorf("hbf: col range [%d,%d) outside %d cols", colLo, colHi, m.Cols)
+		return nil, fmt.Errorf("%w: col range [%d,%d) outside %d cols", ErrRange, colLo, colHi, m.Cols)
 	}
 	full, err := f.ReadRows(rowLo, rowHi, nil)
 	if err != nil {

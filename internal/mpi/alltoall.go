@@ -9,6 +9,7 @@ import "time"
 // BenchmarkAblationAlltoall).
 func (c *Comm) Alltoallv(send [][]float64) [][]float64 {
 	start := time.Now()
+	c.faultPoint()
 	size := c.Size()
 	if len(send) != size {
 		panic("mpi: Alltoallv needs one send block per rank")
@@ -22,7 +23,7 @@ func (c *Comm) Alltoallv(send [][]float64) [][]float64 {
 	}
 	g.a2aSlots[c.rank] = send
 	g.mu.Unlock()
-	g.bar.await()
+	c.sync()
 	recv := make([][]float64, size)
 	floats := 0
 	for s := 0; s < size; s++ {
@@ -34,14 +35,14 @@ func (c *Comm) Alltoallv(send [][]float64) [][]float64 {
 		recv[s] = out
 		floats += len(block)
 	}
-	g.bar.await()
+	c.sync()
 	// Reset for reuse once everyone has read.
 	if c.rank == 0 {
 		g.mu.Lock()
 		g.a2aSlots = nil
 		g.mu.Unlock()
 	}
-	g.bar.await()
+	c.sync()
 	c.meter(CatP2P, floats, start)
 	return recv
 }

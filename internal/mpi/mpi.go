@@ -12,6 +12,13 @@
 // experiments can report communication/distribution breakdowns the way the
 // paper does (MPI_Allreduce dominating communication, one-sided traffic
 // counted as "Distribution").
+//
+// The runtime is fault-tolerant: every blocking call carries a deadline
+// (RunOptions.CollectiveTimeout), a rank that fails — by returning an
+// error, panicking, or being crashed by an injected fault — breaks every
+// barrier so surviving ranks unwind promptly with ErrRankFailed instead of
+// deadlocking, and Abort tears the world down the same way. Deterministic
+// fault schedules plug in through RunOptions.Fault (see internal/fault).
 package mpi
 
 import (
@@ -85,11 +92,39 @@ func (c Category) String() string {
 	return "unknown"
 }
 
-// Stats accumulates per-rank communication counters.
+// RankState is a rank's health, tracked per rank in Stats.
+type RankState int32
+
+const (
+	// RankRunning means the rank's body has not returned yet.
+	RankRunning RankState = iota
+	// RankDone means the body returned nil.
+	RankDone
+	// RankFailed means the body returned an error, panicked, or was crashed
+	// by an injected fault.
+	RankFailed
+)
+
+// String returns the state name.
+func (s RankState) String() string {
+	switch s {
+	case RankRunning:
+		return "running"
+	case RankDone:
+		return "done"
+	case RankFailed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// Stats accumulates per-rank communication counters and health.
 type Stats struct {
 	Calls [numCategories]int64
 	Bytes [numCategories]int64
 	Time  [numCategories]time.Duration
+	// Health is this rank's state (for merged stats, the worst state seen).
+	Health RankState
 }
 
 // Total returns summed calls, bytes and time across categories.
@@ -109,21 +144,62 @@ func (s *Stats) add(o *Stats) {
 		s.Bytes[c] += o.Bytes[c]
 		s.Time[c] += o.Time[c]
 	}
+	if o.Health > s.Health {
+		s.Health = o.Health
+	}
 }
 
 const bytesPerFloat = 8
 
+// FaultInjector is consulted at the start of every communication operation
+// of a rank. It returns a latency to inject (0 = none) and, when the rank is
+// scheduled to die at this operation, a non-nil crash error. The injector is
+// called concurrently from all rank goroutines. internal/fault's Plan
+// implements this interface.
+type FaultInjector interface {
+	CommOp(worldRank int) (delay time.Duration, crash error)
+}
+
+// DefaultCollectiveTimeout bounds blocking communication calls when
+// RunOptions does not override it. It is deliberately generous: it exists to
+// convert programming errors and dead ranks into typed failures, not to
+// police slow computation between collectives.
+const DefaultCollectiveTimeout = 2 * time.Minute
+
+// RunOptions configures fault tolerance for RunWithOptions.
+type RunOptions struct {
+	// CollectiveTimeout is the deadline for every blocking communication
+	// call (barriers, collectives, Send/Recv). A rank that waits longer
+	// fails with ErrTimeout and the world unwinds. 0 selects
+	// DefaultCollectiveTimeout; negative disables the deadline.
+	CollectiveTimeout time.Duration
+	// Fault injects deterministic faults (nil = none).
+	Fault FaultInjector
+}
+
 // World owns the shared state for one Run invocation.
 type World struct {
 	size    int
+	opts    RunOptions
 	chans   sync.Map // chanKey -> chan []float64
 	commSeq atomic.Int64
 	// registry shares transient objects between ranks (Split group handoff).
 	registry sync.Map
-	stats    []Stats // indexed by world rank; written only by that rank's goroutine
+	stats    []Stats // indexed by world rank
 	statsMu  sync.Mutex
 	failOnce sync.Once
 	failErr  error
+
+	// groups lists every communicator group ever created so a failure can
+	// break all barriers.
+	groupsMu sync.Mutex
+	groups   []*group
+	// failCh is closed (once) when any rank fails or aborts; failCause is
+	// written before the close and read only after it.
+	failCh     chan struct{}
+	failChOnce sync.Once
+	failCause  error
+	health     []atomic.Int32 // RankState per world rank
 }
 
 type chanKey struct {
@@ -135,15 +211,47 @@ type chanKey struct {
 // ErrAborted is returned from Run when a rank calls Comm.Abort.
 var ErrAborted = errors.New("mpi: aborted")
 
+// ErrRankFailed is the typed error surviving ranks observe when another
+// rank dies (body error, panic, or injected crash): their blocking calls
+// unwind with an error wrapping ErrRankFailed instead of hanging forever.
+var ErrRankFailed = errors.New("mpi: rank failed")
+
+// ErrTimeout is the typed error a blocking communication call returns when
+// its deadline expires (a straggler that never arrives, or an SPMD bug that
+// leaves ranks in mismatched collectives).
+var ErrTimeout = errors.New("mpi: collective timeout")
+
+// commFailure carries a communication-layer error up a rank's stack. The
+// collectives keep their error-free MPI-like signatures; a failed call
+// panics with commFailure and Run's recovery converts it into the rank's
+// returned error, preserving errors.Is/As chains.
+type commFailure struct{ err error }
+
 // Run launches size ranks, each executing body with its own Comm, and waits
-// for all of them. The first error returned by any rank is returned (all
-// ranks still run to completion; a well-formed SPMD body either all succeed
-// or the caller tolerates partial failure, as with MPI_Abort semantics).
+// for all of them. Equivalent to RunWithOptions with default options.
 func Run(size int, body func(c *Comm) error) error {
+	return RunWithOptions(size, RunOptions{}, body)
+}
+
+// RunWithOptions launches size ranks with explicit fault-tolerance options
+// and waits for all of them. All rank errors are aggregated with
+// errors.Join, together with any Abort cause; a failing rank breaks every
+// barrier so surviving ranks fail fast with ErrRankFailed rather than
+// deadlock, and every blocking call is bounded by opts.CollectiveTimeout.
+func RunWithOptions(size int, opts RunOptions, body func(c *Comm) error) error {
 	if size <= 0 {
 		return fmt.Errorf("mpi: invalid world size %d", size)
 	}
-	w := &World{size: size, stats: make([]Stats, size)}
+	if opts.CollectiveTimeout == 0 {
+		opts.CollectiveTimeout = DefaultCollectiveTimeout
+	}
+	w := &World{
+		size:   size,
+		opts:   opts,
+		stats:  make([]Stats, size),
+		failCh: make(chan struct{}),
+		health: make([]atomic.Int32, size),
+	}
 	members := make([]int, size)
 	for i := range members {
 		members[i] = i
@@ -157,19 +265,75 @@ func Run(size int, body func(c *Comm) error) error {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+					if cf, ok := p.(commFailure); ok {
+						errs[rank] = cf.err
+					} else {
+						errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+					}
 				}
+				w.rankExited(rank, errs[rank])
 			}()
 			errs[rank] = body(&Comm{world: w, group: g, rank: rank, worldRank: rank})
 		}(r)
 	}
 	wg.Wait()
+	// Aggregate every failure: the Abort cause first (the root event), then
+	// rank errors in rank order, de-duplicated by message — when one rank
+	// dies, every survivor reports the same ErrRankFailed cause and joining
+	// N-1 copies would bury the interesting error.
+	var all []error
+	seen := map[string]bool{}
+	if w.failErr != nil {
+		all = append(all, w.failErr)
+		seen[w.failErr.Error()] = true
+	}
 	for _, err := range errs {
-		if err != nil {
-			return err
+		if err != nil && !seen[err.Error()] {
+			seen[err.Error()] = true
+			all = append(all, err)
 		}
 	}
-	return w.failErr
+	return errors.Join(all...)
+}
+
+// rankExited records the rank's final health and, on failure, tears the
+// world down so no surviving rank blocks forever.
+func (w *World) rankExited(rank int, err error) {
+	st := RankDone
+	if err != nil {
+		st = RankFailed
+	}
+	w.health[rank].Store(int32(st))
+	w.statsMu.Lock()
+	w.stats[rank].Health = st
+	w.statsMu.Unlock()
+	if err != nil {
+		w.fail(fmt.Errorf("%w: rank %d: %v", ErrRankFailed, rank, err))
+	}
+}
+
+// fail records the first failure cause and breaks every barrier (once).
+func (w *World) fail(cause error) {
+	w.failChOnce.Do(func() {
+		w.failCause = cause
+		close(w.failCh)
+	})
+	w.groupsMu.Lock()
+	gs := append([]*group(nil), w.groups...)
+	w.groupsMu.Unlock()
+	for _, g := range gs {
+		g.bar.brk(w.failCause)
+	}
+}
+
+// failed reports the failure cause if the world has failed, else nil.
+func (w *World) failed() error {
+	select {
+	case <-w.failCh:
+		return w.failCause
+	default:
+		return nil
+	}
 }
 
 // group is a communicator's shared collective context.
@@ -187,12 +351,21 @@ type group struct {
 }
 
 func (w *World) newGroup(members []int) *group {
-	return &group{
+	g := &group{
 		id:      w.commSeq.Add(1),
 		members: members,
 		bar:     newCyclicBarrier(len(members)),
 		slots:   make([][]float64, len(members)),
 	}
+	w.groupsMu.Lock()
+	w.groups = append(w.groups, g)
+	w.groupsMu.Unlock()
+	// A group created after the world already failed must be born broken,
+	// or ranks entering it would wait out the full timeout.
+	if cause := w.failed(); cause != nil {
+		g.bar.brk(cause)
+	}
+	return g
 }
 
 // Comm is one rank's handle on a communicator.
@@ -212,11 +385,47 @@ func (c *Comm) Size() int { return len(c.group.members) }
 // WorldRank returns the rank in the original Run world.
 func (c *Comm) WorldRank() int { return c.worldRank }
 
-// Abort records err as the world's failure; Run returns it after all ranks
-// finish. Unlike MPI_Abort it does not tear down other ranks (shared-memory
-// goroutines cannot be killed), so bodies should return promptly after Abort.
+// Abort records err as the world's failure and breaks every barrier so all
+// blocked ranks unwind promptly; Run returns the cause joined with any rank
+// errors. Unlike MPI_Abort it does not kill other ranks mid-computation
+// (shared-memory goroutines cannot be killed), but any rank that reaches a
+// communication call after the Abort fails with ErrRankFailed.
 func (c *Comm) Abort(err error) {
-	c.world.failOnce.Do(func() { c.world.failErr = fmt.Errorf("%w: %v", ErrAborted, err) })
+	c.world.failOnce.Do(func() { c.world.failErr = fmt.Errorf("%w: %w", ErrAborted, err) })
+	c.world.fail(c.world.failErr)
+}
+
+// Health returns a snapshot of every world rank's state.
+func (c *Comm) Health() []RankState {
+	out := make([]RankState, len(c.world.health))
+	for i := range c.world.health {
+		out[i] = RankState(c.world.health[i].Load())
+	}
+	return out
+}
+
+// faultPoint consults the fault injector at the start of a communication
+// operation: it sleeps injected latency and dies on an injected crash.
+func (c *Comm) faultPoint() {
+	f := c.world.opts.Fault
+	if f == nil {
+		return
+	}
+	delay, crash := f.CommOp(c.worldRank)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if crash != nil {
+		panic(commFailure{crash})
+	}
+}
+
+// sync awaits the group barrier, converting a broken barrier or deadline
+// expiry into a rank failure.
+func (c *Comm) sync() {
+	if err := c.group.bar.await(c.world.opts.CollectiveTimeout); err != nil {
+		panic(commFailure{err})
+	}
 }
 
 // meter records a communication event on this rank.
@@ -262,22 +471,78 @@ func (c *Comm) channel(src, dst, tag int) chan []float64 {
 
 // Send transmits a copy of data to rank dst with the given tag.
 func (c *Comm) Send(dst, tag int, data []float64) {
+	c.faultPoint()
+	c.sendRaw(dst, tag, data)
+}
+
+// sendRaw is Send without the fault point (used by non-blocking collectives,
+// whose background goroutines must not perturb the deterministic per-rank
+// operation count).
+func (c *Comm) sendRaw(dst, tag int, data []float64) {
 	start := time.Now()
 	c.checkRank(dst)
 	buf := make([]float64, len(data))
 	copy(buf, data)
-	c.channel(c.rank, dst, tag) <- buf
+	ch := c.channel(c.rank, dst, tag)
+	select {
+	case ch <- buf:
+	default:
+		// Channel full: block with deadline and failure wakeup.
+		timer := c.deadline()
+		select {
+		case ch <- buf:
+		case <-c.world.failCh:
+			panic(commFailure{c.world.failCause})
+		case <-timer:
+			panic(commFailure{fmt.Errorf("%w: Send to rank %d (tag %d) after %v", ErrTimeout, dst, tag, c.world.opts.CollectiveTimeout)})
+		}
+	}
 	c.meter(CatP2P, len(data), start)
 }
 
 // Recv blocks until a message with the given tag arrives from src and
-// returns its payload.
+// returns its payload. If the world fails or the deadline expires first,
+// the call unwinds with ErrRankFailed/ErrTimeout.
 func (c *Comm) Recv(src, tag int) []float64 {
+	c.faultPoint()
+	return c.recvRaw(src, tag)
+}
+
+// recvRaw is Recv without the fault point (see sendRaw).
+func (c *Comm) recvRaw(src, tag int) []float64 {
 	start := time.Now()
 	c.checkRank(src)
-	data := <-c.channel(src, c.rank, tag)
+	ch := c.channel(src, c.rank, tag)
+	var data []float64
+	select {
+	case data = <-ch:
+	default:
+		timer := c.deadline()
+		select {
+		case data = <-ch:
+		case <-c.world.failCh:
+			// Prefer data already in flight over the failure, so a
+			// completed exchange is never reported as failed.
+			select {
+			case data = <-ch:
+			default:
+				panic(commFailure{c.world.failCause})
+			}
+		case <-timer:
+			panic(commFailure{fmt.Errorf("%w: Recv from rank %d (tag %d) after %v", ErrTimeout, src, tag, c.world.opts.CollectiveTimeout)})
+		}
+	}
 	c.meter(CatP2P, len(data), start)
 	return data
+}
+
+// deadline returns a timer channel for the collective timeout (nil — which
+// blocks forever — when the deadline is disabled).
+func (c *Comm) deadline() <-chan time.Time {
+	if c.world.opts.CollectiveTimeout <= 0 {
+		return nil
+	}
+	return time.After(c.world.opts.CollectiveTimeout)
 }
 
 func (c *Comm) checkRank(r int) {
@@ -286,10 +551,12 @@ func (c *Comm) checkRank(r int) {
 	}
 }
 
-// Barrier blocks until all ranks in the communicator reach it.
+// Barrier blocks until all ranks in the communicator reach it (or fails
+// with ErrRankFailed/ErrTimeout when the world dies or the deadline passes).
 func (c *Comm) Barrier() {
 	start := time.Now()
-	c.group.bar.await()
+	c.faultPoint()
+	c.sync()
 	c.meter(CatCollective, 0, start)
 }
 
@@ -297,6 +564,7 @@ func (c *Comm) Barrier() {
 // across ranks, as in MPI).
 func (c *Comm) Bcast(root int, data []float64) {
 	start := time.Now()
+	c.faultPoint()
 	c.checkRank(root)
 	g := c.group
 	if c.rank == root {
@@ -304,7 +572,7 @@ func (c *Comm) Bcast(root int, data []float64) {
 		g.result = data
 		g.mu.Unlock()
 	}
-	g.bar.await()
+	c.sync()
 	if c.rank != root {
 		g.mu.Lock()
 		src := g.result
@@ -314,7 +582,7 @@ func (c *Comm) Bcast(root int, data []float64) {
 		}
 		copy(data, src)
 	}
-	g.bar.await()
+	c.sync()
 	c.meter(CatCollective, len(data), start)
 }
 
@@ -322,9 +590,10 @@ func (c *Comm) Bcast(root int, data []float64) {
 // result in every rank's data.
 func (c *Comm) Allreduce(op Op, data []float64) {
 	start := time.Now()
+	c.faultPoint()
 	g := c.group
 	g.slots[c.rank] = data
-	g.bar.await()
+	c.sync()
 	if c.rank == 0 {
 		res := make([]float64, len(data))
 		copy(res, g.slots[0])
@@ -338,12 +607,12 @@ func (c *Comm) Allreduce(op Op, data []float64) {
 		g.result = res
 		g.mu.Unlock()
 	}
-	g.bar.await()
+	c.sync()
 	g.mu.Lock()
 	res := g.result
 	g.mu.Unlock()
 	copy(data, res)
-	g.bar.await()
+	c.sync()
 	c.meter(CatCollective, len(data), start)
 }
 
@@ -357,10 +626,11 @@ func (c *Comm) AllreduceScalar(op Op, v float64) float64 {
 // Reduce reduces onto root only; other ranks' data is unchanged.
 func (c *Comm) Reduce(root int, op Op, data []float64) {
 	start := time.Now()
+	c.faultPoint()
 	c.checkRank(root)
 	g := c.group
 	g.slots[c.rank] = data
-	g.bar.await()
+	c.sync()
 	if c.rank == root {
 		res := make([]float64, len(data))
 		copy(res, g.slots[0])
@@ -369,7 +639,7 @@ func (c *Comm) Reduce(root int, op Op, data []float64) {
 		}
 		copy(data, res)
 	}
-	g.bar.await()
+	c.sync()
 	c.meter(CatCollective, len(data), start)
 }
 
@@ -377,10 +647,11 @@ func (c *Comm) Reduce(root int, op Op, data []float64) {
 // order. Non-root ranks receive nil.
 func (c *Comm) Gather(root int, data []float64) []float64 {
 	start := time.Now()
+	c.faultPoint()
 	c.checkRank(root)
 	g := c.group
 	g.slots[c.rank] = data
-	g.bar.await()
+	c.sync()
 	var out []float64
 	if c.rank == root {
 		for r := 0; r < c.Size(); r++ {
@@ -390,7 +661,7 @@ func (c *Comm) Gather(root int, data []float64) []float64 {
 			out = append(out, g.slots[r]...)
 		}
 	}
-	g.bar.await()
+	c.sync()
 	c.meter(CatCollective, len(data), start)
 	return out
 }
@@ -398,9 +669,10 @@ func (c *Comm) Gather(root int, data []float64) []float64 {
 // Allgather concatenates equal-length contributions in rank order on every rank.
 func (c *Comm) Allgather(data []float64) []float64 {
 	start := time.Now()
+	c.faultPoint()
 	g := c.group
 	g.slots[c.rank] = data
-	g.bar.await()
+	c.sync()
 	out := make([]float64, 0, len(data)*c.Size())
 	for r := 0; r < c.Size(); r++ {
 		if len(g.slots[r]) != len(data) {
@@ -408,7 +680,7 @@ func (c *Comm) Allgather(data []float64) []float64 {
 		}
 		out = append(out, g.slots[r]...)
 	}
-	g.bar.await()
+	c.sync()
 	c.meter(CatCollective, len(data)*c.Size(), start)
 	return out
 }
@@ -417,6 +689,7 @@ func (c *Comm) Allgather(data []float64) []float64 {
 // returns this rank's chunk. src is ignored on non-root ranks.
 func (c *Comm) Scatter(root int, src []float64, count int) []float64 {
 	start := time.Now()
+	c.faultPoint()
 	c.checkRank(root)
 	g := c.group
 	if c.rank == root {
@@ -427,13 +700,13 @@ func (c *Comm) Scatter(root int, src []float64, count int) []float64 {
 		g.result = src
 		g.mu.Unlock()
 	}
-	g.bar.await()
+	c.sync()
 	g.mu.Lock()
 	whole := g.result
 	g.mu.Unlock()
 	out := make([]float64, count)
 	copy(out, whole[c.rank*count:(c.rank+1)*count])
-	g.bar.await()
+	c.sync()
 	c.meter(CatCollective, count, start)
 	return out
 }
@@ -498,34 +771,94 @@ type groupKey struct {
 	color  int
 }
 
-// cyclicBarrier is a reusable synchronization barrier.
+// cyclicBarrier is a reusable synchronization barrier that can be broken:
+// once brk is called every current and future waiter returns the breaking
+// error instead of blocking, which is how a dead rank or an Abort unwinds
+// the survivors.
 type cyclicBarrier struct {
 	mu    sync.Mutex
-	cond  *sync.Cond
 	size  int
 	count int
-	gen   int
+	genCh chan struct{} // closed when the current generation completes
+
+	broken  error
+	brokeCh chan struct{} // closed when the barrier breaks
 }
 
 func newCyclicBarrier(n int) *cyclicBarrier {
-	b := &cyclicBarrier{size: n}
-	b.cond = sync.NewCond(&b.mu)
-	return b
+	return &cyclicBarrier{
+		size:    n,
+		genCh:   make(chan struct{}),
+		brokeCh: make(chan struct{}),
+	}
 }
 
-func (b *cyclicBarrier) await() {
+// await blocks until all ranks arrive, the barrier breaks, or timeout
+// passes (timeout <= 0 disables the deadline). A timed-out waiter breaks
+// the barrier for everyone — the group cannot meaningfully continue.
+func (b *cyclicBarrier) await(timeout time.Duration) error {
 	b.mu.Lock()
-	gen := b.gen
+	if b.broken != nil {
+		err := b.broken
+		b.mu.Unlock()
+		return err
+	}
+	ch := b.genCh
 	b.count++
 	if b.count == b.size {
 		b.count = 0
-		b.gen++
-		b.cond.Broadcast()
+		b.genCh = make(chan struct{})
+		close(ch)
 		b.mu.Unlock()
-		return
-	}
-	for gen == b.gen {
-		b.cond.Wait()
+		return nil
 	}
 	b.mu.Unlock()
+
+	if timeout <= 0 {
+		select {
+		case <-ch:
+			return nil
+		case <-b.brokeCh:
+			return b.brokenErr()
+		}
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-ch:
+		return nil
+	case <-b.brokeCh:
+		// The generation may have completed in the same instant; completion
+		// wins so a successful barrier is never misreported.
+		select {
+		case <-ch:
+			return nil
+		default:
+		}
+		return b.brokenErr()
+	case <-timer.C:
+		select {
+		case <-ch:
+			return nil
+		default:
+		}
+		b.brk(fmt.Errorf("%w: barrier not completed within %v", ErrTimeout, timeout))
+		return b.brokenErr()
+	}
+}
+
+// brk breaks the barrier with cause (first caller wins).
+func (b *cyclicBarrier) brk(cause error) {
+	b.mu.Lock()
+	if b.broken == nil {
+		b.broken = cause
+		close(b.brokeCh)
+	}
+	b.mu.Unlock()
+}
+
+func (b *cyclicBarrier) brokenErr() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.broken
 }

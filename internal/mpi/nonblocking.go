@@ -11,15 +11,21 @@ type Request struct {
 	done   chan struct{}
 	result []float64
 	target []float64
+	err    error // communication failure observed by the background goroutine
 	comm   *Comm
 	start  time.Time
 	floats int
 }
 
 // Wait blocks until the operation completes and the result is visible in
-// the slice passed to the initiating call.
+// the slice passed to the initiating call. If the operation failed (a peer
+// rank died or the deadline expired), Wait unwinds the caller with the
+// typed communication error, exactly as the blocking collectives do.
 func (r *Request) Wait() {
 	<-r.done
+	if r.err != nil {
+		panic(commFailure{r.err})
+	}
 	copy(r.target, r.result)
 	r.comm.meter(CatCollective, r.floats, r.start)
 }
@@ -48,6 +54,7 @@ const iarTagBase = 1 << 24
 // IAllreduce calls in the same order.
 func (c *Comm) IAllreduce(op Op, data []float64) *Request {
 	start := time.Now()
+	c.faultPoint()
 	seq := int(c.group.iarSeq(c.rank))
 	req := &Request{
 		done:   make(chan struct{}),
@@ -62,16 +69,32 @@ func (c *Comm) IAllreduce(op Op, data []float64) *Request {
 	tag := iarTagBase + seq
 
 	go func() {
+		// A communication failure (dead peer, timeout) panics with
+		// commFailure inside the raw sends/receives; capture it so the
+		// background goroutine never crashes the process and Wait can
+		// surface the typed error on the owning rank.
+		defer func() {
+			if p := recover(); p != nil {
+				if cf, ok := p.(commFailure); ok {
+					req.err = cf.err
+				} else {
+					req.err = fmt.Errorf("mpi: IAllreduce panicked: %v", p)
+				}
+			}
+			close(req.done)
+		}()
 		// Binomial-tree reduce to rank 0: in round k, ranks with the k-th
-		// bit set send to (rank − 2^k) and exit; others may receive.
+		// bit set send to (rank − 2^k) and exit; others may receive. The raw
+		// variants skip fault points: injected faults fire on the rank's own
+		// deterministic operation sequence, not on background traffic.
 		val := buf
 		for k := 1; k < size; k <<= 1 {
 			if rank&k != 0 {
-				c.Send(rank-k, tag, val)
+				c.sendRaw(rank-k, tag, val)
 				break
 			}
 			if rank+k < size {
-				other := c.Recv(rank+k, tag)
+				other := c.recvRaw(rank+k, tag)
 				if len(other) != len(val) {
 					panic(fmt.Sprintf("mpi: IAllreduce length mismatch (%d vs %d)", len(other), len(val)))
 				}
@@ -84,15 +107,14 @@ func (c *Comm) IAllreduce(op Op, data []float64) *Request {
 		if rank != 0 {
 			// parent = rank with the lowest set bit cleared.
 			parent := rank - rank&(-rank)
-			val = c.Recv(parent, tag+1)
+			val = c.recvRaw(parent, tag+1)
 		}
 		for k := highestPow2Below(size); k >= 1; k >>= 1 {
 			if rank&(k-1) == 0 && rank&k == 0 && rank+k < size {
-				c.Send(rank+k, tag+1, val)
+				c.sendRaw(rank+k, tag+1, val)
 			}
 		}
 		req.result = val
-		close(req.done)
 	}()
 	return req
 }

@@ -22,12 +22,13 @@ type Win struct {
 // local may be nil for ranks exposing nothing (pure consumers).
 func (c *Comm) CreateWin(local []float64) *Win {
 	start := time.Now()
+	c.faultPoint()
 	g := c.group
 	g.slots[c.rank] = local
-	g.bar.await()
+	c.sync()
 	buffers := make([][]float64, c.Size())
 	copy(buffers, g.slots)
-	g.bar.await()
+	c.sync()
 	c.meter(CatOneSided, 0, start)
 	return &Win{comm: c, buffers: buffers}
 }
@@ -36,7 +37,8 @@ func (c *Comm) CreateWin(local []float64) *Win {
 // complete on every rank once Fence returns.
 func (w *Win) Fence() {
 	start := time.Now()
-	w.comm.group.bar.await()
+	w.comm.faultPoint()
+	w.comm.sync()
 	w.comm.meter(CatOneSided, 0, start)
 }
 
@@ -99,6 +101,6 @@ func (w *Win) target(r int) []float64 {
 
 // Free is collective and invalidates the window.
 func (w *Win) Free() {
-	w.comm.group.bar.await()
+	w.comm.sync()
 	w.buffers = nil
 }

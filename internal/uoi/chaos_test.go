@@ -1,0 +1,285 @@
+package uoi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"uoivar/internal/fault"
+	"uoivar/internal/mpi"
+)
+
+// chaosDeadline bounds every chaos run: the invariant under test is that a
+// faulted pipeline always terminates — typed error or degraded result —
+// and never deadlocks.
+const chaosDeadline = 60 * time.Second
+
+// runBounded runs f under the chaos deadline, failing the test on a hang.
+func runBounded(t *testing.T, f func() error) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- f() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(chaosDeadline):
+		t.Fatal("chaos run deadlocked")
+		return nil
+	}
+}
+
+// typedOutcome reports whether err belongs to the fault-tolerance error
+// taxonomy — every chaos failure must be attributable.
+func typedOutcome(err error) bool {
+	for _, sentinel := range []error{
+		mpi.ErrRankFailed, mpi.ErrTimeout, mpi.ErrAborted, ErrQuorum, fault.ErrInjected,
+	} {
+		if errors.Is(err, sentinel) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSerialQuorumDegradedFit(t *testing.T) {
+	x, y, _ := makeRegression(40, 120, 12, 3, 0.2)
+	plan := fault.NewPlan(1,
+		fault.Event{Kind: fault.Bootstrap, Phase: "selection", K: 2},
+		fault.Event{Kind: fault.Bootstrap, Phase: "estimation", K: 1},
+	)
+	cfg := &LassoConfig{B1: 8, B2: 4, Q: 6, Seed: 3, MinBootstrapFrac: 0.5, BootstrapFault: plan.BootstrapFault}
+	res, err := Lasso(x, y, cfg)
+	if err != nil {
+		t.Fatalf("degraded fit failed: %v", err)
+	}
+	want := BootstrapStats{B1Completed: 7, B1Failed: 1, B2Completed: 3, B2Failed: 1}
+	if res.Bootstrap != want {
+		t.Fatalf("stats = %+v, want %+v", res.Bootstrap, want)
+	}
+	if len(res.Beta) != x.Cols {
+		t.Fatalf("degraded Beta has %d coefficients, want %d", len(res.Beta), x.Cols)
+	}
+	// The same schedule in strict mode fails the whole fit, typed.
+	strict := *cfg
+	strict.MinBootstrapFrac = 0
+	if _, err := Lasso(x, y, &strict); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("strict mode: err = %v, want fault.ErrInjected", err)
+	}
+}
+
+func TestSerialQuorumNotMet(t *testing.T) {
+	x, y, _ := makeRegression(41, 60, 6, 2, 0.2)
+	events := make([]fault.Event, 3)
+	for k := range events {
+		events[k] = fault.Event{Kind: fault.Bootstrap, Phase: "estimation", K: k}
+	}
+	plan := fault.NewPlan(1, events...)
+	cfg := &LassoConfig{B1: 4, B2: 3, Q: 4, Seed: 3, MinBootstrapFrac: 0.5, BootstrapFault: plan.BootstrapFault}
+	_, err := Lasso(x, y, cfg)
+	if !errors.Is(err, ErrQuorum) {
+		t.Fatalf("err = %v, want ErrQuorum", err)
+	}
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatal("quorum error must join the underlying bootstrap failures")
+	}
+}
+
+func TestSerialQuorumDeterministicAcrossWorkers(t *testing.T) {
+	x, y, _ := makeRegression(42, 80, 8, 2, 0.2)
+	plan := fault.NewPlan(1, fault.Event{Kind: fault.Bootstrap, Phase: "selection", K: 1})
+	run := func(workers int) *Result {
+		res, err := Lasso(x, y, &LassoConfig{
+			B1: 6, B2: 3, Q: 5, Seed: 7, Workers: workers,
+			MinBootstrapFrac: 0.5, BootstrapFault: plan.BootstrapFault,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(4)
+	if a.Bootstrap != b.Bootstrap {
+		t.Fatalf("stats differ across worker counts: %+v vs %+v", a.Bootstrap, b.Bootstrap)
+	}
+	for i := range a.Beta {
+		if a.Beta[i] != b.Beta[i] {
+			t.Fatalf("degraded Beta differs across worker counts at %d", i)
+		}
+	}
+}
+
+func TestDistributedQuorumDegradedFit(t *testing.T) {
+	x, y, _ := makeRegression(43, 160, 10, 3, 0.2)
+	rows := make([][]float64, x.Rows)
+	for i := range rows {
+		rows[i] = x.Row(i)
+	}
+	const ranks = 4
+	xs, ys := shuffledBlocks(9, rows, y, x.Cols, ranks)
+	plan := fault.NewPlan(ranks,
+		fault.Event{Kind: fault.Bootstrap, Phase: "selection", K: 1},
+		fault.Event{Kind: fault.Bootstrap, Phase: "estimation", K: 0},
+	)
+	for _, grid := range []Grid{{1, 1}, {2, 1}, {2, 2}} {
+		results := make([]*Result, ranks)
+		err := runBounded(t, func() error {
+			return mpi.Run(ranks, func(c *mpi.Comm) error {
+				xl := denseFromRows(xs[c.Rank()], x.Cols)
+				res, err := LassoDistributed(c, xl, ys[c.Rank()], &LassoConfig{
+					B1: 6, B2: 3, Q: 5, Seed: 11,
+					MinBootstrapFrac: 0.5, BootstrapFault: plan.BootstrapFault,
+				}, grid)
+				if err != nil {
+					return err
+				}
+				results[c.Rank()] = res
+				return nil
+			})
+		})
+		if err != nil {
+			t.Fatalf("grid %+v: %v", grid, err)
+		}
+		want := BootstrapStats{B1Completed: 5, B1Failed: 1, B2Completed: 2, B2Failed: 1}
+		for r := 0; r < ranks; r++ {
+			if results[r].Bootstrap != want {
+				t.Fatalf("grid %+v rank %d: stats %+v, want %+v", grid, r, results[r].Bootstrap, want)
+			}
+			for i := range results[0].Beta {
+				if results[r].Beta[i] != results[0].Beta[i] {
+					t.Fatalf("grid %+v: rank %d disagrees at %d", grid, r, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDistributedQuorumNotMetIsCollectiveSafe(t *testing.T) {
+	// Every rank must reach the same ErrQuorum verdict and unwind together
+	// — quorum failure is a result, not a deadlock.
+	x, y, _ := makeRegression(44, 80, 6, 2, 0.2)
+	rows := make([][]float64, x.Rows)
+	for i := range rows {
+		rows[i] = x.Row(i)
+	}
+	const ranks = 4
+	xs, ys := shuffledBlocks(3, rows, y, x.Cols, ranks)
+	events := make([]fault.Event, 3)
+	for k := range events {
+		events[k] = fault.Event{Kind: fault.Bootstrap, Phase: "estimation", K: k}
+	}
+	plan := fault.NewPlan(ranks, events...)
+	err := runBounded(t, func() error {
+		return mpi.Run(ranks, func(c *mpi.Comm) error {
+			xl := denseFromRows(xs[c.Rank()], x.Cols)
+			_, err := LassoDistributed(c, xl, ys[c.Rank()], &LassoConfig{
+				B1: 4, B2: 3, Q: 4, Seed: 5,
+				MinBootstrapFrac: 0.5, BootstrapFault: plan.BootstrapFault,
+			}, Grid{2, 1})
+			if !errors.Is(err, ErrQuorum) {
+				return fmt.Errorf("rank %d: err = %v, want ErrQuorum", c.Rank(), err)
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosSeededSchedules is the capstone: random-but-seeded fault
+// schedules (crashes, stragglers, delays, bootstrap failures) run through
+// the full distributed UoI pipeline. Every run must terminate within the
+// deadline in either a typed error or a valid degraded result, and
+// replaying a seed must reproduce the outcome bit-identically.
+func TestChaosSeededSchedules(t *testing.T) {
+	x, y, _ := makeRegression(50, 120, 8, 2, 0.2)
+	rows := make([][]float64, x.Rows)
+	for i := range rows {
+		rows[i] = x.Row(i)
+	}
+	const ranks = 4
+	xs, ys := shuffledBlocks(13, rows, y, x.Cols, ranks)
+
+	nSeeds := 12
+	if testing.Short() {
+		nSeeds = 4
+	}
+	for seed := uint64(1); seed <= uint64(nSeeds); seed++ {
+		plan := fault.Generate(seed, ranks, fault.GenOptions{
+			PCrash: 0.4, PStraggle: 0.5, PDelay: 0.5, PBootstrap: 0.6,
+			MaxOp: 80, MaxDelay: 2 * time.Millisecond, MaxBootstraps: 3,
+		})
+		run := func() string {
+			plan.Reset()
+			var fingerprint string
+			err := runBounded(t, func() error {
+				return mpi.RunWithOptions(ranks, mpi.RunOptions{
+					CollectiveTimeout: 20 * time.Second,
+					Fault:             plan,
+				}, func(c *mpi.Comm) error {
+					res, err := LassoDistributed(c, denseFromRows(xs[c.Rank()], x.Cols), ys[c.Rank()], &LassoConfig{
+						B1: 4, B2: 3, Q: 4, Seed: 9,
+						MinBootstrapFrac: 0.5, BootstrapFault: plan.BootstrapFault,
+					}, Grid{2, 1})
+					if err != nil {
+						return err
+					}
+					if c.Rank() == 0 {
+						fingerprint = fmt.Sprintf("ok %+v beta %x", res.Bootstrap, float64Bits(res.Beta))
+					}
+					return nil
+				})
+			})
+			if err != nil {
+				if !typedOutcome(err) {
+					t.Fatalf("seed %d (%v): untyped failure: %v", seed, plan, err)
+				}
+				return "err " + err.Error()
+			}
+			return fingerprint
+		}
+		first := run()
+		if replay := run(); replay != first {
+			t.Fatalf("seed %d (%v): outcome not reproducible:\n  first:  %s\n  replay: %s", seed, plan, first, replay)
+		}
+	}
+}
+
+// TestChaosVARCrash drives the VAR pipeline — windows, Kron assembly,
+// consensus ADMM — through a rank crash: it must unwind into a typed error
+// on every rank, never hang in a window fence or barrier.
+func TestChaosVARCrash(t *testing.T) {
+	_, series := makeVARData(53, 4, 1, 160)
+	const ranks = 4
+	plan := fault.NewPlan(ranks, fault.Event{Kind: fault.Crash, Rank: 2, Op: 25})
+	run := func() string {
+		plan.Reset()
+		err := runBounded(t, func() error {
+			return mpi.RunWithOptions(ranks, mpi.RunOptions{
+				CollectiveTimeout: 20 * time.Second,
+				Fault:             plan,
+			}, func(c *mpi.Comm) error {
+				_, err := VARDistributed(c, series, &VARConfig{Order: 1, B1: 3, B2: 2, Q: 3, Seed: 5}, nil)
+				return err
+			})
+		})
+		if !errors.Is(err, mpi.ErrRankFailed) || !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("err = %v, want ErrRankFailed wrapping the injected crash", err)
+		}
+		return err.Error()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("VAR crash outcome not reproducible:\n  first:  %s\n  replay: %s", a, b)
+	}
+}
+
+// float64Bits renders a coefficient vector byte-exactly for fingerprints.
+func float64Bits(xs []float64) []byte {
+	out := make([]byte, 0, len(xs)*8)
+	for _, v := range xs {
+		out = append(out, []byte(fmt.Sprintf("%016x", math.Float64bits(v)))...)
+	}
+	return out
+}

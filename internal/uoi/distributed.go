@@ -96,6 +96,17 @@ func LassoDistributedPhases(comm *mpi.Comm, xSel *mat.Dense, ySel []float64, xEs
 	if groups > 1 {
 		sub = comm.Split(g, comm.Rank())
 	}
+	// Degraded quorum mode (MinBootstrapFrac > 0): a failed bootstrap is
+	// dropped by agreement among the ranks that process it, instead of
+	// failing the whole fit. Selection bootstrap k is processed by every
+	// rank of bootstrap row b = k mod PB (PLambda·admmCores ranks), so the
+	// per-bootstrap agreement domain is the row communicator; estimation
+	// bootstrap k is owned by a single ADMM group, so its domain is sub.
+	quorum := c.MinBootstrapFrac > 0
+	rowComm := comm
+	if quorum && grid.PB > 1 {
+		rowComm = comm.Split(b, comm.Rank())
+	}
 
 	p := xSel.Cols
 	nLocal := xSel.Rows
@@ -134,24 +145,46 @@ func LassoDistributedPhases(comm *mpi.Comm, xSel *mat.Dense, ySel []float64, xEs
 	// accordingly. The (possibly soft) intersection of eq. 3 is then a
 	// threshold on the summed counts.
 	counts := make([]float64, q*p)
+	okB1 := make([]float64, c.B1)
 	for k := 0; k < c.B1; k++ {
 		if k%grid.PB != b {
 			continue
 		}
-		rng := root.Derive(uint64(k) + 1).Derive(uint64(comm.Rank()) + 1)
-		idx := resample.Bootstrap(rng, nLocal)
-		xb := xSel.SelectRows(idx)
-		yb := selectVec(ySel, idx)
-		var solver *admm.ConsensusSolver
-		var err error
-		if c.L2 > 0 {
-			solver, err = admm.NewConsensusSolverElastic(sub, xb, yb, c.ADMM.Rho, c.L2)
-		} else {
-			solver, err = admm.NewConsensusSolver(sub, xb, yb, c.ADMM.Rho)
+		// The injected fault is rank-independent, so every rank of the row
+		// skips solver construction (a collective) for the same k.
+		var faultErr error
+		if c.BootstrapFault != nil {
+			faultErr = c.BootstrapFault("selection", k)
 		}
-		if err != nil {
+		var solver *admm.ConsensusSolver
+		err := faultErr
+		if faultErr == nil {
+			rng := root.Derive(uint64(k) + 1).Derive(uint64(comm.Rank()) + 1)
+			idx := resample.Bootstrap(rng, nLocal)
+			xb := xSel.SelectRows(idx)
+			yb := selectVec(ySel, idx)
+			if c.L2 > 0 {
+				solver, err = admm.NewConsensusSolverElastic(sub, xb, yb, c.ADMM.Rho, c.L2)
+			} else {
+				solver, err = admm.NewConsensusSolver(sub, xb, yb, c.ADMM.Rho)
+			}
+		}
+		if err != nil && !quorum {
 			return nil, fmt.Errorf("uoi: selection bootstrap %d: %w", k, err)
 		}
+		if quorum {
+			// Solver construction fails locally (its only collective, the
+			// rho Allreduce, precedes any error return), so the row agrees
+			// per bootstrap whether every participant can proceed.
+			okLocal := 1.0
+			if err != nil {
+				okLocal = 0
+			}
+			if rowComm.AllreduceScalar(mpi.OpMin, okLocal) == 0 {
+				continue // bootstrap k dropped row-wide
+			}
+		}
+		okB1[k] = 1
 		var warmZ []float64
 		for j, lam := range lambdas {
 			if j%grid.PLambda != l {
@@ -173,7 +206,26 @@ func LassoDistributedPhases(comm *mpi.Comm, xSel *mat.Dense, ySel []float64, xEs
 	// World-wide combination across bootstrap groups; every rank of an ADMM
 	// group contributed identical counts, so divide by admmCores.
 	comm.Allreduce(mpi.OpSum, counts)
-	threshold := float64(selectionThreshold(c.SelectionFrac, c.B1))
+	b1Done := c.B1
+	if quorum {
+		// Every rank of the responsible row set okB1[k] identically, so a
+		// Max reduction gives the world-agreed completed set — and with it
+		// every rank reaches the same quorum verdict without extra rounds.
+		comm.Allreduce(mpi.OpMax, okB1)
+		b1Done = 0
+		for _, ok := range okB1 {
+			if ok > 0 {
+				b1Done++
+			}
+		}
+		res.Bootstrap.B1Completed, res.Bootstrap.B1Failed = b1Done, c.B1-b1Done
+		if need := quorumCount(c.MinBootstrapFrac, c.B1); b1Done < need {
+			return nil, fmt.Errorf("%w: selection completed %d/%d, need %d", ErrQuorum, b1Done, c.B1, need)
+		}
+	} else {
+		res.Bootstrap.B1Completed = c.B1
+	}
+	threshold := float64(selectionThreshold(c.SelectionFrac, b1Done))
 	supports := make([][]int, q)
 	for j := 0; j < q; j++ {
 		for i := 0; i < p; i++ {
@@ -193,20 +245,43 @@ func LassoDistributedPhases(comm *mpi.Comm, xSel *mat.Dense, ySel []float64, xEs
 	// (divided by admmCores) assembles the full set, so both the averaging
 	// union and the median union see every winner.
 	winners := make([]float64, c.B2*p)
+	okB2 := make([]float64, c.B2)
 	for k := 0; k < c.B2; k++ {
 		if k%groups != g {
 			continue
 		}
-		rng := root.Derive(1_000_000 + uint64(k)).Derive(uint64(comm.Rank()) + 1)
-		trainIdx, evalIdx := resample.TrainEvalSplit(rng, nEst, c.TrainFrac)
-		xt := xEst.SelectRows(trainIdx)
-		yt := selectVec(yEst, trainIdx)
-		xe := xEst.SelectRows(evalIdx)
-		ye := selectVec(yEst, evalIdx)
-		solver, err := admm.NewConsensusSolver(sub, xt, yt, c.ADMM.Rho)
-		if err != nil {
+		var faultErr error
+		if c.BootstrapFault != nil {
+			faultErr = c.BootstrapFault("estimation", k)
+		}
+		var solver *admm.ConsensusSolver
+		var xe *mat.Dense
+		var ye []float64
+		err := faultErr
+		if faultErr == nil {
+			rng := root.Derive(1_000_000 + uint64(k)).Derive(uint64(comm.Rank()) + 1)
+			trainIdx, evalIdx := resample.TrainEvalSplit(rng, nEst, c.TrainFrac)
+			xt := xEst.SelectRows(trainIdx)
+			yt := selectVec(yEst, trainIdx)
+			xe = xEst.SelectRows(evalIdx)
+			ye = selectVec(yEst, evalIdx)
+			solver, err = admm.NewConsensusSolver(sub, xt, yt, c.ADMM.Rho)
+		}
+		if err != nil && !quorum {
 			return nil, fmt.Errorf("uoi: estimation bootstrap %d: %w", k, err)
 		}
+		if quorum {
+			// An estimation bootstrap is owned by one ADMM group, so the
+			// agreement domain is sub.
+			okLocal := 1.0
+			if err != nil {
+				okLocal = 0
+			}
+			if sub.AllreduceScalar(mpi.OpMin, okLocal) == 0 {
+				continue // bootstrap k dropped group-wide
+			}
+		}
+		okB2[k] = 1
 		bestLoss := 0.0
 		var bestBeta []float64
 		first := true
@@ -230,11 +305,31 @@ func LassoDistributedPhases(comm *mpi.Comm, xSel *mat.Dense, ySel []float64, xEs
 		copy(winners[k*p:(k+1)*p], bestBeta)
 	}
 	comm.Allreduce(mpi.OpSum, winners)
-	winnerRows := make([][]float64, c.B2)
+	b2Done := c.B2
+	if quorum {
+		comm.Allreduce(mpi.OpMax, okB2)
+		b2Done = 0
+		for _, ok := range okB2 {
+			if ok > 0 {
+				b2Done++
+			}
+		}
+		res.Bootstrap.B2Completed, res.Bootstrap.B2Failed = b2Done, c.B2-b2Done
+		if need := quorumCount(c.MinBootstrapFrac, c.B2); b2Done < need {
+			return nil, fmt.Errorf("%w: estimation completed %d/%d, need %d", ErrQuorum, b2Done, c.B2, need)
+		}
+	} else {
+		res.Bootstrap.B2Completed = c.B2
+	}
+	// Dropped bootstraps left zero rows; the union is over completed rows.
+	winnerRows := make([][]float64, 0, b2Done)
 	for k := 0; k < c.B2; k++ {
+		if quorum && okB2[k] == 0 {
+			continue
+		}
 		row := winners[k*p : (k+1)*p]
 		mat.ScaleVec(row, 1/float64(admmCores))
-		winnerRows[k] = row
+		winnerRows = append(winnerRows, row)
 	}
 	res.Beta = combineWinners(winnerRows, p, c.MedianUnion)
 	res.SelectedSupport = admm.Support(res.Beta, c.SupportTol)

@@ -15,6 +15,7 @@
 package uoi
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -73,6 +74,21 @@ type LassoConfig struct {
 	// in-process form of the paper's P_B parallelism). Results are
 	// identical at any worker count; 0/1 = sequential.
 	Workers int
+	// MinBootstrapFrac enables graceful degradation under faults: when
+	// positive, a failed selection or estimation bootstrap is dropped and
+	// recorded in Result.Bootstrap instead of failing the whole fit, as
+	// long as at least ceil(MinBootstrapFrac·B) bootstraps of each phase
+	// complete (the quorum). The selection threshold and the estimation
+	// union are taken over the completed bootstraps only. When the quorum
+	// is not met the fit fails with an error wrapping ErrQuorum. 0 keeps
+	// the strict behavior: any bootstrap error fails the whole fit.
+	MinBootstrapFrac float64
+	// BootstrapFault injects a failure into bootstrap k of the named phase
+	// ("selection" or "estimation") — the fault-injection hook driven by
+	// the chaos tests (see internal/fault). It must be a pure function of
+	// (phase, k), identical on every rank, so the distributed algorithms
+	// agree on the outcome without communication. nil disables injection.
+	BootstrapFault func(phase string, k int) error
 	// ADMM carries solver options.
 	ADMM admm.Options
 }
@@ -104,7 +120,41 @@ func (c *LassoConfig) defaults() LassoConfig {
 	if o.SelectionFrac <= 0 || o.SelectionFrac > 1 {
 		o.SelectionFrac = 1
 	}
+	if o.MinBootstrapFrac < 0 {
+		o.MinBootstrapFrac = 0
+	}
+	if o.MinBootstrapFrac > 1 {
+		o.MinBootstrapFrac = 1
+	}
 	return o
+}
+
+// ErrQuorum reports that too few bootstraps of a phase completed to
+// assemble even a degraded fit (see LassoConfig.MinBootstrapFrac).
+var ErrQuorum = errors.New("uoi: bootstrap quorum not met")
+
+// BootstrapStats records per-phase bootstrap attrition. In strict mode
+// every bootstrap either completes or fails the fit, so Failed is always 0;
+// under MinBootstrapFrac quorum mode the Failed counts tell how degraded
+// the returned model is.
+type BootstrapStats struct {
+	B1Completed int // selection bootstraps that completed
+	B1Failed    int // selection bootstraps dropped
+	B2Completed int // estimation bootstraps that completed
+	B2Failed    int // estimation bootstraps dropped
+}
+
+// quorumCount is the minimum completed-bootstrap count ceil(frac·b),
+// clamped to [1, b].
+func quorumCount(frac float64, b int) int {
+	q := int(math.Ceil(frac * float64(b)))
+	if q < 1 {
+		q = 1
+	}
+	if q > b {
+		q = b
+	}
+	return q
 }
 
 // selectionThreshold returns the minimum bootstrap count a feature needs to
@@ -181,6 +231,9 @@ type Result struct {
 	SelectedSupport []int
 	// Intercept is the fitted offset when Standardize was set (0 otherwise).
 	Intercept float64
+	// Bootstrap reports how many bootstraps completed vs were dropped
+	// (degraded quorum mode; see LassoConfig.MinBootstrapFrac).
+	Bootstrap BootstrapStats
 	// Diag reports timing/work counters.
 	Diag Diagnostics
 }
@@ -215,7 +268,12 @@ func Lasso(x *mat.Dense, y []float64, cfg *LassoConfig) (*Result, error) {
 		counts[j] = make([]int, p)
 	}
 	var selMu sync.Mutex
-	err := forEachBootstrap(c.Workers, c.B1, func(k int) error {
+	selFn := func(k int) error {
+		if c.BootstrapFault != nil {
+			if err := c.BootstrapFault("selection", k); err != nil {
+				return fmt.Errorf("uoi: selection bootstrap %d: %w", k, err)
+			}
+		}
 		rng := root.Derive(uint64(k) + 1)
 		idx := resample.Bootstrap(rng, n)
 		xb := x.SelectRows(idx)
@@ -261,11 +319,25 @@ func Lasso(x *mat.Dense, y []float64, cfg *LassoConfig) (*Result, error) {
 		}
 		selMu.Unlock()
 		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	threshold := selectionThreshold(c.SelectionFrac, c.B1)
+	b1Done := c.B1
+	if c.MinBootstrapFrac > 0 {
+		failed := compactErrs(forEachBootstrapCollect(c.Workers, c.B1, selFn))
+		b1Done = c.B1 - len(failed)
+		res.Bootstrap.B1Completed, res.Bootstrap.B1Failed = b1Done, len(failed)
+		if need := quorumCount(c.MinBootstrapFrac, c.B1); b1Done < need {
+			head := fmt.Errorf("%w: selection completed %d/%d, need %d", ErrQuorum, b1Done, c.B1, need)
+			return nil, errors.Join(append([]error{head}, failed...)...)
+		}
+	} else {
+		if err := forEachBootstrap(c.Workers, c.B1, selFn); err != nil {
+			return nil, err
+		}
+		res.Bootstrap.B1Completed = c.B1
+	}
+	// In degraded mode the intersection threshold is relative to the
+	// bootstraps that actually completed.
+	threshold := selectionThreshold(c.SelectionFrac, b1Done)
 	supports := make([][]int, len(lambdas))
 	for j := range supports {
 		for i, ct := range counts[j] {
@@ -282,7 +354,12 @@ func Lasso(x *mat.Dense, y []float64, cfg *LassoConfig) (*Result, error) {
 	distinct := dedupeSupports(supports)
 	winners := make([][]float64, c.B2)
 	var estMu sync.Mutex
-	err = forEachBootstrap(c.Workers, c.B2, func(k int) error {
+	estFn := func(k int) error {
+		if c.BootstrapFault != nil {
+			if err := c.BootstrapFault("estimation", k); err != nil {
+				return fmt.Errorf("uoi: estimation bootstrap %d: %w", k, err)
+			}
+		}
 		rng := root.Derive(1_000_000 + uint64(k))
 		trainIdx, evalIdx := resample.TrainEvalSplit(rng, n, c.TrainFrac)
 		xt := x.SelectRows(trainIdx)
@@ -312,11 +389,30 @@ func Lasso(x *mat.Dense, y []float64, cfg *LassoConfig) (*Result, error) {
 		estMu.Unlock()
 		winners[k] = bestBeta
 		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	res.Beta = combineWinners(winners, p, c.MedianUnion)
+	if c.MinBootstrapFrac > 0 {
+		failed := compactErrs(forEachBootstrapCollect(c.Workers, c.B2, estFn))
+		b2Done := c.B2 - len(failed)
+		res.Bootstrap.B2Completed, res.Bootstrap.B2Failed = b2Done, len(failed)
+		if need := quorumCount(c.MinBootstrapFrac, c.B2); b2Done < need {
+			head := fmt.Errorf("%w: estimation completed %d/%d, need %d", ErrQuorum, b2Done, c.B2, need)
+			return nil, errors.Join(append([]error{head}, failed...)...)
+		}
+	} else {
+		if err := forEachBootstrap(c.Workers, c.B2, estFn); err != nil {
+			return nil, err
+		}
+		res.Bootstrap.B2Completed = c.B2
+	}
+	// Failed bootstraps left their winners row nil; the union is over the
+	// completed rows only.
+	completed := winners[:0:0]
+	for _, w := range winners {
+		if w != nil {
+			completed = append(completed, w)
+		}
+	}
+	res.Beta = combineWinners(completed, p, c.MedianUnion)
 	res.SelectedSupport = admm.Support(res.Beta, c.SupportTol)
 	res.Diag.EstimationTime = time.Since(tEst)
 	return res, nil
