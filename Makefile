@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench vet fmt experiments csv examples clean
+.PHONY: build test test-short test-race bench bench-full vet fmt experiments csv examples clean
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,13 @@ test-short:
 test-race:
 	$(GO) test -race -short ./...
 
+# Regenerate the machine-readable benchmark artifact (schema uoivar/bench/v1):
+# trace overhead on/off, kernel shapes, ADMM, and full-pipeline fits.
 bench:
+	$(GO) run ./cmd/benchjson -o BENCH_PR2.json
+
+# The full go-test benchmark suite (every paper table/figure + ablations).
+bench-full:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every paper table/figure to stdout.

@@ -5,24 +5,55 @@
 //	experiments -list
 //	experiments -exp fig4
 //	experiments -all
+//
+// With -perf-report a process-wide kernel tracer is installed for the run
+// and a PerfReport JSON with the aggregate kernel spans (mat/gemm, mat/ata,
+// mat/chol, ...) is written afterwards; -pprof serves net/http/pprof and
+// expvar for live inspection.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"time"
 
 	"uoivar/internal/experiments"
+	"uoivar/internal/mat"
+	"uoivar/internal/trace"
 )
 
 func main() {
 	var (
-		list = flag.Bool("list", false, "list available experiments")
-		exp  = flag.String("exp", "", "experiment to run (e.g. fig4, tab2, fig11)")
-		all  = flag.Bool("all", false, "run every experiment")
-		csv  = flag.String("csv", "", "write the scaling figures as CSV series into this directory")
+		list       = flag.Bool("list", false, "list available experiments")
+		exp        = flag.String("exp", "", "experiment to run (e.g. fig4, tab2, fig11)")
+		all        = flag.Bool("all", false, "run every experiment")
+		csv        = flag.String("csv", "", "write the scaling figures as CSV series into this directory")
+		perfReport = flag.String("perf-report", "", "write aggregate kernel-span PerfReport JSON to this file (\"-\" = stdout)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof server:", err)
+			}
+		}()
+	}
+	var tr *trace.Tracer
+	start := time.Now()
+	if *perfReport != "" {
+		// Process-wide kernel tracer: every mat kernel call in the run folds
+		// into one aggregate entry (experiments run many fits, serial and
+		// multi-rank, in one process — per-rank attribution belongs to
+		// uoifit -perf-report).
+		tr = trace.New()
+		mat.SetTracer(tr)
+		defer writePerf(*perfReport, tr, start)
+	}
 
 	if *csv != "" {
 		files, err := experiments.WriteCSV(*csv)
@@ -60,5 +91,30 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// writePerf emits the aggregate kernel report collected over the run.
+func writePerf(path string, tr *trace.Tracer, start time.Time) {
+	mat.SetTracer(nil)
+	report := trace.NewPerfReport("experiments", time.Since(start).Seconds(),
+		[]trace.RankPerf{tr.RankPerf(0)})
+	var err error
+	if path == "-" {
+		err = report.WriteJSON(os.Stdout)
+	} else {
+		var f *os.File
+		if f, err = os.Create(path); err == nil {
+			err = report.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err == nil {
+				fmt.Println("perf report written to", path)
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perf report:", err)
 	}
 }

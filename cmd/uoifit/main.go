@@ -10,58 +10,127 @@
 //	uoifit -algo var -data series.hbf -ranks 4 -order 1 -edges edges.txt
 //
 // Baselines: -algo lasso-cv | lasso-bic | var-cv.
+//
+// Performance observability:
+//
+//	uoifit -algo lasso -data data.hbf -ranks 4 -perf-report perf.json
+//
+// writes a structured PerfReport (schema uoivar/perf-report/v1) with each
+// rank's phase timings joined against its communication meters — the
+// machine-readable form of the paper's computation-vs-communication
+// breakdown. "-" writes to stdout. -pprof serves net/http/pprof and expvar,
+// -cpuprofile writes a CPU profile for the whole run.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime/pprof"
+	"sync"
+	"time"
 
 	"uoivar/internal/admm"
 	"uoivar/internal/distio"
 	"uoivar/internal/hbf"
 	"uoivar/internal/mat"
 	"uoivar/internal/mpi"
+	"uoivar/internal/trace"
 	"uoivar/internal/uoi"
 	"uoivar/internal/varsim"
 )
 
+// options carries every run parameter; the previous 15-positional-argument
+// run() signature had become unreadable and unextendable.
+type options struct {
+	Algo  string
+	Data  string
+	Ranks int
+	B1    int
+	B2    int
+	Q     int
+	Ratio float64
+	Seed  uint64
+	Order int
+	// MaxOrder bounds the BIC order search when Order ≤ 0.
+	MaxOrder int
+	PB       int
+	PL       int
+	Readers  int
+	Edges    string
+	Dot      string
+	// PerfReport, when non-empty, enables tracing and writes the per-rank
+	// PerfReport JSON to this path ("-" = stdout).
+	PerfReport string
+	// KernelWorkers overrides the per-kernel-call worker budget (0 = derive
+	// from rank count, <0 = full machine per call).
+	KernelWorkers int
+}
+
 func main() {
 	var (
-		algo    = flag.String("algo", "lasso", "lasso | var | lasso-cv | lasso-bic | var-cv")
-		data    = flag.String("data", "", "input HBF file")
-		ranks   = flag.Int("ranks", 4, "simulated MPI ranks")
-		b1      = flag.Int("b1", 20, "selection bootstraps")
-		b2      = flag.Int("b2", 10, "estimation bootstraps")
-		q       = flag.Int("q", 8, "λ-grid size")
-		ratio   = flag.Float64("ratio", 1e-3, "λ_min/λ_max")
-		seed    = flag.Uint64("seed", 1, "RNG seed")
-		order   = flag.Int("order", 1, "VAR order (0 = select by BIC up to -maxorder)")
-		maxOrd  = flag.Int("maxorder", 4, "maximum order considered when -order 0")
-		pb      = flag.Int("pb", 1, "bootstrap-level parallelism P_B")
-		pl      = flag.Int("pl", 1, "λ-level parallelism P_λ")
-		readers = flag.Int("readers", 2, "reader ranks for the VAR Kronecker assembly")
-		edges   = flag.String("edges", "", "write the Granger edge list to this file (var algos)")
-		dot     = flag.String("dot", "", "write Graphviz DOT to this file (var algos)")
+		o          options
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
+	flag.StringVar(&o.Algo, "algo", "lasso", "lasso | var | lasso-cv | lasso-bic | var-cv")
+	flag.StringVar(&o.Data, "data", "", "input HBF file")
+	flag.IntVar(&o.Ranks, "ranks", 4, "simulated MPI ranks")
+	flag.IntVar(&o.B1, "b1", 20, "selection bootstraps")
+	flag.IntVar(&o.B2, "b2", 10, "estimation bootstraps")
+	flag.IntVar(&o.Q, "q", 8, "λ-grid size")
+	flag.Float64Var(&o.Ratio, "ratio", 1e-3, "λ_min/λ_max")
+	flag.Uint64Var(&o.Seed, "seed", 1, "RNG seed")
+	flag.IntVar(&o.Order, "order", 1, "VAR order (0 = select by BIC up to -maxorder)")
+	flag.IntVar(&o.MaxOrder, "maxorder", 4, "maximum order considered when -order 0")
+	flag.IntVar(&o.PB, "pb", 1, "bootstrap-level parallelism P_B")
+	flag.IntVar(&o.PL, "pl", 1, "λ-level parallelism P_λ")
+	flag.IntVar(&o.Readers, "readers", 2, "reader ranks for the VAR Kronecker assembly")
+	flag.StringVar(&o.Edges, "edges", "", "write the Granger edge list to this file (var algos)")
+	flag.StringVar(&o.Dot, "dot", "", "write Graphviz DOT to this file (var algos)")
+	flag.StringVar(&o.PerfReport, "perf-report", "", "write per-rank phase/comm PerfReport JSON to this file (\"-\" = stdout)")
+	flag.IntVar(&o.KernelWorkers, "kernel-workers", 0, "per-kernel-call worker budget (0 = GOMAXPROCS/ranks, <0 = full machine)")
 	flag.Parse()
-	if *data == "" {
+	if o.Data == "" {
 		fmt.Fprintln(os.Stderr, "missing -data")
 		os.Exit(2)
 	}
-	if err := run(*algo, *data, *ranks, *b1, *b2, *q, *ratio, *seed, *order, *maxOrd, *pb, *pl, *readers, *edges, *dot); err != nil {
+	if *pprofAddr != "" {
+		expvar.Publish("uoifit.algo", expvar.Func(func() any { return o.Algo }))
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof server:", err)
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := run(&o); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 }
 
-func run(algo, data string, ranks, b1, b2, q int, ratio float64, seed uint64, order, maxOrd, pb, pl, readers int, edgesPath, dotPath string) error {
-	if order <= 0 && (algo == "var" || algo == "var-cv") {
-		series, err := readSeries(data)
+func run(o *options) error {
+	if o.Order <= 0 && (o.Algo == "var" || o.Algo == "var-cv") {
+		series, err := readSeries(o.Data)
 		if err != nil {
 			return err
 		}
-		best, scores, err := varsim.SelectOrder(series, maxOrd, varsim.BIC)
+		best, scores, err := varsim.SelectOrder(series, o.MaxOrder, varsim.BIC)
 		if err != nil {
 			return err
 		}
@@ -69,36 +138,97 @@ func run(algo, data string, ranks, b1, b2, q int, ratio float64, seed uint64, or
 			fmt.Printf("order %d: BIC %.2f (RSS %.4g)\n", sc.Order, sc.Score, sc.RSS)
 		}
 		fmt.Printf("selected order %d by BIC\n", best)
-		order = best
+		o.Order = best
 	}
-	switch algo {
+	switch o.Algo {
 	case "lasso":
-		return runLasso(data, ranks, b1, b2, q, ratio, seed, pb, pl)
+		return runLasso(o)
 	case "var":
-		return runVAR(data, ranks, b1, b2, q, ratio, seed, order, readers, edgesPath, dotPath)
+		return runVAR(o)
 	case "lasso-cv", "lasso-bic":
-		return runLassoBaseline(algo, data, q, seed)
+		return runLassoBaseline(o)
 	case "var-cv":
-		return runVARBaseline(data, order, q, seed, edgesPath, dotPath)
+		return runVARBaseline(o)
 	default:
-		return fmt.Errorf("unknown algorithm %q", algo)
+		return fmt.Errorf("unknown algorithm %q", o.Algo)
 	}
 }
 
-func runLasso(data string, ranks, b1, b2, q int, ratio float64, seed uint64, pb, pl int) error {
+// perfCollector gathers per-rank PerfReport entries from inside an mpi.Run
+// body. Disabled (nil tracers, no output) when path is empty.
+type perfCollector struct {
+	path  string
+	name  string
+	mu    sync.Mutex
+	ranks []trace.RankPerf
+	start time.Time
+}
+
+func newPerfCollector(path, name string) *perfCollector {
+	return &perfCollector{path: path, name: name, start: time.Now()}
+}
+
+// tracer returns a fresh per-rank tracer, or nil when collection is off.
+func (p *perfCollector) tracer() *trace.Tracer {
+	if p.path == "" {
+		return nil
+	}
+	return trace.New()
+}
+
+// collect joins the rank's spans with its comm meters and stores the entry.
+func (p *perfCollector) collect(c *mpi.Comm, tr *trace.Tracer) {
+	if p.path == "" || tr == nil {
+		return
+	}
+	rp := uoi.RankPerf(c, tr)
+	p.mu.Lock()
+	p.ranks = append(p.ranks, rp)
+	p.mu.Unlock()
+}
+
+// write emits the assembled report.
+func (p *perfCollector) write() error {
+	if p.path == "" {
+		return nil
+	}
+	report := trace.NewPerfReport(p.name, time.Since(p.start).Seconds(), p.ranks)
+	if p.path == "-" {
+		return report.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(p.path)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("perf report written to", p.path)
+	return nil
+}
+
+func runLasso(o *options) error {
 	var result *uoi.Result
-	err := mpi.Run(ranks, func(c *mpi.Comm) error {
-		block, err := distio.RandomizedDistribute(c, data, seed)
+	perf := newPerfCollector(o.PerfReport, "uoi_lasso")
+	err := mpi.Run(o.Ranks, func(c *mpi.Comm) error {
+		block, err := distio.RandomizedDistribute(c, o.Data, o.Seed)
 		if err != nil {
 			return err
 		}
 		x, y := block.XY()
+		tr := perf.tracer()
 		res, err := uoi.LassoDistributed(c, x, y, &uoi.LassoConfig{
-			B1: b1, B2: b2, Q: q, LambdaRatio: ratio, Seed: seed,
-		}, uoi.Grid{PB: pb, PLambda: pl})
+			B1: o.B1, B2: o.B2, Q: o.Q, LambdaRatio: o.Ratio, Seed: o.Seed,
+			KernelWorkers: o.KernelWorkers, Trace: tr,
+		}, uoi.Grid{PB: o.PB, PLambda: o.PL})
 		if err != nil {
 			return err
 		}
+		perf.collect(c, tr)
 		if c.Rank() == 0 {
 			result = res
 		}
@@ -114,7 +244,7 @@ func runLasso(data string, ranks, b1, b2, q int, ratio float64, seed uint64, pb,
 	for _, j := range result.SelectedSupport {
 		fmt.Printf("beta[%d] = %.6f\n", j, result.Beta[j])
 	}
-	return nil
+	return perf.write()
 }
 
 func readSeries(data string) (*mat.Dense, error) {
@@ -130,26 +260,31 @@ func readSeries(data string) (*mat.Dense, error) {
 	return mat.NewDenseData(f.Meta.Rows, f.Meta.Cols, all), nil
 }
 
-func runVAR(data string, ranks, b1, b2, q int, ratio float64, seed uint64, order, readers int, edgesPath, dotPath string) error {
-	series, err := readSeries(data)
+func runVAR(o *options) error {
+	series, err := readSeries(o.Data)
 	if err != nil {
 		return err
 	}
-	if readers > ranks {
-		readers = ranks
+	readers := o.Readers
+	if readers > o.Ranks {
+		readers = o.Ranks
 	}
 	var result *uoi.VARResult
-	err = mpi.Run(ranks, func(c *mpi.Comm) error {
+	perf := newPerfCollector(o.PerfReport, "uoi_var")
+	err = mpi.Run(o.Ranks, func(c *mpi.Comm) error {
 		var s *mat.Dense
 		if c.Rank() < readers {
 			s = series
 		}
+		tr := perf.tracer()
 		res, err := uoi.VARDistributed(c, s, &uoi.VARConfig{
-			Order: order, B1: b1, B2: b2, Q: q, LambdaRatio: ratio, Seed: seed,
+			Order: o.Order, B1: o.B1, B2: o.B2, Q: o.Q, LambdaRatio: o.Ratio, Seed: o.Seed,
+			KernelWorkers: o.KernelWorkers, Trace: tr,
 		}, &uoi.VARDistOptions{NReaders: readers})
 		if err != nil {
 			return err
 		}
+		perf.collect(c, tr)
 		if c.Rank() == 0 {
 			result = res
 		}
@@ -158,14 +293,17 @@ func runVAR(data string, ranks, b1, b2, q int, ratio float64, seed uint64, order
 	if err != nil {
 		return err
 	}
-	return reportVAR(result.A, result.Mu, series.Cols, edgesPath, dotPath,
+	if err := reportVAR(result.A, result.Mu, series.Cols, o.Edges, o.Dot,
 		fmt.Sprintf("UoI_VAR: p=%d order=%d, Kron %.3fs, selection %.3fs, estimation %.3fs",
-			series.Cols, order, result.KronTime.Seconds(),
-			result.Diag.SelectionTime.Seconds(), result.Diag.EstimationTime.Seconds()))
+			series.Cols, o.Order, result.KronTime.Seconds(),
+			result.Diag.SelectionTime.Seconds(), result.Diag.EstimationTime.Seconds())); err != nil {
+		return err
+	}
+	return perf.write()
 }
 
-func runLassoBaseline(algo, data string, q int, seed uint64) error {
-	f, err := hbf.Open(data)
+func runLassoBaseline(o *options) error {
+	f, err := hbf.Open(o.Data)
 	if err != nil {
 		return err
 	}
@@ -183,33 +321,33 @@ func runLassoBaseline(algo, data string, q int, seed uint64) error {
 	x := full.SelectCols(idx)
 	y := full.Col(p, nil)
 	var res *uoi.BaselineResult
-	if algo == "lasso-cv" {
-		res, err = uoi.LassoCV(x, y, 5, q, seed)
+	if o.Algo == "lasso-cv" {
+		res, err = uoi.LassoCV(x, y, 5, o.Q, o.Seed)
 	} else {
-		res, err = uoi.LassoBIC(x, y, q)
+		res, err = uoi.LassoBIC(x, y, o.Q)
 	}
 	if err != nil {
 		return err
 	}
 	sup := admm.Support(res.Beta, 1e-7)
-	fmt.Printf("%s: λ=%.6f, |support|=%d\n", algo, res.Lambda, len(sup))
+	fmt.Printf("%s: λ=%.6f, |support|=%d\n", o.Algo, res.Lambda, len(sup))
 	for _, j := range sup {
 		fmt.Printf("beta[%d] = %.6f\n", j, res.Beta[j])
 	}
 	return nil
 }
 
-func runVARBaseline(data string, order, q int, seed uint64, edgesPath, dotPath string) error {
-	series, err := readSeries(data)
+func runVARBaseline(o *options) error {
+	series, err := readSeries(o.Data)
 	if err != nil {
 		return err
 	}
-	res, a, mu, err := uoi.VARLassoCV(series, order, true, 5, q, seed)
+	res, a, mu, err := uoi.VARLassoCV(series, o.Order, true, 5, o.Q, o.Seed)
 	if err != nil {
 		return err
 	}
-	return reportVAR(a, mu, series.Cols, edgesPath, dotPath,
-		fmt.Sprintf("var-cv baseline: p=%d order=%d λ=%.6f", series.Cols, order, res.Lambda))
+	return reportVAR(a, mu, series.Cols, o.Edges, o.Dot,
+		fmt.Sprintf("var-cv baseline: p=%d order=%d λ=%.6f", series.Cols, o.Order, res.Lambda))
 }
 
 func reportVAR(a []*mat.Dense, mu []float64, p int, edgesPath, dotPath, header string) error {

@@ -7,6 +7,7 @@ import (
 
 	"uoivar/internal/datagen"
 	"uoivar/internal/hbf"
+	"uoivar/internal/trace"
 )
 
 // writeTestRegression creates a small [X|y] HBF file.
@@ -33,17 +34,17 @@ func writeTestSeries(t *testing.T) string {
 
 func TestRunLassoPath(t *testing.T) {
 	path := writeTestRegression(t)
-	if err := run("lasso", path, 2, 4, 2, 5, 1e-2, 1, 1, 4, 1, 1, 2, "", ""); err != nil {
+	if err := run(&options{Algo: "lasso", Data: path, Ranks: 2, B1: 4, B2: 2, Q: 5, Ratio: 1e-2, Seed: 1, Order: 1, MaxOrder: 4, PB: 1, PL: 1, Readers: 2}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunLassoBaselines(t *testing.T) {
 	path := writeTestRegression(t)
-	if err := run("lasso-cv", path, 1, 0, 0, 6, 1e-3, 1, 1, 4, 1, 1, 1, "", ""); err != nil {
+	if err := run(&options{Algo: "lasso-cv", Data: path, Ranks: 1, B1: 0, B2: 0, Q: 6, Ratio: 1e-3, Seed: 1, Order: 1, MaxOrder: 4, PB: 1, PL: 1, Readers: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("lasso-bic", path, 1, 0, 0, 6, 1e-3, 1, 1, 4, 1, 1, 1, "", ""); err != nil {
+	if err := run(&options{Algo: "lasso-bic", Data: path, Ranks: 1, B1: 0, B2: 0, Q: 6, Ratio: 1e-3, Seed: 1, Order: 1, MaxOrder: 4, PB: 1, PL: 1, Readers: 1}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -53,7 +54,7 @@ func TestRunVARWithOutputs(t *testing.T) {
 	dir := t.TempDir()
 	edges := filepath.Join(dir, "edges.txt")
 	dot := filepath.Join(dir, "net.dot")
-	if err := run("var", path, 2, 4, 2, 5, 1e-2, 1, 1, 4, 1, 1, 2, edges, dot); err != nil {
+	if err := run(&options{Algo: "var", Data: path, Ranks: 2, B1: 4, B2: 2, Q: 5, Ratio: 1e-2, Seed: 1, Order: 1, MaxOrder: 4, PB: 1, PL: 1, Readers: 2, Edges: edges, Dot: dot}); err != nil {
 		t.Fatal(err)
 	}
 	for _, f := range []string{edges, dot} {
@@ -69,27 +70,87 @@ func TestRunVARWithOutputs(t *testing.T) {
 
 func TestRunVARAutoOrder(t *testing.T) {
 	path := writeTestSeries(t)
-	if err := run("var", path, 2, 3, 2, 4, 1e-2, 1, 0, 3, 1, 1, 2, "", ""); err != nil {
+	if err := run(&options{Algo: "var", Data: path, Ranks: 2, B1: 3, B2: 2, Q: 4, Ratio: 1e-2, Seed: 1, Order: 0, MaxOrder: 3, PB: 1, PL: 1, Readers: 2}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunVARBaselinePath(t *testing.T) {
 	path := writeTestSeries(t)
-	if err := run("var-cv", path, 1, 0, 0, 5, 1e-3, 1, 1, 4, 1, 1, 1, "", ""); err != nil {
+	if err := run(&options{Algo: "var-cv", Data: path, Ranks: 1, B1: 0, B2: 0, Q: 5, Ratio: 1e-3, Seed: 1, Order: 1, MaxOrder: 4, PB: 1, PL: 1, Readers: 1}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunLassoPerfReport runs a distributed fit with -perf-report and
+// checks the artifact parses, carries one entry per rank, and accounts for
+// each rank's wall time with its top-level phases.
+func TestRunLassoPerfReport(t *testing.T) {
+	path := writeTestRegression(t)
+	out := filepath.Join(t.TempDir(), "perf.json")
+	const ranks = 2
+	if err := run(&options{Algo: "lasso", Data: path, Ranks: ranks, B1: 4, B2: 2, Q: 5, Ratio: 1e-2, Seed: 1, Order: 1, MaxOrder: 4, PB: 1, PL: 1, Readers: 2, PerfReport: out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := trace.ParsePerfReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Ranks) != ranks {
+		t.Fatalf("report has %d ranks, want %d", len(report.Ranks), ranks)
+	}
+	if report.WallSeconds <= 0 {
+		t.Fatalf("wall_seconds = %v", report.WallSeconds)
+	}
+	for _, rp := range report.Ranks {
+		if got := rp.TopLevelSeconds(); got <= 0 {
+			t.Fatalf("rank %d has no top-level phase time", rp.Rank)
+		}
+		if got := rp.TopLevelSeconds(); got > report.WallSeconds {
+			t.Fatalf("rank %d phases (%vs) exceed the run wall (%vs)", rp.Rank, got, report.WallSeconds)
+		}
+		if len(rp.Comm) == 0 {
+			t.Fatalf("rank %d has no communication meters", rp.Rank)
+		}
+		if rp.Counters["admm/solves"] <= 0 {
+			t.Fatalf("rank %d missing admm/solves counter", rp.Rank)
+		}
+	}
+}
+
+// TestRunVARPerfReport covers the VAR path of the collector.
+func TestRunVARPerfReport(t *testing.T) {
+	path := writeTestSeries(t)
+	out := filepath.Join(t.TempDir(), "perf.json")
+	if err := run(&options{Algo: "var", Data: path, Ranks: 2, B1: 3, B2: 2, Q: 4, Ratio: 1e-2, Seed: 1, Order: 1, MaxOrder: 4, PB: 1, PL: 1, Readers: 2, PerfReport: out, KernelWorkers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := trace.ParsePerfReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Ranks) != 2 {
+		t.Fatalf("report has %d ranks, want 2", len(report.Ranks))
 	}
 }
 
 func TestRunUnknownAlgo(t *testing.T) {
 	path := writeTestRegression(t)
-	if err := run("nope", path, 1, 1, 1, 2, 1e-3, 1, 1, 4, 1, 1, 1, "", ""); err == nil {
+	if err := run(&options{Algo: "nope", Data: path, Ranks: 1, B1: 1, B2: 1, Q: 2, Ratio: 1e-3, Seed: 1, Order: 1, MaxOrder: 4, PB: 1, PL: 1, Readers: 1}); err == nil {
 		t.Fatal("unknown algorithm must fail")
 	}
 }
 
 func TestRunMissingFile(t *testing.T) {
-	if err := run("lasso", "/nonexistent.hbf", 2, 2, 2, 3, 1e-3, 1, 1, 4, 1, 1, 1, "", ""); err == nil {
+	if err := run(&options{Algo: "lasso", Data: "/nonexistent.hbf", Ranks: 2, B1: 2, B2: 2, Q: 3, Ratio: 1e-3, Seed: 1, Order: 1, MaxOrder: 4, PB: 1, PL: 1, Readers: 1}); err == nil {
 		t.Fatal("missing file must fail")
 	}
 }

@@ -35,18 +35,26 @@ type ConsensusSolver struct {
 // Allreduce (every rank must use the identical ρ for the shared z-update to
 // be a valid prox step).
 func NewConsensusSolver(comm *mpi.Comm, xLocal *mat.Dense, yLocal []float64, rho float64) (*ConsensusSolver, error) {
-	gram := mat.AtA(xLocal)
+	return NewConsensusSolverWorkers(comm, xLocal, yLocal, rho, 0)
+}
+
+// NewConsensusSolverWorkers is NewConsensusSolver with an explicit kernel
+// worker budget for this rank's Gram product and Cholesky (≤0 selects
+// mat.DefaultWorkers). Ranks sharing one machine pass GOMAXPROCS/size so the
+// collective construction does not oversubscribe the cores.
+func NewConsensusSolverWorkers(comm *mpi.Comm, xLocal *mat.Dense, yLocal []float64, rho float64, workers int) (*ConsensusSolver, error) {
+	gram := mat.AtAWorkers(xLocal, workers)
 	if rho <= 0 {
 		rho = comm.AllreduceScalar(mpi.OpSum, MeanDiag(gram)) / float64(comm.Size())
 		if rho <= 0 {
 			rho = 1
 		}
 	}
-	f, err := NewFactorizationGram(gram, rho)
+	f, err := NewFactorizationGramWorkers(gram, rho, workers)
 	if err != nil {
 		return nil, err
 	}
-	f.aty = mat.AtVec(xLocal, yLocal)
+	f.aty = mat.AtVecWorkers(xLocal, yLocal, workers)
 	return &ConsensusSolver{comm: comm, f: f, p: xLocal.Cols}, nil
 }
 
@@ -163,6 +171,7 @@ func (s *ConsensusSolver) run(opts *Options, zUpdate func(z, sumXU []float64, nR
 			break
 		}
 	}
+	countSolve(o.Trace, iters)
 	return &Result{
 		Beta:       z,
 		Iters:      iters,
@@ -178,10 +187,16 @@ func (s *ConsensusSolver) run(opts *Options, zUpdate func(z, sumXU []float64, nR
 // (X_iᵀX_i + (ρ+λ₂)I) while the shared z-update shrinkage stays at scale ρ,
 // so Solve(λ₁) minimizes ½‖Xβ−y‖² + λ₁‖β‖₁ + ½λ₂‖β‖² globally.
 func NewConsensusSolverElastic(comm *mpi.Comm, xLocal *mat.Dense, yLocal []float64, rho, lambda2 float64) (*ConsensusSolver, error) {
+	return NewConsensusSolverElasticWorkers(comm, xLocal, yLocal, rho, lambda2, 0)
+}
+
+// NewConsensusSolverElasticWorkers is NewConsensusSolverElastic with an
+// explicit kernel worker budget for this rank's factorization.
+func NewConsensusSolverElasticWorkers(comm *mpi.Comm, xLocal *mat.Dense, yLocal []float64, rho, lambda2 float64, workers int) (*ConsensusSolver, error) {
 	if lambda2 < 0 {
 		lambda2 = 0
 	}
-	gram := mat.AtA(xLocal)
+	gram := mat.AtAWorkers(xLocal, workers)
 	if rho <= 0 {
 		rho = comm.AllreduceScalar(mpi.OpSum, MeanDiag(gram)) / float64(comm.Size())
 		if rho <= 0 {
@@ -190,11 +205,11 @@ func NewConsensusSolverElastic(comm *mpi.Comm, xLocal *mat.Dense, yLocal []float
 	}
 	// Split λ₂ across ranks: the consensus objective sums rank-local
 	// f_i(x_i), so each rank carries λ₂/N of the global ℓ2 penalty.
-	f, err := NewFactorizationElastic(gram, rho, lambda2/float64(comm.Size()))
+	f, err := NewFactorizationElasticWorkers(gram, rho, lambda2/float64(comm.Size()), workers)
 	if err != nil {
 		return nil, err
 	}
-	f.SetRHS(mat.AtVec(xLocal, yLocal))
+	f.SetRHS(mat.AtVecWorkers(xLocal, yLocal, workers))
 	return &ConsensusSolver{comm: comm, f: f, p: xLocal.Cols}, nil
 }
 

@@ -41,13 +41,19 @@ func ElasticNet(x *mat.Dense, y []float64, lambda1, lambda2 float64, opts *Optio
 // Factorization used when UoI's selection solves carry an ℓ2 term
 // (rho ≤ 0 auto-scales as usual).
 func NewFactorizationElastic(gram *mat.Dense, rho, lambda2 float64) (*Factorization, error) {
+	return NewFactorizationElasticWorkers(gram, rho, lambda2, 0)
+}
+
+// NewFactorizationElasticWorkers is NewFactorizationElastic with an explicit
+// kernel worker budget for the blocked Cholesky.
+func NewFactorizationElasticWorkers(gram *mat.Dense, rho, lambda2 float64, workers int) (*Factorization, error) {
 	if lambda2 < 0 {
 		lambda2 = 0
 	}
 	if rho <= 0 {
 		rho = MeanDiag(gram)
 	}
-	ch, err := mat.NewCholeskyBlocked(mat.AddRidge(gram, rho+lambda2))
+	ch, err := mat.NewCholeskyBlockedWorkers(mat.AddRidge(gram, rho+lambda2), workers)
 	if err != nil {
 		return nil, err
 	}

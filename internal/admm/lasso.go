@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"uoivar/internal/mat"
+	"uoivar/internal/trace"
 )
 
 // Options configures an ADMM solve.
@@ -30,6 +31,17 @@ type Options struct {
 	// WarmStart, if non-nil, seeds z and u (both length p) — used when
 	// sweeping the λ path within a bootstrap.
 	WarmZ, WarmU []float64
+	// KernelWorkers bounds the goroutine parallelism of the dense kernels
+	// (AtA, Cholesky) run by the convenience solvers that build their own
+	// factorizations. ≤0 selects mat.DefaultWorkers. Pipeline callers that
+	// construct factorizations themselves pass the budget to the *Workers
+	// constructors instead.
+	KernelWorkers int
+	// Trace, when non-nil, receives solver counters: "admm/solves",
+	// "admm/iters" and "admm/chol_solves" per Solve, "admm/factorizations"
+	// per factorization built through an Options-carrying entry point.
+	// A nil tracer costs one nil check.
+	Trace *trace.Tracer
 }
 
 func (o *Options) defaults() Options {
@@ -50,7 +62,20 @@ func (o *Options) defaults() Options {
 		out.RelTol = o.RelTol
 	}
 	out.WarmZ, out.WarmU = o.WarmZ, o.WarmU
+	out.KernelWorkers = o.KernelWorkers
+	out.Trace = o.Trace
 	return out
+}
+
+// countSolve folds one solve's work into the tracer (nil-safe).
+func countSolve(tr *trace.Tracer, iters int) {
+	if tr == nil {
+		return
+	}
+	tr.Add("admm/solves", 1)
+	tr.Add("admm/iters", int64(iters))
+	// One Cholesky back-substitution per x-update, i.e. per iteration.
+	tr.Add("admm/chol_solves", int64(iters))
 }
 
 // Result reports a solve outcome.
@@ -101,11 +126,17 @@ type Factorization struct {
 
 // NewFactorization precomputes the factors for design x and response y.
 func NewFactorization(x *mat.Dense, y []float64, rho float64) (*Factorization, error) {
-	f, err := NewFactorizationGram(mat.AtA(x), rho)
+	return NewFactorizationWorkers(x, y, rho, 0)
+}
+
+// NewFactorizationWorkers is NewFactorization with an explicit kernel worker
+// budget for the Gram product and Cholesky (≤0 selects mat.DefaultWorkers).
+func NewFactorizationWorkers(x *mat.Dense, y []float64, rho float64, workers int) (*Factorization, error) {
+	f, err := NewFactorizationGramWorkers(mat.AtAWorkers(x, workers), rho, workers)
 	if err != nil {
 		return nil, err
 	}
-	f.aty = mat.AtVec(x, y)
+	f.aty = mat.AtVecWorkers(x, y, workers)
 	return f, nil
 }
 
@@ -117,10 +148,16 @@ func NewFactorization(x *mat.Dense, y []float64, rho float64) (*Factorization, e
 //
 // rho ≤ 0 auto-scales the penalty to the mean Gram diagonal.
 func NewFactorizationGram(gram *mat.Dense, rho float64) (*Factorization, error) {
+	return NewFactorizationGramWorkers(gram, rho, 0)
+}
+
+// NewFactorizationGramWorkers is NewFactorizationGram with an explicit
+// kernel worker budget for the blocked Cholesky.
+func NewFactorizationGramWorkers(gram *mat.Dense, rho float64, workers int) (*Factorization, error) {
 	if rho <= 0 {
 		rho = MeanDiag(gram)
 	}
-	ch, err := mat.NewCholeskyBlocked(mat.AddRidge(gram, rho))
+	ch, err := mat.NewCholeskyBlockedWorkers(mat.AddRidge(gram, rho), workers)
 	if err != nil {
 		return nil, err
 	}
@@ -150,10 +187,11 @@ func (f *Factorization) Rho() float64 { return f.rho }
 // Lasso solves min ½‖Xβ−y‖² + λ‖β‖₁ with serial ADMM.
 func Lasso(x *mat.Dense, y []float64, lambda float64, opts *Options) (*Result, error) {
 	o := opts.defaults()
-	f, err := NewFactorization(x, y, o.Rho)
+	f, err := NewFactorizationWorkers(x, y, o.Rho, o.KernelWorkers)
 	if err != nil {
 		return nil, err
 	}
+	o.Trace.Add("admm/factorizations", 1)
 	res := f.Solve(lambda, &o)
 	res.Objective = Objective(x, y, res.Beta, lambda)
 	return res, nil
@@ -226,9 +264,11 @@ func (f *Factorization) SolveRHS(aty []float64, lambda float64, opts *Options) *
 		epsPrimal := sqrtP*o.AbsTol + o.RelTol*math.Max(mat.Norm2(x), mat.Norm2(z))
 		epsDual := sqrtP*o.AbsTol + o.RelTol*f.rho*mat.Norm2(u)
 		if primal <= epsPrimal && dual <= epsDual {
+			countSolve(o.Trace, iter)
 			return &Result{Beta: z, Iters: iter, Converged: true, PrimalRes: primal, DualRes: dual}
 		}
 	}
+	countSolve(o.Trace, o.MaxIter)
 	return &Result{Beta: z, Iters: o.MaxIter, Converged: false, PrimalRes: primal, DualRes: dual}
 }
 

@@ -13,13 +13,20 @@ import (
 // Rank-deficient bootstrap designs (|S| close to or above the sample count)
 // are handled with a small ridge fallback.
 func OLSOnSupport(x *mat.Dense, y []float64, support []int) []float64 {
+	return OLSOnSupportWorkers(x, y, support, 0)
+}
+
+// OLSOnSupportWorkers is OLSOnSupport with an explicit kernel worker budget
+// for the Gram product on the support columns (≤0 selects
+// mat.DefaultWorkers).
+func OLSOnSupportWorkers(x *mat.Dense, y []float64, support []int, workers int) []float64 {
 	beta := make([]float64, x.Cols)
 	if len(support) == 0 {
 		return beta
 	}
 	sub := x.SelectCols(support)
-	gram := mat.AtA(sub)
-	aty := mat.AtVec(sub, y)
+	gram := mat.AtAWorkers(sub, workers)
+	aty := mat.AtVecWorkers(sub, y, workers)
 	ch, err := mat.NewCholesky(gram)
 	if err != nil {
 		// Ridge fallback: scale jitter with the average diagonal.

@@ -94,6 +94,7 @@ func (f *VecFactorization) SolveProjected(comm *mpi.Comm, support []bool, opts *
 			break
 		}
 	}
+	f.countSolve(&o, iters)
 	return &admm.Result{
 		Beta:       z,
 		Iters:      iters,

@@ -47,6 +47,14 @@ func GlobalRho(comm *mpi.Comm, b *VecBlock) float64 {
 // NewVecFactorization precomputes factors for the block with penalty rho
 // (rho ≤ 0 falls back to 1; distributed callers should pass GlobalRho).
 func NewVecFactorization(b *VecBlock, rho float64) (*VecFactorization, error) {
+	return NewVecFactorizationWorkers(b, rho, 0)
+}
+
+// NewVecFactorizationWorkers is NewVecFactorization with an explicit kernel
+// worker budget for the per-equation Gram products (≤0 selects
+// mat.DefaultWorkers). Ranks sharing a machine pass their share so the
+// collective construction does not oversubscribe the cores.
+func NewVecFactorizationWorkers(b *VecBlock, rho float64, workers int) (*VecFactorization, error) {
 	if rho <= 0 {
 		rho = 1
 	}
@@ -71,12 +79,12 @@ func NewVecFactorization(b *VecBlock, rho float64) (*VecFactorization, error) {
 		f.rowsOfEq[e] = [2]int{lo, r}
 		sub := b.X.SubRows(lo, r)
 		ySub := b.Y[lo:r]
-		ch, err := mat.NewCholesky(mat.AddRidge(mat.AtA(sub), rho))
+		ch, err := mat.NewCholesky(mat.AddRidge(mat.AtAWorkers(sub, workers), rho))
 		if err != nil {
 			return nil, err
 		}
 		f.chol[e] = ch
-		f.aty[e] = mat.AtVec(sub, ySub)
+		f.aty[e] = mat.AtVecWorkers(sub, ySub, workers)
 	}
 	return f, nil
 }
@@ -180,6 +188,7 @@ func (f *VecFactorization) Solve(comm *mpi.Comm, lambda float64, opts *admm.Opti
 			break
 		}
 	}
+	f.countSolve(&o, iters)
 	return &admm.Result{
 		Beta:       z,
 		Iters:      iters,
@@ -188,6 +197,19 @@ func (f *VecFactorization) Solve(comm *mpi.Comm, lambda float64, opts *admm.Opti
 		DualRes:    dual,
 		AllreduceN: iters,
 	}
+}
+
+// countSolve folds one vectorized solve's work into opts.Trace (nil-safe):
+// the x-update runs one Cholesky back-substitution per locally-held equation
+// per iteration.
+func (f *VecFactorization) countSolve(o *admm.Options, iters int) {
+	tr := o.Trace
+	if tr == nil {
+		return
+	}
+	tr.Add("admm/solves", 1)
+	tr.Add("admm/iters", int64(iters))
+	tr.Add("admm/chol_solves", int64(iters)*int64(len(f.chol)))
 }
 
 // LocalSquaredError returns ½ Σ_local (y_g − a_g·β)² for the block's rows at
@@ -223,5 +245,7 @@ func optsWithDefaults(o *admm.Options) admm.Options {
 		out.RelTol = o.RelTol
 	}
 	out.WarmZ, out.WarmU = o.WarmZ, o.WarmU
+	out.KernelWorkers = o.KernelWorkers
+	out.Trace = o.Trace
 	return out
 }

@@ -2,7 +2,6 @@ package mat
 
 import (
 	"math"
-	"runtime"
 	"sync"
 )
 
@@ -11,57 +10,39 @@ import (
 // MKL-style blocking the paper relies on for the compute phase.
 const blockSize = 64
 
-// parallelThreshold is the minimum number of result elements before a kernel
-// bothers spawning goroutines.
+// parallelThreshold is the minimum flop count (multiply-adds) before a
+// vector kernel (GEMV, Gram accumulation) bothers spawning goroutines.
 const parallelThreshold = 16 * 1024
 
-// Workers controls kernel parallelism; it defaults to GOMAXPROCS. The paper
-// runs 4 OpenMP threads per MPI rank; callers embedding kernels inside an
-// mpi-simulated rank typically set a small value to mimic that.
-var Workers = runtime.GOMAXPROCS(0)
+// gemmParallelFlops is the minimum multiply-add count before GEMM spawns
+// goroutines. GEMM work is m·n·k, NOT the output size m·n — gating on the
+// output alone left tall-skinny products (small m·n, huge inner dimension
+// k) permanently serial. 1M madds corresponds to the old m·n = 16384 gate
+// at the typical k ≈ 64 of the pipeline's Gram-sized products, so square-ish
+// behavior is unchanged while k-dominated shapes now parallelize.
+const gemmParallelFlops = 1 << 20
 
-// parallelFor runs f over [0,n) split into roughly equal contiguous chunks.
-func parallelFor(n int, f func(lo, hi int)) {
-	w := Workers
-	if w < 1 {
-		w = 1
-	}
-	if w == 1 || n < 2 {
-		f(0, n)
-		return
-	}
-	if w > n {
-		w = n
-	}
-	var wg sync.WaitGroup
-	chunk := (n + w - 1) / w
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			f(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
+// Mul computes C = A·B with the default worker budget. Panics on shape
+// mismatch.
+func Mul(a, b *Dense) *Dense { return MulWorkers(a, b, 0) }
 
-// Mul computes C = A·B. Panics on shape mismatch.
-func Mul(a, b *Dense) *Dense {
+// MulWorkers is Mul with an explicit kernel worker budget (≤0 selects
+// DefaultWorkers). Callers running inside wider parallelism — mpi rank
+// goroutines, bootstrap workers — pass their share of the machine.
+func MulWorkers(a, b *Dense, workers int) *Dense {
 	if a.Cols != b.Rows {
 		panic(ErrShape)
 	}
 	c := NewDense(a.Rows, b.Cols)
-	gemm(c, a, b)
+	gemm(c, a, b, clampWorkers(workers))
 	return c
 }
 
 // gemm accumulates a·b into c using i-k-j loop order with row blocking.
-func gemm(c, a, b *Dense) {
+func gemm(c, a, b *Dense, workers int) {
 	m, k, n := a.Rows, a.Cols, b.Cols
+	tr := tracer()
+	sp := tr.Start("mat/gemm")
 	body := func(lo, hi int) {
 		for ii := lo; ii < hi; ii += blockSize {
 			iMax := ii + blockSize
@@ -88,11 +69,16 @@ func gemm(c, a, b *Dense) {
 			}
 		}
 	}
-	if m*n >= parallelThreshold {
-		parallelFor(m, body)
+	// Parallel gate on the flop count m·n·k (multiply-adds), not the output
+	// size: a 32×4096 · 4096×32 product is 4M madds of work even though the
+	// output is only 1024 elements. Splitting needs at least 2 rows.
+	if m >= 2 && m*n*k >= gemmParallelFlops && workers > 1 {
+		tr.SetMax("mat/workers", int64(workers))
+		parallelFor(m, workers, body)
 	} else {
 		body(0, m)
 	}
+	sp.End()
 }
 
 // axpy computes y += a*x with 4-way unrolling.
@@ -110,33 +96,55 @@ func axpy(y []float64, a float64, x []float64) {
 	}
 }
 
-// MulVec computes y = A·x.
-func MulVec(a *Dense, x []float64) []float64 {
+// MulVec computes y = A·x with the default worker budget.
+func MulVec(a *Dense, x []float64) []float64 { return MulVecWorkers(a, x, 0) }
+
+// MulVecWorkers is MulVec with an explicit kernel worker budget (≤0 selects
+// DefaultWorkers).
+func MulVecWorkers(a *Dense, x []float64, workers int) []float64 {
 	if a.Cols != len(x) {
 		panic(ErrShape)
 	}
+	tr := tracer()
+	sp := tr.Start("mat/gemv")
+	w := clampWorkers(workers)
 	y := make([]float64, a.Rows)
 	body := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			y[i] = Dot(a.Row(i), x)
 		}
 	}
-	if a.Rows*a.Cols >= parallelThreshold {
-		parallelFor(a.Rows, body)
+	// a.Rows·a.Cols is the madd count of the product — already a flop gate.
+	if a.Rows >= 2 && a.Rows*a.Cols >= parallelThreshold && w > 1 {
+		tr.SetMax("mat/workers", int64(w))
+		parallelFor(a.Rows, w, body)
 	} else {
 		body(0, a.Rows)
 	}
+	sp.End()
 	return y
 }
 
-// MulTVec computes y = Aᵀ·x without forming the transpose.
-func MulTVec(a *Dense, x []float64) []float64 {
+// MulTVec computes y = Aᵀ·x without forming the transpose, with the default
+// worker budget.
+func MulTVec(a *Dense, x []float64) []float64 { return MulTVecWorkers(a, x, 0) }
+
+// MulTVecWorkers is MulTVec with an explicit kernel worker budget (≤0
+// selects DefaultWorkers).
+func MulTVecWorkers(a *Dense, x []float64, workers int) []float64 {
 	if a.Rows != len(x) {
 		panic(ErrShape)
 	}
+	tr := tracer()
+	sp := tr.Start("mat/gemv_t")
+	w := clampWorkers(workers)
 	y := make([]float64, a.Cols)
-	if a.Rows*a.Cols >= parallelThreshold && Workers > 1 {
-		w := Workers
+	if a.Rows >= 2 && a.Rows*a.Cols >= parallelThreshold && w > 1 {
+		tr.SetMax("mat/workers", int64(w))
+		if w > a.Rows {
+			w = a.Rows
+		}
+		release := noteWorkers(int64(w))
 		partials := make([][]float64, w)
 		var wg sync.WaitGroup
 		chunk := (a.Rows + w - 1) / w
@@ -160,26 +168,36 @@ func MulTVec(a *Dense, x []float64) []float64 {
 			}(t, lo, hi)
 		}
 		wg.Wait()
+		release()
 		for _, p := range partials {
 			if p != nil {
 				axpy(y, 1, p)
 			}
 		}
+		sp.End()
 		return y
 	}
 	for i := 0; i < a.Rows; i++ {
 		axpy(y, x[i], a.Row(i))
 	}
+	sp.End()
 	return y
 }
 
-// AtA computes the Gram matrix AᵀA (symmetric, p×p). This is the dominant
-// O(n·p²) kernel of the ADMM x-update setup.
-func AtA(a *Dense) *Dense {
+// AtA computes the Gram matrix AᵀA (symmetric, p×p) with the default worker
+// budget. This is the dominant O(n·p²) kernel of the ADMM x-update setup.
+func AtA(a *Dense) *Dense { return AtAWorkers(a, 0) }
+
+// AtAWorkers is AtA with an explicit kernel worker budget (≤0 selects
+// DefaultWorkers).
+func AtAWorkers(a *Dense, workers int) *Dense {
 	p := a.Cols
+	tr := tracer()
+	sp := tr.Start("mat/ata")
 	c := NewDense(p, p)
-	nWorkers := Workers
-	if nWorkers < 1 || a.Rows*p*p < parallelThreshold {
+	nWorkers := clampWorkers(workers)
+	// a.Rows·p² is the madd count of the Gram accumulation.
+	if a.Rows < 2 || a.Rows*p*p < parallelThreshold {
 		nWorkers = 1
 	}
 	if nWorkers == 1 {
@@ -194,6 +212,11 @@ func AtA(a *Dense) *Dense {
 			}
 		}
 	} else {
+		tr.SetMax("mat/workers", int64(nWorkers))
+		if nWorkers > a.Rows {
+			nWorkers = a.Rows
+		}
+		release := noteWorkers(int64(nWorkers))
 		// Accumulate per-worker partial Grams over row chunks, then reduce.
 		partials := make([]*Dense, nWorkers)
 		var wg sync.WaitGroup
@@ -225,6 +248,7 @@ func AtA(a *Dense) *Dense {
 			}(t, lo, hi)
 		}
 		wg.Wait()
+		release()
 		for _, part := range partials {
 			if part != nil {
 				c.AddScaled(1, part)
@@ -237,20 +261,29 @@ func AtA(a *Dense) *Dense {
 			c.Data[j*p+i] = c.Data[i*p+j]
 		}
 	}
+	sp.End()
 	return c
 }
 
-// AtB computes AᵀB.
-func AtB(a, b *Dense) *Dense {
+// AtB computes AᵀB with the default worker budget.
+func AtB(a, b *Dense) *Dense { return AtBWorkers(a, b, 0) }
+
+// AtBWorkers is AtB with an explicit kernel worker budget.
+func AtBWorkers(a, b *Dense, workers int) *Dense {
 	if a.Rows != b.Rows {
 		panic(ErrShape)
 	}
-	return Mul(a.T(), b)
+	return MulWorkers(a.T(), b, workers)
 }
 
 // AtVec computes Aᵀy — alias of MulTVec with a clearer name at call sites
 // building normal equations.
-func AtVec(a *Dense, y []float64) []float64 { return MulTVec(a, y) }
+func AtVec(a *Dense, y []float64) []float64 { return MulTVecWorkers(a, y, 0) }
+
+// AtVecWorkers is AtVec with an explicit kernel worker budget.
+func AtVecWorkers(a *Dense, y []float64, workers int) []float64 {
+	return MulTVecWorkers(a, y, workers)
+}
 
 // Dot returns xᵀy.
 func Dot(x, y []float64) float64 {

@@ -2,7 +2,6 @@ package mat
 
 import (
 	"math"
-	"sync"
 )
 
 // cholBlock is the panel width of the blocked factorization. 96 columns
@@ -10,16 +9,23 @@ import (
 const cholBlock = 96
 
 // NewCholeskyBlocked factors a symmetric positive-definite matrix with the
-// right-looking blocked algorithm: factor a diagonal panel, triangular-solve
-// the panel below it, then apply the (parallel) trailing-submatrix update
-// L21·L21ᵀ. The trailing update is GEMM-shaped — the same reason the
-// paper's implementation leans on MKL for its factorizations — and runs
-// across Workers goroutines.
+// right-looking blocked algorithm and the default worker budget.
+func NewCholeskyBlocked(a *Dense) (*Cholesky, error) {
+	return NewCholeskyBlockedWorkers(a, 0)
+}
+
+// NewCholeskyBlockedWorkers factors a symmetric positive-definite matrix
+// with the right-looking blocked algorithm: factor a diagonal panel,
+// triangular-solve the panel below it, then apply the (parallel)
+// trailing-submatrix update L21·L21ᵀ. The trailing update is GEMM-shaped —
+// the same reason the paper's implementation leans on MKL for its
+// factorizations — and runs across at most `workers` goroutines (≤0
+// selects DefaultWorkers).
 //
 // Results are numerically identical in structure to NewCholesky (same
 // algorithm, different loop order); the small-matrix path falls through to
 // the unblocked code.
-func NewCholeskyBlocked(a *Dense) (*Cholesky, error) {
+func NewCholeskyBlockedWorkers(a *Dense, workers int) (*Cholesky, error) {
 	if a.Rows != a.Cols {
 		return nil, ErrShape
 	}
@@ -27,6 +33,10 @@ func NewCholeskyBlocked(a *Dense) (*Cholesky, error) {
 	if n <= cholBlock*2 {
 		return NewCholesky(a)
 	}
+	tr := tracer()
+	sp := tr.Start("mat/chol")
+	defer sp.End()
+	w := clampWorkers(workers)
 	l := make([]float64, n*n)
 	copy(l, a.Data)
 
@@ -44,9 +54,9 @@ func NewCholeskyBlocked(a *Dense) (*Cholesky, error) {
 			break
 		}
 		// 2. Triangular solve the sub-panel: L21 = A21 · L11⁻ᵀ.
-		trsmRight(l, n, k, kb)
+		trsmRight(l, n, k, kb, w)
 		// 3. Trailing update: A22 −= L21 · L21ᵀ (parallel over row blocks).
-		trailingUpdate(l, n, k, kb)
+		trailingUpdate(l, n, k, kb, w)
 	}
 	// Zero the upper triangle.
 	for i := 0; i < n; i++ {
@@ -83,7 +93,7 @@ func cholPanel(l []float64, n, k, kb int) error {
 }
 
 // trsmRight computes L21 = A21 · L11⁻ᵀ for rows k+kb..n-1, columns k..k+kb-1.
-func trsmRight(l []float64, n, k, kb int) {
+func trsmRight(l []float64, n, k, kb, workers int) {
 	lo := k + kb
 	body := func(rLo, rHi int) {
 		for i := rLo; i < rHi; i++ {
@@ -98,15 +108,15 @@ func trsmRight(l []float64, n, k, kb int) {
 			}
 		}
 	}
-	if (n-lo)*kb >= parallelThreshold {
-		parallelForRange(lo, n, body)
+	if (n-lo)*kb >= parallelThreshold && workers > 1 {
+		parallelForRange(lo, n, workers, body)
 	} else {
 		body(lo, n)
 	}
 }
 
 // trailingUpdate computes A22 −= L21 · L21ᵀ over the lower triangle only.
-func trailingUpdate(l []float64, n, k, kb int) {
+func trailingUpdate(l []float64, n, k, kb, workers int) {
 	lo := k + kb
 	body := func(rLo, rHi int) {
 		for i := rLo; i < rHi; i++ {
@@ -122,39 +132,9 @@ func trailingUpdate(l []float64, n, k, kb int) {
 			}
 		}
 	}
-	if (n-lo)*(n-lo)/2*kb >= parallelThreshold {
-		parallelForRange(lo, n, body)
+	if (n-lo)*(n-lo)/2*kb >= parallelThreshold && workers > 1 {
+		parallelForRange(lo, n, workers, body)
 	} else {
 		body(lo, n)
 	}
-}
-
-// parallelForRange splits [lo, hi) across Workers goroutines.
-func parallelForRange(lo, hi int, f func(lo, hi int)) {
-	n := hi - lo
-	w := Workers
-	if w < 1 {
-		w = 1
-	}
-	if w == 1 || n < 2 {
-		f(lo, hi)
-		return
-	}
-	if w > n {
-		w = n
-	}
-	var wg sync.WaitGroup
-	chunk := (n + w - 1) / w
-	for s := lo; s < hi; s += chunk {
-		e := s + chunk
-		if e > hi {
-			e = hi
-		}
-		wg.Add(1)
-		go func(s, e int) {
-			defer wg.Done()
-			f(s, e)
-		}(s, e)
-	}
-	wg.Wait()
 }

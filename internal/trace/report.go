@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// SchemaVersion identifies the PerfReport JSON layout. Bump on breaking
+// changes; consumers (and the golden test) pin against it.
+const SchemaVersion = "uoivar/perf-report/v1"
+
+// PerfReport is the structured performance artifact a run emits behind
+// -perf-report: per-rank phase timings joined with the per-rank
+// communication meters of internal/mpi — the machine-readable form of the
+// paper's Fig. 2/7 computation-vs-communication breakdown tables.
+type PerfReport struct {
+	Schema      string     `json:"schema"`
+	Name        string     `json:"name"`
+	WallSeconds float64    `json:"wall_seconds"`
+	Ranks       []RankPerf `json:"ranks"`
+}
+
+// RankPerf is one rank's view: its compute-phase spans and counters (from a
+// Tracer) plus its communication meters (from mpi.Stats). ComputeSeconds is
+// the top-level phase total minus CommSeconds — communication happens
+// inside the phase spans, so subtracting it yields the disjoint
+// compute-vs-comm split the paper charts.
+type RankPerf struct {
+	Rank           int              `json:"rank"`
+	Phases         []PhaseStat      `json:"phases"`
+	Counters       map[string]int64 `json:"counters,omitempty"`
+	Comm           []CommStat       `json:"comm,omitempty"`
+	ComputeSeconds float64          `json:"compute_seconds"`
+	CommSeconds    float64          `json:"comm_seconds"`
+}
+
+// PhaseStat is one phase's aggregate: how many spans closed and their total
+// wall time. Top-level phases (no '/') partition a rank's run; nested
+// phases ("selection/bootstrap") break them down and may overlap in wall
+// time when bootstraps run concurrently.
+type PhaseStat struct {
+	Name    string  `json:"name"`
+	Count   int64   `json:"count"`
+	Seconds float64 `json:"seconds"`
+}
+
+// CommStat mirrors one mpi.Stats category (p2p, collective, one-sided).
+type CommStat struct {
+	Category string  `json:"category"`
+	Calls    int64   `json:"calls"`
+	Bytes    int64   `json:"bytes"`
+	Seconds  float64 `json:"seconds"`
+}
+
+// RankPerf snapshots the tracer into a report entry for the given rank.
+// Comm and the compute/comm seconds are left for the caller to fill (see
+// uoi.RankPerf, which joins the mpi meters); FinalizeCompute derives the
+// compute split once Comm is set.
+func (t *Tracer) RankPerf(rank int) RankPerf {
+	return RankPerf{
+		Rank:     rank,
+		Phases:   t.Phases(),
+		Counters: t.Counters(),
+	}
+}
+
+// AddComm appends one communication category's meters.
+func (r *RankPerf) AddComm(category string, calls, bytes int64, seconds float64) {
+	r.Comm = append(r.Comm, CommStat{Category: category, Calls: calls, Bytes: bytes, Seconds: seconds})
+}
+
+// TopLevelSeconds sums the top-level phases (names without '/') — the
+// wall-time partition of the rank's run.
+func (r *RankPerf) TopLevelSeconds() float64 {
+	s := 0.0
+	for _, p := range r.Phases {
+		if !strings.Contains(p.Name, "/") {
+			s += p.Seconds
+		}
+	}
+	return s
+}
+
+// FinalizeCompute derives CommSeconds from the Comm entries and
+// ComputeSeconds as the top-level phase total minus CommSeconds (clamped at
+// zero: a rank that spends its whole run blocked in collectives has no
+// compute to report).
+func (r *RankPerf) FinalizeCompute() {
+	comm := 0.0
+	for _, c := range r.Comm {
+		comm += c.Seconds
+	}
+	r.CommSeconds = comm
+	compute := r.TopLevelSeconds() - comm
+	if compute < 0 {
+		compute = 0
+	}
+	r.ComputeSeconds = compute
+}
+
+// NewPerfReport assembles the final artifact, sorting ranks for
+// deterministic output.
+func NewPerfReport(name string, wallSeconds float64, ranks []RankPerf) *PerfReport {
+	sorted := append([]RankPerf(nil), ranks...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Rank < sorted[j].Rank })
+	return &PerfReport{
+		Schema:      SchemaVersion,
+		Name:        name,
+		WallSeconds: wallSeconds,
+		Ranks:       sorted,
+	}
+}
+
+// WriteJSON emits the report as indented JSON.
+func (p *PerfReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ParsePerfReport decodes and schema-checks a report.
+func ParsePerfReport(data []byte) (*PerfReport, error) {
+	var p PerfReport
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("trace: parsing perf report: %w", err)
+	}
+	if p.Schema != SchemaVersion {
+		return nil, fmt.Errorf("trace: perf report schema %q, want %q", p.Schema, SchemaVersion)
+	}
+	return &p, nil
+}

@@ -121,23 +121,33 @@ func LassoDistributedPhases(comm *mpi.Comm, xSel *mat.Dense, ySel []float64, xEs
 		return nil, fmt.Errorf("uoi: invalid local block on some rank (here: sel %d/%d, est %d/%d)", nLocal, len(ySel), nEst, len(yEst))
 	}
 
+	// Kernel worker budget: with `size` rank goroutines sharing the process,
+	// each rank's dense kernels get GOMAXPROCS/size workers by default —
+	// the fix for every rank spawning a full GOMAXPROCS worker set.
+	tr := c.Trace
+	kw := kernelBudget(c.KernelWorkers, size)
+	tr.SetMax("mat/kernel_workers", int64(kw))
+
 	// λ grid must be identical everywhere: compute the global λmax with one
 	// Allreduce over local |Xᵀy|∞ contributions.
+	spGrid := tr.Start("lambda_grid")
 	lambdas := c.Lambdas
 	if lambdas == nil {
-		localAty := mat.AtVec(xSel, ySel)
+		localAty := mat.AtVecWorkers(xSel, ySel, kw)
 		lmax := comm.AllreduceScalar(mpi.OpMax, mat.NormInf(localAty))
 		if lmax <= 0 {
 			lmax = 1
 		}
 		lambdas = admm.LogSpaceLambdas(lmax, c.LambdaRatio, c.Q)
 	}
+	spGrid.End()
 	q := len(lambdas)
 	root := resample.NewRNG(c.Seed)
 	res := &Result{Lambdas: lambdas}
 
 	// ---- Model selection ----
 	tSel := time.Now()
+	spSel := tr.Start("selection")
 	// counts[j*p+i] tallies, across this group's processed bootstraps, the
 	// supports at λ_j containing feature i. Within an ADMM group every rank
 	// holds the same consensus estimate, so the world-wide Sum reduction
@@ -152,6 +162,7 @@ func LassoDistributedPhases(comm *mpi.Comm, xSel *mat.Dense, ySel []float64, xEs
 		}
 		// The injected fault is rank-independent, so every rank of the row
 		// skips solver construction (a collective) for the same k.
+		spBoot := spSel.Child("bootstrap")
 		var faultErr error
 		if c.BootstrapFault != nil {
 			faultErr = c.BootstrapFault("selection", k)
@@ -164,9 +175,12 @@ func LassoDistributedPhases(comm *mpi.Comm, xSel *mat.Dense, ySel []float64, xEs
 			xb := xSel.SelectRows(idx)
 			yb := selectVec(ySel, idx)
 			if c.L2 > 0 {
-				solver, err = admm.NewConsensusSolverElastic(sub, xb, yb, c.ADMM.Rho, c.L2)
+				solver, err = admm.NewConsensusSolverElasticWorkers(sub, xb, yb, c.ADMM.Rho, c.L2, kw)
 			} else {
-				solver, err = admm.NewConsensusSolver(sub, xb, yb, c.ADMM.Rho)
+				solver, err = admm.NewConsensusSolverWorkers(sub, xb, yb, c.ADMM.Rho, kw)
+			}
+			if err == nil {
+				tr.Add("admm/factorizations", 1)
 			}
 		}
 		if err != nil && !quorum {
@@ -181,6 +195,7 @@ func LassoDistributedPhases(comm *mpi.Comm, xSel *mat.Dense, ySel []float64, xEs
 				okLocal = 0
 			}
 			if rowComm.AllreduceScalar(mpi.OpMin, okLocal) == 0 {
+				spBoot.End()
 				continue // bootstrap k dropped row-wide
 			}
 		}
@@ -202,6 +217,7 @@ func LassoDistributedPhases(comm *mpi.Comm, xSel *mat.Dense, ySel []float64, xEs
 				}
 			}
 		}
+		spBoot.End()
 	}
 	// World-wide combination across bootstrap groups; every rank of an ADMM
 	// group contributed identical counts, so divide by admmCores.
@@ -225,6 +241,8 @@ func LassoDistributedPhases(comm *mpi.Comm, xSel *mat.Dense, ySel []float64, xEs
 	} else {
 		res.Bootstrap.B1Completed = c.B1
 	}
+	spSel.End()
+	spInt := tr.Start("intersection")
 	threshold := float64(selectionThreshold(c.SelectionFrac, b1Done))
 	supports := make([][]int, q)
 	for j := 0; j < q; j++ {
@@ -240,6 +258,8 @@ func LassoDistributedPhases(comm *mpi.Comm, xSel *mat.Dense, ySel []float64, xEs
 	// ---- Model estimation ----
 	tEst := time.Now()
 	distinct := dedupeSupports(supports)
+	spInt.End()
+	spEst := tr.Start("estimation")
 	// winners[k*p:(k+1)*p] collects estimation bootstrap k's winning
 	// estimate; groups fill their own k rows and a world Sum reduction
 	// (divided by admmCores) assembles the full set, so both the averaging
@@ -250,6 +270,7 @@ func LassoDistributedPhases(comm *mpi.Comm, xSel *mat.Dense, ySel []float64, xEs
 		if k%groups != g {
 			continue
 		}
+		spBoot := spEst.Child("bootstrap")
 		var faultErr error
 		if c.BootstrapFault != nil {
 			faultErr = c.BootstrapFault("estimation", k)
@@ -265,7 +286,10 @@ func LassoDistributedPhases(comm *mpi.Comm, xSel *mat.Dense, ySel []float64, xEs
 			yt := selectVec(yEst, trainIdx)
 			xe = xEst.SelectRows(evalIdx)
 			ye = selectVec(yEst, evalIdx)
-			solver, err = admm.NewConsensusSolver(sub, xt, yt, c.ADMM.Rho)
+			solver, err = admm.NewConsensusSolverWorkers(sub, xt, yt, c.ADMM.Rho, kw)
+			if err == nil {
+				tr.Add("admm/factorizations", 1)
+			}
 		}
 		if err != nil && !quorum {
 			return nil, fmt.Errorf("uoi: estimation bootstrap %d: %w", k, err)
@@ -278,6 +302,7 @@ func LassoDistributedPhases(comm *mpi.Comm, xSel *mat.Dense, ySel []float64, xEs
 				okLocal = 0
 			}
 			if sub.AllreduceScalar(mpi.OpMin, okLocal) == 0 {
+				spBoot.End()
 				continue // bootstrap k dropped group-wide
 			}
 		}
@@ -303,6 +328,7 @@ func LassoDistributedPhases(comm *mpi.Comm, xSel *mat.Dense, ySel []float64, xEs
 			bestBeta = make([]float64, p)
 		}
 		copy(winners[k*p:(k+1)*p], bestBeta)
+		spBoot.End()
 	}
 	comm.Allreduce(mpi.OpSum, winners)
 	b2Done := c.B2
@@ -321,7 +347,9 @@ func LassoDistributedPhases(comm *mpi.Comm, xSel *mat.Dense, ySel []float64, xEs
 	} else {
 		res.Bootstrap.B2Completed = c.B2
 	}
+	spEst.End()
 	// Dropped bootstraps left zero rows; the union is over completed rows.
+	spUnion := tr.Start("union")
 	winnerRows := make([][]float64, 0, b2Done)
 	for k := 0; k < c.B2; k++ {
 		if quorum && okB2[k] == 0 {
@@ -333,6 +361,7 @@ func LassoDistributedPhases(comm *mpi.Comm, xSel *mat.Dense, ySel []float64, xEs
 	}
 	res.Beta = combineWinners(winnerRows, p, c.MedianUnion)
 	res.SelectedSupport = admm.Support(res.Beta, c.SupportTol)
+	spUnion.End()
 	res.Diag.EstimationTime = time.Since(tEst)
 	return res, nil
 }

@@ -1,0 +1,28 @@
+package uoi
+
+import (
+	"uoivar/internal/mpi"
+	"uoivar/internal/trace"
+)
+
+// RankPerf joins one rank's phase spans and counters (its tracer) with its
+// communication meters (the mpi runtime's per-rank Stats) into a finalized
+// PerfReport rank entry: CommSeconds is the metered time inside mpi calls,
+// ComputeSeconds the top-level phase total minus CommSeconds — the disjoint
+// computation-vs-communication split of the paper's Figures 2 and 7.
+//
+// The mpi meters are cumulative since the world started, so call this once
+// per fit, on a fresh world, after the fit returns (typically right before
+// the rank's mpi.Run body exits).
+func RankPerf(comm *mpi.Comm, tr *trace.Tracer) trace.RankPerf {
+	rp := tr.RankPerf(comm.Rank())
+	st := comm.LocalStats()
+	for _, cat := range []mpi.Category{mpi.CatP2P, mpi.CatCollective, mpi.CatOneSided} {
+		if st.Calls[cat] == 0 {
+			continue
+		}
+		rp.AddComm(cat.String(), st.Calls[cat], st.Bytes[cat], st.Time[cat].Seconds())
+	}
+	rp.FinalizeCompute()
+	return rp
+}

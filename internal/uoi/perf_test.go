@@ -1,0 +1,314 @@
+package uoi
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"uoivar/internal/mat"
+	"uoivar/internal/mpi"
+	"uoivar/internal/trace"
+)
+
+// TestCeilFracTable is the regression for the threshold off-by-one: the
+// float product frac·b can land a hair above the exact integer
+// (0.07·100 = 7.000000000000001) and a naive Ceil then overshoots,
+// silently tightening every quorum and selection threshold.
+func TestCeilFracTable(t *testing.T) {
+	cases := []struct {
+		frac float64
+		b    int
+		want int
+	}{
+		{0.07, 100, 7},   // 7.000000000000001 — the motivating bug
+		{0.56, 100, 56},  // 56.00000000000001
+		{0.07, 300, 21},  // 21.000000000000004
+		{0.29, 100, 29},  // 28.999999999999996 rounds up to 29 exactly
+		{0.071, 100, 8},  // genuinely fractional: must still ceil
+		{0.5, 8, 4},      // exact binary fraction
+		{0.75, 4, 3},     // exact
+		{1.0, 8, 8},      // full fraction
+		{0.33, 3, 1},     // 0.99 → 1
+		{0.9, 10, 9},     // 9.000000000000002
+		{0.001, 1000, 1}, // tiny but nonzero
+	}
+	for _, c := range cases {
+		if got := ceilFrac(c.frac, c.b); got != c.want {
+			t.Errorf("ceilFrac(%v, %d) = %d, want %d", c.frac, c.b, got, c.want)
+		}
+	}
+}
+
+func TestQuorumCountClamps(t *testing.T) {
+	cases := []struct {
+		frac float64
+		b    int
+		want int
+	}{
+		{0.07, 100, 7},
+		{0, 10, 1},    // zero fraction still needs one bootstrap
+		{-0.5, 10, 1}, // negative clamps up
+		{2.0, 10, 10}, // overfull clamps down
+		{1.0, 1, 1},
+	}
+	for _, c := range cases {
+		if got := quorumCount(c.frac, c.b); got != c.want {
+			t.Errorf("quorumCount(%v, %d) = %d, want %d", c.frac, c.b, got, c.want)
+		}
+	}
+	for _, c := range cases {
+		if got := selectionThreshold(c.frac, c.b); got != c.want {
+			t.Errorf("selectionThreshold(%v, %d) = %d, want %d", c.frac, c.b, got, c.want)
+		}
+	}
+}
+
+func TestKernelBudget(t *testing.T) {
+	if got := kernelBudget(3, 8); got != 3 {
+		t.Fatalf("explicit budget: got %d, want 3", got)
+	}
+	if got := kernelBudget(-1, 8); got != mat.DefaultWorkers() {
+		t.Fatalf("negative budget: got %d, want full machine %d", got, mat.DefaultWorkers())
+	}
+	if got := kernelBudget(0, 1<<20); got != 1 {
+		t.Fatalf("derived budget floors at 1, got %d", got)
+	}
+	if got := kernelBudget(0, 0); got < 1 {
+		t.Fatalf("zero streams: got %d", got)
+	}
+}
+
+// topLevel collects the top-level phase names of a tracer.
+func topLevel(tr *trace.Tracer) map[string]float64 {
+	out := map[string]float64{}
+	for _, p := range tr.Phases() {
+		if !containsSlash(p.Name) {
+			out[p.Name] = p.Seconds
+		}
+	}
+	return out
+}
+
+func containsSlash(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSerialLassoTraced checks that a traced serial fit records the five
+// pipeline phases and the solver counters, and that tracing does not change
+// the result.
+func TestSerialLassoTraced(t *testing.T) {
+	x, y, _ := makeRegression(41, 120, 16, 4, 0.3)
+	cfg := func(tr *trace.Tracer) *LassoConfig {
+		return &LassoConfig{B1: 6, B2: 3, Q: 6, Seed: 11, Trace: tr}
+	}
+	plain, err := Lasso(x, y, cfg(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New()
+	traced, err := Lasso(x, y, cfg(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Beta {
+		if plain.Beta[i] != traced.Beta[i] {
+			t.Fatalf("tracing changed the fit at coefficient %d", i)
+		}
+	}
+	phases := topLevel(tr)
+	for _, name := range []string{"lambda_grid", "selection", "intersection", "estimation", "union"} {
+		if _, ok := phases[name]; !ok {
+			t.Errorf("top-level phase %q missing (got %v)", name, phases)
+		}
+	}
+	if tr.PhaseSeconds("selection/bootstrap") <= 0 {
+		t.Error("selection/bootstrap child span missing")
+	}
+	if tr.PhaseSeconds("estimation/bootstrap") <= 0 {
+		t.Error("estimation/bootstrap child span missing")
+	}
+	for _, counter := range []string{"admm/solves", "admm/iters", "admm/chol_solves", "admm/factorizations"} {
+		if tr.Counter(counter) <= 0 {
+			t.Errorf("counter %q not recorded", counter)
+		}
+	}
+	if tr.Max("mat/kernel_workers") < 1 {
+		t.Error("mat/kernel_workers gauge missing")
+	}
+	// ADMM iterations bound solves from below (every solve iterates at
+	// least once).
+	if tr.Counter("admm/iters") < tr.Counter("admm/solves") {
+		t.Errorf("iters %d < solves %d", tr.Counter("admm/iters"), tr.Counter("admm/solves"))
+	}
+}
+
+// TestDistributedPerfReport is the acceptance check of the observability
+// layer: a 4-rank fit emits per-rank phase timings whose top-level sum
+// accounts for the rank's wall time within 10%, joined with the rank's
+// communication meters into a parseable PerfReport.
+func TestDistributedPerfReport(t *testing.T) {
+	x, y, _ := makeRegression(43, 240, 24, 5, 0.3)
+	rows := make([][]float64, x.Rows)
+	for i := range rows {
+		rows[i] = x.Row(i)
+	}
+	const ranks = 4
+	xs, ys := shuffledBlocks(17, rows, y, x.Cols, ranks)
+	perRank := make([]trace.RankPerf, ranks)
+	walls := make([]float64, ranks)
+	err := mpi.Run(ranks, func(c *mpi.Comm) error {
+		tr := trace.New()
+		xl := denseFromRows(xs[c.Rank()], x.Cols)
+		start := time.Now()
+		_, err := LassoDistributed(c, xl, ys[c.Rank()],
+			&LassoConfig{B1: 8, B2: 4, Q: 8, Seed: 13, Trace: tr}, Grid{})
+		walls[c.Rank()] = time.Since(start).Seconds()
+		if err != nil {
+			return err
+		}
+		perRank[c.Rank()] = RankPerf(c, tr)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, rp := range perRank {
+		sum := rp.TopLevelSeconds()
+		if sum < 0.9*walls[r] {
+			t.Errorf("rank %d: top-level phases sum to %.4fs of %.4fs wall (<90%%)", r, sum, walls[r])
+		}
+		if sum > 1.05*walls[r] {
+			t.Errorf("rank %d: top-level phases sum to %.4fs of %.4fs wall (overlap?)", r, sum, walls[r])
+		}
+		if len(rp.Comm) == 0 {
+			t.Errorf("rank %d: no communication categories metered", r)
+		}
+		if rp.CommSeconds <= 0 {
+			t.Errorf("rank %d: CommSeconds = %v, want > 0 (fit does Allreduces)", r, rp.CommSeconds)
+		}
+		if rp.ComputeSeconds+rp.CommSeconds < 0.9*sum {
+			t.Errorf("rank %d: compute %v + comm %v does not cover phase total %v",
+				r, rp.ComputeSeconds, rp.CommSeconds, sum)
+		}
+	}
+	// The joined artifact round-trips.
+	report := trace.NewPerfReport("lasso", walls[0], perRank)
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.ParsePerfReport(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Ranks) != ranks {
+		t.Fatalf("report has %d ranks, want %d", len(back.Ranks), ranks)
+	}
+	for i, rp := range back.Ranks {
+		if rp.Rank != i {
+			t.Fatalf("ranks not sorted: index %d holds rank %d", i, rp.Rank)
+		}
+	}
+}
+
+// TestDistributedKernelWorkerBudget is the oversubscription regression at
+// pipeline level: a 4-rank fit with an explicit per-rank kernel budget of 2
+// must never run more than 4·2 kernel streams at once. Under the old global
+// worker setting each rank's kernels spawned a full GOMAXPROCS set.
+func TestDistributedKernelWorkerBudget(t *testing.T) {
+	x, y, _ := makeRegression(47, 200, 20, 4, 0.3)
+	rows := make([][]float64, x.Rows)
+	for i := range rows {
+		rows[i] = x.Row(i)
+	}
+	const ranks, budget = 4, 2
+	xs, ys := shuffledBlocks(19, rows, y, x.Cols, ranks)
+	mat.ResetPeakWorkers()
+	err := mpi.Run(ranks, func(c *mpi.Comm) error {
+		xl := denseFromRows(xs[c.Rank()], x.Cols)
+		_, err := LassoDistributed(c, xl, ys[c.Rank()],
+			&LassoConfig{B1: 4, B2: 3, Q: 5, Seed: 23, KernelWorkers: budget}, Grid{})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak := mat.PeakWorkers(); peak > ranks*budget {
+		t.Fatalf("peak kernel workers %d exceeds %d ranks x budget %d = %d",
+			peak, ranks, budget, ranks*budget)
+	}
+}
+
+// BenchmarkLassoTracing compares the full serial pipeline with tracing off
+// (nil tracer: the default) and on — the <1% disabled-overhead budget is
+// asserted against the "off" variant tracking the pre-instrumentation
+// numbers.
+func BenchmarkLassoTracing(b *testing.B) {
+	x, y, _ := makeRegression(51, 200, 20, 4, 0.3)
+	run := func(b *testing.B, tr *trace.Tracer) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Lasso(x, y, &LassoConfig{B1: 6, B2: 3, Q: 6, Seed: 1, Trace: tr}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, trace.New()) })
+}
+
+// TestVARTraced checks the Kronecker pipeline records its extra
+// kron_assembly phase alongside the shared five.
+func TestVARTraced(t *testing.T) {
+	_, series := makeVARData(29, 6, 1, 240)
+	tr := trace.New()
+	if _, err := VAR(series, &VARConfig{Order: 1, B1: 5, B2: 3, Q: 5, Seed: 7, Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	phases := topLevel(tr)
+	for _, name := range []string{"kron_assembly", "lambda_grid", "selection", "intersection", "estimation", "union"} {
+		if _, ok := phases[name]; !ok {
+			t.Errorf("top-level phase %q missing (got %v)", name, phases)
+		}
+	}
+	if tr.Counter("admm/factorizations") <= 0 {
+		t.Error("admm/factorizations not recorded")
+	}
+}
+
+// TestVARDistributedTraced covers the distributed VAR variant: the λ grid is
+// derived inside the first selection bootstrap there, so it must appear as a
+// selection child, keeping top-level phases a disjoint wall partition.
+func TestVARDistributedTraced(t *testing.T) {
+	_, series := makeVARData(31, 6, 1, 240)
+	const ranks = 2
+	tracers := make([]*trace.Tracer, ranks)
+	err := mpi.Run(ranks, func(c *mpi.Comm) error {
+		tracers[c.Rank()] = trace.New()
+		_, err := VARDistributed(c, series,
+			&VARConfig{Order: 1, B1: 4, B2: 2, Q: 4, Seed: 3, Trace: tracers[c.Rank()]}, nil)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, tr := range tracers {
+		phases := topLevel(tr)
+		if _, ok := phases["lambda_grid"]; ok {
+			t.Errorf("rank %d: lambda_grid must not be top-level in the distributed VAR", r)
+		}
+		if tr.PhaseSeconds("selection/lambda_grid") <= 0 {
+			t.Errorf("rank %d: selection/lambda_grid child missing", r)
+		}
+		for _, name := range []string{"selection", "intersection", "estimation", "union"} {
+			if _, ok := phases[name]; !ok {
+				t.Errorf("rank %d: top-level phase %q missing (got %v)", r, name, phases)
+			}
+		}
+	}
+}

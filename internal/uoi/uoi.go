@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -27,6 +28,7 @@ import (
 	"uoivar/internal/metrics"
 	"uoivar/internal/preprocess"
 	"uoivar/internal/resample"
+	"uoivar/internal/trace"
 )
 
 // LassoConfig configures UoI_LASSO.
@@ -89,6 +91,19 @@ type LassoConfig struct {
 	// (phase, k), identical on every rank, so the distributed algorithms
 	// agree on the outcome without communication. nil disables injection.
 	BootstrapFault func(phase string, k int) error
+	// KernelWorkers bounds the goroutine parallelism of each dense kernel
+	// call (GEMM, AtA, Cholesky) issued by this fit. 0 derives a budget from
+	// the surrounding parallelism — GOMAXPROCS divided by the bootstrap
+	// Workers serially, by the world size in the distributed algorithms — so
+	// nested parallelism never oversubscribes the machine. Negative forces
+	// mat.DefaultWorkers (all cores per kernel call), the pre-budget
+	// behavior.
+	KernelWorkers int
+	// Trace, when non-nil, records per-phase spans (lambda_grid, selection,
+	// intersection, estimation, union and their /bootstrap children) and
+	// solver counters for this fit. In the distributed algorithms each rank
+	// passes its own tracer. nil disables tracing at nil-check cost.
+	Trace *trace.Tracer
 	// ADMM carries solver options.
 	ADMM admm.Options
 }
@@ -126,7 +141,33 @@ func (c *LassoConfig) defaults() LassoConfig {
 	if o.MinBootstrapFrac > 1 {
 		o.MinBootstrapFrac = 1
 	}
+	if o.ADMM.Trace == nil {
+		// Route the solver counters into the fit's tracer unless the caller
+		// wired a dedicated one.
+		o.ADMM.Trace = o.Trace
+	}
 	return o
+}
+
+// kernelBudget resolves the per-kernel-call worker budget: an explicit
+// positive KernelWorkers wins, negative forces the full-machine default, and
+// 0 divides GOMAXPROCS by the number of concurrent execution streams
+// (bootstrap workers or mpi ranks) sharing the process, floored at 1.
+func kernelBudget(explicit, streams int) int {
+	if explicit > 0 {
+		return explicit
+	}
+	if explicit < 0 {
+		return mat.DefaultWorkers()
+	}
+	if streams < 1 {
+		streams = 1
+	}
+	w := runtime.GOMAXPROCS(0) / streams
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // ErrQuorum reports that too few bootstraps of a phase completed to
@@ -144,10 +185,18 @@ type BootstrapStats struct {
 	B2Failed    int // estimation bootstraps dropped
 }
 
+// ceilFrac computes ceil(frac·b) with an absolute epsilon guard: the float
+// product can land a hair above the exact integer (0.07·100 =
+// 7.000000000000001) and Ceil would then overshoot by one, silently
+// tightening every threshold derived from a user-facing fraction.
+func ceilFrac(frac float64, b int) int {
+	return int(math.Ceil(frac*float64(b) - 1e-9))
+}
+
 // quorumCount is the minimum completed-bootstrap count ceil(frac·b),
 // clamped to [1, b].
 func quorumCount(frac float64, b int) int {
-	q := int(math.Ceil(frac * float64(b)))
+	q := ceilFrac(frac, b)
 	if q < 1 {
 		q = 1
 	}
@@ -160,7 +209,7 @@ func quorumCount(frac float64, b int) int {
 // selectionThreshold returns the minimum bootstrap count a feature needs to
 // survive selection: ceil(frac·B1), at least 1, at most B1.
 func selectionThreshold(frac float64, b1 int) int {
-	t := int(math.Ceil(frac * float64(b1)))
+	t := ceilFrac(frac, b1)
 	if t < 1 {
 		t = 1
 	}
@@ -251,15 +300,21 @@ func Lasso(x *mat.Dense, y []float64, cfg *LassoConfig) (*Result, error) {
 	if n < 4 {
 		return nil, fmt.Errorf("uoi: need at least 4 samples, have %d", n)
 	}
+	tr := c.Trace
+	kw := kernelBudget(c.KernelWorkers, c.Workers)
+	tr.SetMax("mat/kernel_workers", int64(kw))
+	spGrid := tr.Start("lambda_grid")
 	lambdas := c.Lambdas
 	if lambdas == nil {
 		lambdas = admm.LogSpaceLambdas(admm.LambdaMax(x, y), c.LambdaRatio, c.Q)
 	}
+	spGrid.End()
 	root := resample.NewRNG(c.Seed)
 	res := &Result{Lambdas: lambdas}
 
 	// ---- Model selection (Algorithm 1 lines 2–11) ----
 	tSel := time.Now()
+	spSel := tr.Start("selection")
 	// counts[j][i] tallies the bootstraps whose support at λ_j contains
 	// feature i; the (possibly softened) intersection keeps features
 	// reaching the selection threshold.
@@ -274,6 +329,8 @@ func Lasso(x *mat.Dense, y []float64, cfg *LassoConfig) (*Result, error) {
 				return fmt.Errorf("uoi: selection bootstrap %d: %w", k, err)
 			}
 		}
+		spBoot := spSel.Child("bootstrap")
+		defer spBoot.End()
 		rng := root.Derive(uint64(k) + 1)
 		idx := resample.Bootstrap(rng, n)
 		xb := x.SelectRows(idx)
@@ -281,16 +338,17 @@ func Lasso(x *mat.Dense, y []float64, cfg *LassoConfig) (*Result, error) {
 		var f *admm.Factorization
 		var err error
 		if c.L2 > 0 {
-			f, err = admm.NewFactorizationElastic(mat.AtA(xb), c.ADMM.Rho, c.L2)
+			f, err = admm.NewFactorizationElasticWorkers(mat.AtAWorkers(xb, kw), c.ADMM.Rho, c.L2, kw)
 			if err == nil {
-				f.SetRHS(mat.AtVec(xb, yb))
+				f.SetRHS(mat.AtVecWorkers(xb, yb, kw))
 			}
 		} else {
-			f, err = admm.NewFactorization(xb, yb, c.ADMM.Rho)
+			f, err = admm.NewFactorizationWorkers(xb, yb, c.ADMM.Rho, kw)
 		}
 		if err != nil {
 			return fmt.Errorf("uoi: selection bootstrap %d: %w", k, err)
 		}
+		tr.Add("admm/factorizations", 1)
 		localCounts := make([][]int, len(lambdas))
 		var warmZ []float64
 		fits, iters := 0, 0
@@ -335,8 +393,10 @@ func Lasso(x *mat.Dense, y []float64, cfg *LassoConfig) (*Result, error) {
 		}
 		res.Bootstrap.B1Completed = c.B1
 	}
+	spSel.End()
 	// In degraded mode the intersection threshold is relative to the
 	// bootstraps that actually completed.
+	spInt := tr.Start("intersection")
 	threshold := selectionThreshold(c.SelectionFrac, b1Done)
 	supports := make([][]int, len(lambdas))
 	for j := range supports {
@@ -352,6 +412,8 @@ func Lasso(x *mat.Dense, y []float64, cfg *LassoConfig) (*Result, error) {
 	// ---- Model estimation (Algorithm 1 lines 12–24) ----
 	tEst := time.Now()
 	distinct := dedupeSupports(supports)
+	spInt.End()
+	spEst := tr.Start("estimation")
 	winners := make([][]float64, c.B2)
 	var estMu sync.Mutex
 	estFn := func(k int) error {
@@ -360,6 +422,8 @@ func Lasso(x *mat.Dense, y []float64, cfg *LassoConfig) (*Result, error) {
 				return fmt.Errorf("uoi: estimation bootstrap %d: %w", k, err)
 			}
 		}
+		spBoot := spEst.Child("bootstrap")
+		defer spBoot.End()
 		rng := root.Derive(1_000_000 + uint64(k))
 		trainIdx, evalIdx := resample.TrainEvalSplit(rng, n, c.TrainFrac)
 		xt := x.SelectRows(trainIdx)
@@ -372,7 +436,7 @@ func Lasso(x *mat.Dense, y []float64, cfg *LassoConfig) (*Result, error) {
 		first := true
 		fits := 0
 		for _, s := range distinct {
-			beta := admm.OLSOnSupport(xt, yt, s)
+			beta := admm.OLSOnSupportWorkers(xt, yt, s, kw)
 			fits++
 			loss := metrics.PredictionLoss(xe, ye, beta)
 			if first || loss < bestLoss {
@@ -404,8 +468,10 @@ func Lasso(x *mat.Dense, y []float64, cfg *LassoConfig) (*Result, error) {
 		}
 		res.Bootstrap.B2Completed = c.B2
 	}
+	spEst.End()
 	// Failed bootstraps left their winners row nil; the union is over the
 	// completed rows only.
+	spUnion := tr.Start("union")
 	completed := winners[:0:0]
 	for _, w := range winners {
 		if w != nil {
@@ -414,6 +480,7 @@ func Lasso(x *mat.Dense, y []float64, cfg *LassoConfig) (*Result, error) {
 	}
 	res.Beta = combineWinners(completed, p, c.MedianUnion)
 	res.SelectedSupport = admm.Support(res.Beta, c.SupportTol)
+	spUnion.End()
 	res.Diag.EstimationTime = time.Since(tEst)
 	return res, nil
 }

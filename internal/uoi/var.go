@@ -9,6 +9,7 @@ import (
 	"uoivar/internal/admm"
 	"uoivar/internal/mat"
 	"uoivar/internal/resample"
+	"uoivar/internal/trace"
 	"uoivar/internal/varsim"
 )
 
@@ -41,7 +42,15 @@ type VARConfig struct {
 	// Workers runs bootstraps concurrently (in-process P_B parallelism);
 	// results are identical at any worker count. 0/1 = sequential.
 	Workers int
-	ADMM    admm.Options
+	// KernelWorkers bounds per-kernel-call goroutine parallelism, exactly as
+	// LassoConfig.KernelWorkers: 0 derives GOMAXPROCS/streams, negative
+	// forces the full-machine default.
+	KernelWorkers int
+	// Trace, when non-nil, records per-phase spans and solver counters for
+	// this fit (see LassoConfig.Trace). VAR adds kron_assembly spans for the
+	// design-construction work.
+	Trace *trace.Tracer
+	ADMM  admm.Options
 }
 
 func (c *VARConfig) defaults() VARConfig {
@@ -73,6 +82,9 @@ func (c *VARConfig) defaults() VARConfig {
 	}
 	if o.SelectionFrac <= 0 || o.SelectionFrac > 1 {
 		o.SelectionFrac = 1
+	}
+	if o.ADMM.Trace == nil {
+		o.ADMM.Trace = o.Trace
 	}
 	return o
 }
@@ -110,27 +122,38 @@ func VAR(series *mat.Dense, cfg *VARConfig) (*VARResult, error) {
 		blockLen = int(math.Ceil(math.Sqrt(float64(m))))
 	}
 
+	tr := c.Trace
+	kw := kernelBudget(c.KernelWorkers, c.Workers)
+	tr.SetMax("mat/kernel_workers", int64(kw))
+
 	tKron := time.Now()
+	spKron := tr.Start("kron_assembly")
 	full := varsim.NewDesign(series, d, !c.NoIntercept)
+	spKron.End()
 	kronTime := time.Since(tKron)
 	rowsB := full.X.Cols // q: columns per equation (dp, +1 with intercept)
 	betaLen := rowsB * p
 
+	spGrid := tr.Start("lambda_grid")
 	lambdas := c.Lambdas
 	if lambdas == nil {
 		lambdas = admm.LogSpaceLambdas(vecLambdaMax(full), c.LambdaRatio, c.Q)
 	}
+	spGrid.End()
 	root := resample.NewRNG(c.Seed)
 	res := &VARResult{Lambdas: lambdas}
 
 	// ---- Model selection (Algorithm 2 lines 2–13) ----
 	tSel := time.Now()
+	spSel := tr.Start("selection")
 	counts := make([][]int, len(lambdas))
 	for j := range counts {
 		counts[j] = make([]int, betaLen)
 	}
 	var selMu sync.Mutex
 	err := forEachBootstrap(c.Workers, c.B1, func(k int) error {
+		spBoot := spSel.Child("bootstrap")
+		defer spBoot.End()
 		rng := root.Derive(uint64(k) + 1)
 		idx := resample.MovingBlockBootstrap(rng, m, blockLen)
 		targets := make([]int, len(idx))
@@ -138,7 +161,9 @@ func VAR(series *mat.Dense, cfg *VARConfig) (*VARResult, error) {
 			targets[i] = d + v
 		}
 		t0 := time.Now()
+		spK := spSel.Child("kron_assembly")
 		des := varsim.NewDesignFromRows(series, d, !c.NoIntercept, targets)
+		spK.End()
 		kTime := time.Since(t0)
 
 		// One factorization shared across all p equations and the λ path —
@@ -146,13 +171,14 @@ func VAR(series *mat.Dense, cfg *VARConfig) (*VARResult, error) {
 		var f *admm.Factorization
 		var err error
 		if c.L2 > 0 {
-			f, err = admm.NewFactorizationElastic(mat.AtA(des.X), c.ADMM.Rho, c.L2)
+			f, err = admm.NewFactorizationElasticWorkers(mat.AtAWorkers(des.X, kw), c.ADMM.Rho, c.L2, kw)
 		} else {
-			f, err = admm.NewFactorizationGram(mat.AtA(des.X), c.ADMM.Rho)
+			f, err = admm.NewFactorizationGramWorkers(mat.AtAWorkers(des.X, kw), c.ADMM.Rho, kw)
 		}
 		if err != nil {
 			return fmt.Errorf("uoi: VAR selection bootstrap %d: %w", k, err)
 		}
+		tr.Add("admm/factorizations", 1)
 		local := make([][]int, len(lambdas))
 		for j := range local {
 			local[j] = make([]int, betaLen)
@@ -161,7 +187,7 @@ func VAR(series *mat.Dense, cfg *VARConfig) (*VARResult, error) {
 		yCol := make([]float64, des.X.Rows)
 		for eq := 0; eq < p; eq++ {
 			des.Y.Col(eq, yCol)
-			aty := mat.AtVec(des.X, yCol)
+			aty := mat.AtVecWorkers(des.X, yCol, kw)
 			var warmZ []float64
 			for j, lam := range lambdas {
 				opts := c.ADMM
@@ -193,6 +219,8 @@ func VAR(series *mat.Dense, cfg *VARConfig) (*VARResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	spSel.End()
+	spInt := tr.Start("intersection")
 	threshold := selectionThreshold(c.SelectionFrac, c.B1)
 	supports := make([][]int, len(lambdas))
 	for j := range supports {
@@ -208,9 +236,13 @@ func VAR(series *mat.Dense, cfg *VARConfig) (*VARResult, error) {
 	// ---- Model estimation (Algorithm 2 lines 15–30) ----
 	tEst := time.Now()
 	distinct := dedupeSupports(supports)
+	spInt.End()
+	spEst := tr.Start("estimation")
 	winners := make([][]float64, c.B2)
 	var estMu sync.Mutex
 	err = forEachBootstrap(c.Workers, c.B2, func(k int) error {
+		spBoot := spEst.Child("bootstrap")
+		defer spBoot.End()
 		rng := root.Derive(1_000_000 + uint64(k))
 		trainIdx, evalIdx := resample.BlockTrainEvalSplit(rng, m, blockLen, c.TrainFrac)
 		toTargets := func(idx []int) []int {
@@ -221,8 +253,10 @@ func VAR(series *mat.Dense, cfg *VARConfig) (*VARResult, error) {
 			return out
 		}
 		t0 := time.Now()
+		spK := spEst.Child("kron_assembly")
 		trainDes := varsim.NewDesignFromRows(series, d, !c.NoIntercept, toTargets(trainIdx))
 		evalDes := varsim.NewDesignFromRows(series, d, !c.NoIntercept, toTargets(evalIdx))
+		spK.End()
 		kTime := time.Since(t0)
 
 		bestLoss := 0.0
@@ -230,7 +264,7 @@ func VAR(series *mat.Dense, cfg *VARConfig) (*VARResult, error) {
 		first := true
 		fits := 0
 		for _, s := range distinct {
-			beta := olsOnVecSupport(trainDes, s)
+			beta := olsOnVecSupport(trainDes, s, kw)
 			fits++
 			loss := vecLoss(evalDes, beta)
 			if first || loss < bestLoss {
@@ -252,8 +286,11 @@ func VAR(series *mat.Dense, cfg *VARConfig) (*VARResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	spEst.End()
+	spUnion := tr.Start("union")
 	res.Beta = combineWinners(winners, betaLen, c.MedianUnion)
 	res.A, res.Mu = full.PartitionBeta(res.Beta)
+	spUnion.End()
 	res.Diag.EstimationTime = time.Since(tEst)
 	res.KronTime = kronTime
 	return res, nil
@@ -277,8 +314,9 @@ func vecLambdaMax(des *varsim.Design) float64 {
 }
 
 // olsOnVecSupport fits the support-restricted OLS equation by equation
-// (the vec problem is block separable).
-func olsOnVecSupport(des *varsim.Design, support []int) []float64 {
+// (the vec problem is block separable), with the caller's kernel worker
+// budget threaded into each per-equation Gram solve.
+func olsOnVecSupport(des *varsim.Design, support []int, kernelWorkers int) []float64 {
 	p := des.P
 	rowsB := des.X.Cols
 	beta := make([]float64, rowsB*p)
@@ -294,7 +332,7 @@ func olsOnVecSupport(des *varsim.Design, support []int) []float64 {
 			continue
 		}
 		des.Y.Col(eq, yCol)
-		sub := admm.OLSOnSupport(des.X, yCol, perEq[eq])
+		sub := admm.OLSOnSupportWorkers(des.X, yCol, perEq[eq], kernelWorkers)
 		copy(beta[eq*rowsB:(eq+1)*rowsB], sub)
 	}
 	return beta

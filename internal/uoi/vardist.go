@@ -127,12 +127,21 @@ func VARDistributed(comm *mpi.Comm, series *mat.Dense, cfg *VARConfig, dopts *VA
 	res := &VARResult{}
 	var kronTime time.Duration
 
+	// Kernel worker budget: `size` rank goroutines share the process, so
+	// each rank's dense kernels get GOMAXPROCS/size workers by default.
+	tr := c.Trace
+	kw := kernelBudget(c.KernelWorkers, size)
+	tr.SetMax("mat/kernel_workers", int64(kw))
+
 	// λ grid: derive from the first bootstrap assembly if not given (needs
 	// the assembled block to compute ‖(I⊗X)ᵀ vec(Y)‖∞ with one Allreduce).
+	// The derivation happens inside the first selection bootstrap, so it is
+	// traced as a selection child rather than a top-level phase.
 	lambdas := c.Lambdas
 
 	// ---- Model selection (Algorithm 2 lines 2–13) ----
 	tSel := time.Now()
+	spSel := tr.Start("selection")
 	// indicator[j*betaLen+i] counts bootstraps whose support at λ_j
 	// contains vec-coefficient i (identical on every rank, since all ranks
 	// see the same consensus estimates).
@@ -150,11 +159,14 @@ func VARDistributed(comm *mpi.Comm, series *mat.Dense, cfg *VARConfig, dopts *VA
 		if !needLambda && k%grid.PB != bSlot {
 			continue
 		}
+		spBoot := spSel.Child("bootstrap")
 		targets := make([]int, len(idx))
 		for i, v := range idx {
 			targets[i] = d + v
 		}
+		spK := spSel.Child("kron_assembly")
 		block, err := assembleFn(sub, buildLocal(targets), nReaders)
+		spK.End()
 		if err != nil {
 			return nil, fmt.Errorf("uoi: VAR assembly %d: %w", k, err)
 		}
@@ -163,13 +175,15 @@ func VARDistributed(comm *mpi.Comm, series *mat.Dense, cfg *VARConfig, dopts *VA
 		if rho <= 0 {
 			rho = kron.GlobalRho(sub, block)
 		}
-		f, err := kron.NewVecFactorization(block, rho)
+		f, err := kron.NewVecFactorizationWorkers(block, rho, kw)
 		if err != nil {
 			return nil, fmt.Errorf("uoi: VAR factorization %d: %w", k, err)
 		}
+		tr.Add("admm/factorizations", 1)
 		if needLambda {
 			// ‖Aᵀy‖∞ over this group's block rows (identical data in every
 			// group for bootstrap 0, so groups agree without a world sync).
+			spGrid := spSel.Child("lambda_grid")
 			localAty := make([]float64, betaLen)
 			q := block.Q
 			for r := 0; r < block.X.Rows; r++ {
@@ -182,10 +196,12 @@ func VARDistributed(comm *mpi.Comm, series *mat.Dense, cfg *VARConfig, dopts *VA
 				lmax = 1
 			}
 			lambdas = admm.LogSpaceLambdas(lmax, c.LambdaRatio, c.Q)
+			spGrid.End()
 			if indicator == nil {
 				indicator = make([]float64, len(lambdas)*betaLen)
 			}
 			if k%grid.PB != bSlot {
+				spBoot.End()
 				continue
 			}
 		}
@@ -207,6 +223,7 @@ func VARDistributed(comm *mpi.Comm, series *mat.Dense, cfg *VARConfig, dopts *VA
 				}
 			}
 		}
+		spBoot.End()
 	}
 	res.Lambdas = lambdas
 	// Combine support counts across groups; within a group all ranks hold
@@ -215,6 +232,8 @@ func VARDistributed(comm *mpi.Comm, series *mat.Dense, cfg *VARConfig, dopts *VA
 		comm.Allreduce(mpi.OpSum, indicator)
 		mat.ScaleVec(indicator, 1/float64(groupSize))
 	}
+	spSel.End()
+	spInt := tr.Start("intersection")
 	threshold := float64(selectionThreshold(c.SelectionFrac, c.B1))
 	supports := make([][]int, len(lambdas))
 	for j := range supports {
@@ -231,6 +250,8 @@ func VARDistributed(comm *mpi.Comm, series *mat.Dense, cfg *VARConfig, dopts *VA
 	// ---- Model estimation (Algorithm 2 lines 15–30) ----
 	tEst := time.Now()
 	distinct := dedupeSupports(supports)
+	spInt.End()
+	spEst := tr.Start("estimation")
 	// winnersFlat[k·betaLen:(k+1)·betaLen] holds estimation bootstrap k's
 	// winning estimate; groups fill their own shard and (when gridded) a
 	// world sum assembles the full set before the union step.
@@ -239,6 +260,7 @@ func VARDistributed(comm *mpi.Comm, series *mat.Dense, cfg *VARConfig, dopts *VA
 		if k%groups != g {
 			continue
 		}
+		spBoot := spEst.Child("bootstrap")
 		rng := root.Derive(1_000_000 + uint64(k))
 		trainIdx, evalIdx := resample.BlockTrainEvalSplit(rng, m, blockLen, c.TrainFrac)
 		toTargets := func(idx []int) []int {
@@ -248,11 +270,13 @@ func VARDistributed(comm *mpi.Comm, series *mat.Dense, cfg *VARConfig, dopts *VA
 			}
 			return out
 		}
+		spK := spEst.Child("kron_assembly")
 		trainBlock, err := assembleFn(sub, buildLocal(toTargets(trainIdx)), nReaders)
 		if err != nil {
 			return nil, fmt.Errorf("uoi: VAR train assembly %d: %w", k, err)
 		}
 		evalBlock, err := assembleFn(sub, buildLocal(toTargets(evalIdx)), nReaders)
+		spK.End()
 		if err != nil {
 			return nil, fmt.Errorf("uoi: VAR eval assembly %d: %w", k, err)
 		}
@@ -261,10 +285,11 @@ func VARDistributed(comm *mpi.Comm, series *mat.Dense, cfg *VARConfig, dopts *VA
 		if rho <= 0 {
 			rho = kron.GlobalRho(sub, trainBlock)
 		}
-		f, err := kron.NewVecFactorization(trainBlock, rho)
+		f, err := kron.NewVecFactorizationWorkers(trainBlock, rho, kw)
 		if err != nil {
 			return nil, fmt.Errorf("uoi: VAR train factorization %d: %w", k, err)
 		}
+		tr.Add("admm/factorizations", 1)
 		bestLoss := 0.0
 		var bestBeta []float64
 		first := true
@@ -284,17 +309,21 @@ func VARDistributed(comm *mpi.Comm, series *mat.Dense, cfg *VARConfig, dopts *VA
 			bestBeta = make([]float64, betaLen)
 		}
 		copy(winnersFlat[k*betaLen:(k+1)*betaLen], bestBeta)
+		spBoot.End()
 	}
 	if groups > 1 {
 		comm.Allreduce(mpi.OpSum, winnersFlat)
 		mat.ScaleVec(winnersFlat, 1/float64(groupSize))
 	}
+	spEst.End()
+	spUnion := tr.Start("union")
 	winners := make([][]float64, c.B2)
 	for k := 0; k < c.B2; k++ {
 		winners[k] = winnersFlat[k*betaLen : (k+1)*betaLen]
 	}
 	res.Beta = combineWinners(winners, betaLen, c.MedianUnion)
 	res.A, res.Mu = varsim.PartitionVec(res.Beta, p, d, intercept)
+	spUnion.End()
 	res.Diag.EstimationTime = time.Since(tEst)
 	res.KronTime = kronTime
 	return res, nil

@@ -46,6 +46,7 @@ import (
 	"uoivar/internal/perfmodel"
 	"uoivar/internal/preprocess"
 	"uoivar/internal/resample"
+	"uoivar/internal/trace"
 	"uoivar/internal/uoi"
 	"uoivar/internal/varsim"
 )
@@ -238,6 +239,37 @@ type (
 	LassoScale = perfmodel.LassoScale
 	VARScale   = perfmodel.VARScale
 )
+
+// ---- Performance observability (DESIGN.md §8) ----
+
+// Tracer aggregates per-phase wall time and solver counters for a fit. Set
+// it on LassoConfig/VARConfig.Trace (one tracer per rank for distributed
+// fits); a nil *Tracer is the canonical disabled tracer with near-zero
+// overhead.
+type Tracer = trace.Tracer
+
+// NewTracer returns an enabled tracer.
+func NewTracer() *Tracer { return trace.New() }
+
+// PerfReport is the serialized phase/communication breakdown artifact
+// (schema uoivar/perf-report/v1), one RankPerf entry per rank.
+type PerfReport = trace.PerfReport
+
+// RankPerf is one rank's phase timings, counters, and compute-vs-comm split.
+type RankPerf = trace.RankPerf
+
+// CollectRankPerf joins a rank's tracer with its communication meters into
+// a finalized RankPerf. Call once per fit, on a fresh world, after the fit
+// returns.
+func CollectRankPerf(comm *Comm, tr *Tracer) RankPerf { return uoi.RankPerf(comm, tr) }
+
+// NewPerfReport assembles the per-rank entries into the final artifact.
+func NewPerfReport(name string, wallSeconds float64, ranks []RankPerf) *PerfReport {
+	return trace.NewPerfReport(name, wallSeconds, ranks)
+}
+
+// ParsePerfReport decodes and schema-checks a serialized PerfReport.
+func ParsePerfReport(data []byte) (*PerfReport, error) { return trace.ParsePerfReport(data) }
 
 // ---- Solver extensions ----
 
