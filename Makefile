@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-full vet fmt experiments csv examples clean
+.PHONY: build test test-short test-race bench bench-full vet fmt experiments csv examples trace clean
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,15 @@ experiments:
 # Plot-ready CSV series for the scaling figures.
 csv:
 	$(GO) run ./cmd/experiments -csv out/csv
+
+# Sample event timeline: generate a small dataset, run a distributed fit
+# with recording on, and emit the Chrome trace (open in ui.perfetto.dev)
+# plus the printed critical-path summary.
+trace:
+	mkdir -p out
+	$(GO) run ./cmd/uoigen -kind regression -n 2000 -p 64 -o out/trace-sample.hbf
+	$(GO) run ./cmd/uoifit -algo lasso -data out/trace-sample.hbf -ranks 4 \
+		-trace-out out/sample.trace.json -trace-summary
 
 examples:
 	$(GO) run ./examples/quickstart

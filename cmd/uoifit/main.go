@@ -15,11 +15,28 @@
 //
 //	uoifit -algo lasso -data data.hbf -ranks 4 -perf-report perf.json
 //
-// writes a structured PerfReport (schema uoivar/perf-report/v1) with each
-// rank's phase timings joined against its communication meters — the
-// machine-readable form of the paper's computation-vs-communication
-// breakdown. "-" writes to stdout. -pprof serves net/http/pprof and expvar,
-// -cpuprofile writes a CPU profile for the whole run.
+// writes a structured PerfReport (schema uoivar/perf-report/v2) with each
+// rank's phase timings joined against its communication meters and per-peer
+// traffic rows — the machine-readable form of the paper's
+// computation-vs-communication breakdown. "-" writes to stdout.
+//
+// Event-timeline tracing:
+//
+//	uoifit -algo lasso -data data.hbf -ranks 4 \
+//	       -trace-out run.trace.json -trace-summary
+//
+// records every rank's phase spans, communication calls (peer, tag, bytes,
+// wait-vs-transfer) and injected faults on bounded per-rank ring buffers;
+// -trace-out exports them as Chrome trace-event JSON (open in
+// https://ui.perfetto.dev, one row per rank, flow arrows linking matched
+// sends and receives) and -trace-summary prints the merged analysis:
+// per-phase load imbalance, the critical path through the pipeline DAG, and
+// per-rank barrier-wait attribution.
+//
+// Live monitoring: -debug-addr localhost:8090 serves /healthz,
+// /debug/uoivar (JSON snapshot of in-flight phase, per-rank health and comm
+// counters) and /debug/vars while the fit runs. -pprof serves
+// net/http/pprof, -cpuprofile writes a CPU profile for the whole run.
 package main
 
 import (
@@ -37,6 +54,7 @@ import (
 	"uoivar/internal/distio"
 	"uoivar/internal/hbf"
 	"uoivar/internal/mat"
+	"uoivar/internal/monitor"
 	"uoivar/internal/mpi"
 	"uoivar/internal/trace"
 	"uoivar/internal/uoi"
@@ -60,11 +78,24 @@ type options struct {
 	PB       int
 	PL       int
 	Readers  int
-	Edges    string
-	Dot      string
+	// Dist picks the lasso data-distribution scheme: "randomized"
+	// (one-sided windows, the paper's default) or "conventional" (root
+	// streams row blocks over p2p send/recv — Table II's baseline, and the
+	// path that draws flow arrows in a Chrome trace).
+	Dist  string
+	Edges string
+	Dot   string
 	// PerfReport, when non-empty, enables tracing and writes the per-rank
 	// PerfReport JSON to this path ("-" = stdout).
 	PerfReport string
+	// TraceOut, when non-empty, enables event recording and writes the
+	// Chrome trace-event JSON to this path ("-" = stdout).
+	TraceOut string
+	// TraceSummary enables event recording and prints the merged timeline
+	// analysis (load imbalance, critical path, wait attribution).
+	TraceSummary bool
+	// DebugAddr, when non-empty, serves the live metrics/health endpoint.
+	DebugAddr string
 	// KernelWorkers overrides the per-kernel-call worker budget (0 = derive
 	// from rank count, <0 = full machine per call).
 	KernelWorkers int
@@ -89,9 +120,13 @@ func main() {
 	flag.IntVar(&o.PB, "pb", 1, "bootstrap-level parallelism P_B")
 	flag.IntVar(&o.PL, "pl", 1, "λ-level parallelism P_λ")
 	flag.IntVar(&o.Readers, "readers", 2, "reader ranks for the VAR Kronecker assembly")
+	flag.StringVar(&o.Dist, "dist", "randomized", "lasso data distribution: randomized | conventional")
 	flag.StringVar(&o.Edges, "edges", "", "write the Granger edge list to this file (var algos)")
 	flag.StringVar(&o.Dot, "dot", "", "write Graphviz DOT to this file (var algos)")
 	flag.StringVar(&o.PerfReport, "perf-report", "", "write per-rank phase/comm PerfReport JSON to this file (\"-\" = stdout)")
+	flag.StringVar(&o.TraceOut, "trace-out", "", "write the per-rank event timeline as Chrome trace JSON to this file (\"-\" = stdout)")
+	flag.BoolVar(&o.TraceSummary, "trace-summary", false, "print the merged timeline analysis (imbalance, critical path, waits)")
+	flag.StringVar(&o.DebugAddr, "debug-addr", "", "serve the live /healthz and /debug/uoivar endpoint on this address")
 	flag.IntVar(&o.KernelWorkers, "kernel-workers", 0, "per-kernel-call worker budget (0 = GOMAXPROCS/ranks, <0 = full machine)")
 	flag.Parse()
 	if o.Data == "" {
@@ -154,26 +189,94 @@ func run(o *options) error {
 	}
 }
 
-// perfCollector gathers per-rank PerfReport entries from inside an mpi.Run
-// body. Disabled (nil tracers, no output) when path is empty.
+// perfCollector gathers per-rank observability from inside an mpi.Run body:
+// PerfReport entries (-perf-report), event timelines (-trace-out /
+// -trace-summary, via a shared-epoch RecorderSet threaded into the mpi
+// runtime), and the live debug endpoint (-debug-addr). Fully disabled — nil
+// tracers, nil recorders, no output — when no observability flag is set.
 type perfCollector struct {
 	path  string
 	name  string
+	o     *options
+	recs  []*trace.Recorder
+	mon   *monitor.Server
 	mu    sync.Mutex
 	ranks []trace.RankPerf
+	extra map[string]any
 	start time.Time
 }
 
-func newPerfCollector(path, name string) *perfCollector {
-	return &perfCollector{path: path, name: name, start: time.Now()}
+func newPerfCollector(o *options, name string) *perfCollector {
+	p := &perfCollector{path: o.PerfReport, name: name, o: o, start: time.Now()}
+	if o.TraceOut != "" || o.TraceSummary || o.DebugAddr != "" {
+		p.recs = trace.NewRecorderSet(o.Ranks, trace.DefaultEventCapacity)
+	}
+	return p
 }
 
-// tracer returns a fresh per-rank tracer, or nil when collection is off.
-func (p *perfCollector) tracer() *trace.Tracer {
-	if p.path == "" {
+// runOpts threads the recorders into the mpi runtime.
+func (p *perfCollector) runOpts() mpi.RunOptions {
+	return mpi.RunOptions{Recorders: p.recs}
+}
+
+// serve starts the live endpoint when -debug-addr is set.
+func (p *perfCollector) serve() error {
+	if p.o.DebugAddr == "" {
 		return nil
 	}
-	return trace.New()
+	p.mon = monitor.New(p.name)
+	p.mon.SetRecorders(p.recs)
+	p.mon.SetState(func() map[string]any {
+		m := map[string]any{"algo": p.o.Algo, "ranks": p.o.Ranks, "b1": p.o.B1, "b2": p.o.B2}
+		p.mu.Lock()
+		for k, v := range p.extra {
+			m[k] = v
+		}
+		p.mu.Unlock()
+		return m
+	})
+	addr, err := p.mon.Serve(p.o.DebugAddr)
+	if err != nil {
+		return err
+	}
+	fmt.Println("debug endpoint on", addr)
+	return nil
+}
+
+// register wires the world's health and per-rank comm counters into the
+// live endpoint (both sources are safe for concurrent readers mid-run).
+func (p *perfCollector) register(c *mpi.Comm) {
+	if p.mon == nil || c.Rank() != 0 {
+		return
+	}
+	p.mon.SetHealth(c.Health)
+	p.mon.SetStats(c.AllStats)
+}
+
+// setState publishes a key into the live endpoint's state map.
+func (p *perfCollector) setState(k string, v any) {
+	if p.mon == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.extra == nil {
+		p.extra = map[string]any{}
+	}
+	p.extra[k] = v
+	p.mu.Unlock()
+}
+
+// tracer returns the rank's tracer (with its event recorder attached when
+// event recording is on), or nil when all collection is off.
+func (p *perfCollector) tracer(rank int) *trace.Tracer {
+	var rec *trace.Recorder
+	if rank < len(p.recs) {
+		rec = p.recs[rank]
+	}
+	if p.path == "" && rec == nil {
+		return nil
+	}
+	return trace.New().WithRecorder(rec)
 }
 
 // collect joins the rank's spans with its comm meters and stores the entry.
@@ -187,8 +290,20 @@ func (p *perfCollector) collect(c *mpi.Comm, tr *trace.Tracer) {
 	p.mu.Unlock()
 }
 
-// write emits the assembled report.
+// write emits everything the flags asked for: the timeline summary, the
+// Chrome trace, and the PerfReport; it also stops the debug endpoint.
 func (p *perfCollector) write() error {
+	if p.mon != nil {
+		defer p.mon.Close()
+	}
+	if p.o.TraceSummary && p.recs != nil {
+		fmt.Print(trace.AnalyzeTimeline(p.recs).Format())
+	}
+	if p.o.TraceOut != "" {
+		if err := p.writeTrace(); err != nil {
+			return err
+		}
+	}
 	if p.path == "" {
 		return nil
 	}
@@ -211,16 +326,48 @@ func (p *perfCollector) write() error {
 	return nil
 }
 
+func (p *perfCollector) writeTrace() error {
+	if p.o.TraceOut == "-" {
+		return trace.WriteChromeTrace(os.Stdout, p.name, p.recs)
+	}
+	f, err := os.Create(p.o.TraceOut)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChromeTrace(f, p.name, p.recs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("chrome trace written to", p.o.TraceOut, "(open in https://ui.perfetto.dev)")
+	return nil
+}
+
 func runLasso(o *options) error {
 	var result *uoi.Result
-	perf := newPerfCollector(o.PerfReport, "uoi_lasso")
-	err := mpi.Run(o.Ranks, func(c *mpi.Comm) error {
-		block, err := distio.RandomizedDistribute(c, o.Data, o.Seed)
+	perf := newPerfCollector(o, "uoi_lasso")
+	if err := perf.serve(); err != nil {
+		return err
+	}
+	err := mpi.RunWithOptions(o.Ranks, perf.runOpts(), func(c *mpi.Comm) error {
+		perf.register(c)
+		var block *distio.Block
+		var err error
+		switch o.Dist {
+		case "", "randomized":
+			block, err = distio.RandomizedDistribute(c, o.Data, o.Seed)
+		case "conventional":
+			block, err = distio.ConventionalDistribute(c, o.Data)
+		default:
+			return fmt.Errorf("unknown -dist %q (randomized | conventional)", o.Dist)
+		}
 		if err != nil {
 			return err
 		}
 		x, y := block.XY()
-		tr := perf.tracer()
+		tr := perf.tracer(c.Rank())
 		res, err := uoi.LassoDistributed(c, x, y, &uoi.LassoConfig{
 			B1: o.B1, B2: o.B2, Q: o.Q, LambdaRatio: o.Ratio, Seed: o.Seed,
 			KernelWorkers: o.KernelWorkers, Trace: tr,
@@ -231,6 +378,7 @@ func runLasso(o *options) error {
 		perf.collect(c, tr)
 		if c.Rank() == 0 {
 			result = res
+			perf.setState("bootstrap", res.Bootstrap)
 		}
 		return nil
 	})
@@ -270,13 +418,17 @@ func runVAR(o *options) error {
 		readers = o.Ranks
 	}
 	var result *uoi.VARResult
-	perf := newPerfCollector(o.PerfReport, "uoi_var")
-	err = mpi.Run(o.Ranks, func(c *mpi.Comm) error {
+	perf := newPerfCollector(o, "uoi_var")
+	if err := perf.serve(); err != nil {
+		return err
+	}
+	err = mpi.RunWithOptions(o.Ranks, perf.runOpts(), func(c *mpi.Comm) error {
+		perf.register(c)
 		var s *mat.Dense
 		if c.Rank() < readers {
 			s = series
 		}
-		tr := perf.tracer()
+		tr := perf.tracer(c.Rank())
 		res, err := uoi.VARDistributed(c, s, &uoi.VARConfig{
 			Order: o.Order, B1: o.B1, B2: o.B2, Q: o.Q, LambdaRatio: o.Ratio, Seed: o.Seed,
 			KernelWorkers: o.KernelWorkers, Trace: tr,

@@ -39,6 +39,16 @@ func TestRunLassoPath(t *testing.T) {
 	}
 }
 
+func TestRunLassoConventionalDist(t *testing.T) {
+	path := writeTestRegression(t)
+	if err := run(&options{Algo: "lasso", Data: path, Ranks: 2, B1: 4, B2: 2, Q: 5, Ratio: 1e-2, Seed: 1, Order: 1, MaxOrder: 4, PB: 1, PL: 1, Readers: 2, Dist: "conventional"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&options{Algo: "lasso", Data: path, Ranks: 2, B1: 4, B2: 2, Q: 5, Ratio: 1e-2, Seed: 1, Order: 1, MaxOrder: 4, PB: 1, PL: 1, Readers: 2, Dist: "nope"}); err == nil {
+		t.Fatal("unknown -dist must fail")
+	}
+}
+
 func TestRunLassoBaselines(t *testing.T) {
 	path := writeTestRegression(t)
 	if err := run(&options{Algo: "lasso-cv", Data: path, Ranks: 1, B1: 0, B2: 0, Q: 6, Ratio: 1e-3, Seed: 1, Order: 1, MaxOrder: 4, PB: 1, PL: 1, Readers: 1}); err != nil {
@@ -139,6 +149,53 @@ func TestRunVARPerfReport(t *testing.T) {
 	}
 	if len(report.Ranks) != 2 {
 		t.Fatalf("report has %d ranks, want 2", len(report.Ranks))
+	}
+}
+
+// TestRunLassoTraceOut runs a distributed fit with -trace-out and
+// -trace-summary and checks the Chrome trace artifact validates, carries one
+// track per rank, and records the pipeline's top-level phases.
+func TestRunLassoTraceOut(t *testing.T) {
+	path := writeTestRegression(t)
+	out := filepath.Join(t.TempDir(), "fit.trace.json")
+	const ranks = 2
+	if err := run(&options{Algo: "lasso", Data: path, Ranks: ranks, B1: 4, B2: 2, Q: 5, Ratio: 1e-2, Seed: 1, Order: 1, MaxOrder: 4, PB: 1, PL: 1, Readers: 2, TraceOut: out, TraceSummary: true}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := trace.ParseChromeTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tids := map[int]bool{}
+	spans := map[string]bool{}
+	for _, e := range ct.TraceEvents {
+		tids[e.Tid] = true
+		if e.Ph == "B" {
+			spans[e.Name] = true
+		}
+	}
+	for r := 0; r < ranks; r++ {
+		if !tids[r] {
+			t.Fatalf("trace missing rank %d track", r)
+		}
+	}
+	for _, want := range []string{"selection", "estimation", "union"} {
+		if !spans[want] {
+			t.Fatalf("trace missing %q phase spans (have %v)", want, spans)
+		}
+	}
+}
+
+// TestRunVARDebugAddr exercises the live-endpoint plumbing end to end: the
+// run must bind, serve, and shut the monitor down cleanly.
+func TestRunVARDebugAddr(t *testing.T) {
+	path := writeTestSeries(t)
+	if err := run(&options{Algo: "var", Data: path, Ranks: 2, B1: 3, B2: 2, Q: 4, Ratio: 1e-2, Seed: 1, Order: 1, MaxOrder: 4, PB: 1, PL: 1, Readers: 2, DebugAddr: "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,254 @@
+// Package monitor serves a live metrics/health endpoint for a running fit:
+// an expvar-style JSON snapshot of the in-flight phase per rank, per-rank
+// health and communication counters, and any caller-registered state
+// (quorum/degradation, run configuration). It is the runtime companion to
+// the post-hoc PerfReport: the report says what happened, the monitor says
+// what is happening.
+//
+// Endpoints:
+//
+//	/healthz       — "ok" (200) while no rank has failed, "degraded" (503)
+//	                 with the failed-rank list otherwise
+//	/debug/uoivar  — the full JSON snapshot
+//	/debug/vars    — standard expvar (the snapshot is also published as the
+//	                 expvar "uoivar" for stock tooling)
+//
+// Everything is pull-based and lock-scoped to the snapshot, so polling the
+// endpoint never blocks ranks: the sources (trace.Recorder, mpi stats) are
+// themselves safe for concurrent readers.
+package monitor
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"uoivar/internal/mpi"
+	"uoivar/internal/trace"
+)
+
+// CommCounters is one communication category's live totals.
+type CommCounters struct {
+	Calls   int64   `json:"calls"`
+	Bytes   int64   `json:"bytes"`
+	Seconds float64 `json:"seconds"`
+}
+
+// RankSnapshot is one rank's live view.
+type RankSnapshot struct {
+	Rank int `json:"rank"`
+	// Phase is the innermost open phase span ("" when idle or unknown).
+	Phase string `json:"phase,omitempty"`
+	// Events/Dropped describe the rank's event ring.
+	Events  int    `json:"events,omitempty"`
+	Dropped int64  `json:"dropped_events,omitempty"`
+	Health  string `json:"health,omitempty"`
+	// Comm maps category name to live totals.
+	Comm map[string]CommCounters `json:"comm,omitempty"`
+}
+
+// Snapshot is the /debug/uoivar document.
+type Snapshot struct {
+	Name          string         `json:"name"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Goroutines    int            `json:"goroutines"`
+	Ranks         []RankSnapshot `json:"ranks,omitempty"`
+	// State carries caller-registered run state (quorum/degradation,
+	// configuration, progress counters).
+	State map[string]any `json:"state,omitempty"`
+}
+
+// Server assembles snapshots from registered sources and serves them over
+// HTTP. All setters are safe to call concurrently with serving, before or
+// after the sources exist — absent sources simply contribute nothing.
+type Server struct {
+	name  string
+	start time.Time
+
+	mu     sync.Mutex
+	recs   []*trace.Recorder
+	health func() []mpi.RankState
+	stats  func() []mpi.Stats
+	state  func() map[string]any
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// New creates a monitor for a run with the given display name.
+func New(name string) *Server {
+	return &Server{name: name, start: time.Now()}
+}
+
+// SetRecorders registers the per-rank event recorders (phase + ring stats).
+func (s *Server) SetRecorders(recs []*trace.Recorder) {
+	s.mu.Lock()
+	s.recs = recs
+	s.mu.Unlock()
+}
+
+// SetHealth registers a per-world-rank health source (e.g. a closure over
+// Comm.Health, which is atomics-only and safe from any goroutine).
+func (s *Server) SetHealth(fn func() []mpi.RankState) {
+	s.mu.Lock()
+	s.health = fn
+	s.mu.Unlock()
+}
+
+// SetStats registers a per-world-rank communication-counter source (e.g.
+// Comm.AllStats for a single world, mpi.ProcessStats for a process running
+// many worlds).
+func (s *Server) SetStats(fn func() []mpi.Stats) {
+	s.mu.Lock()
+	s.stats = fn
+	s.mu.Unlock()
+}
+
+// SetState registers an arbitrary-state source merged into the snapshot
+// (quorum/degradation flags, run progress).
+func (s *Server) SetState(fn func() map[string]any) {
+	s.mu.Lock()
+	s.state = fn
+	s.mu.Unlock()
+}
+
+// Snapshot assembles the current live view.
+func (s *Server) Snapshot() Snapshot {
+	s.mu.Lock()
+	recs, healthFn, statsFn, stateFn := s.recs, s.health, s.stats, s.state
+	s.mu.Unlock()
+	snap := Snapshot{
+		Name:          s.name,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Goroutines:    runtime.NumGoroutine(),
+	}
+	var health []mpi.RankState
+	if healthFn != nil {
+		health = healthFn()
+	}
+	var stats []mpi.Stats
+	if statsFn != nil {
+		stats = statsFn()
+	}
+	n := len(recs)
+	if len(health) > n {
+		n = len(health)
+	}
+	if len(stats) > n {
+		n = len(stats)
+	}
+	for r := 0; r < n; r++ {
+		rs := RankSnapshot{Rank: r}
+		if r < len(recs) && recs[r] != nil {
+			rs.Phase = recs[r].CurrentPhase()
+			rs.Events = recs[r].Len()
+			rs.Dropped = recs[r].Dropped()
+		}
+		if r < len(health) {
+			rs.Health = health[r].String()
+		}
+		if r < len(stats) {
+			rs.Comm = map[string]CommCounters{}
+			for _, cat := range []mpi.Category{mpi.CatP2P, mpi.CatCollective, mpi.CatOneSided} {
+				if stats[r].Calls[cat] == 0 {
+					continue
+				}
+				rs.Comm[cat.String()] = CommCounters{
+					Calls:   stats[r].Calls[cat],
+					Bytes:   stats[r].Bytes[cat],
+					Seconds: stats[r].Time[cat].Seconds(),
+				}
+			}
+		}
+		snap.Ranks = append(snap.Ranks, rs)
+	}
+	if stateFn != nil {
+		snap.State = stateFn()
+	}
+	return snap
+}
+
+// expvarOnce guards the process-wide expvar name (Publish panics on
+// duplicates; tests create many Servers).
+var (
+	expvarOnce sync.Once
+	expvarMu   sync.Mutex
+	expvarCur  *Server
+)
+
+func publishExpvar(s *Server) {
+	expvarMu.Lock()
+	expvarCur = s
+	expvarMu.Unlock()
+	expvarOnce.Do(func() {
+		expvar.Publish("uoivar", expvar.Func(func() any {
+			expvarMu.Lock()
+			cur := expvarCur
+			expvarMu.Unlock()
+			if cur == nil {
+				return nil
+			}
+			return cur.Snapshot()
+		}))
+	})
+}
+
+// Serve starts the HTTP endpoint on addr (host:port; ":0" picks a free
+// port) and returns the bound address. The server runs until Close.
+func (s *Server) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("monitor: listen %s: %w", addr, err)
+	}
+	publishExpvar(s)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/uoivar", s.handleSnapshot)
+	mux.Handle("/debug/vars", expvar.Handler())
+	s.mu.Lock()
+	s.ln = ln
+	s.srv = &http.Server{Handler: mux}
+	srv := s.srv
+	s.mu.Unlock()
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
+	return ln.Addr().String(), nil
+}
+
+// Close stops the HTTP endpoint.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.srv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Snapshot()) //nolint:errcheck // client hangup
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	snap := s.Snapshot()
+	var failed []int
+	for _, r := range snap.Ranks {
+		if r.Health == mpi.RankFailed.String() {
+			failed = append(failed, r.Rank)
+		}
+	}
+	if len(failed) > 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "degraded: failed ranks %v\n", failed)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,153 @@
+package monitor
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"uoivar/internal/mpi"
+	"uoivar/internal/trace"
+)
+
+// get fetches a path from the monitor and returns status + body.
+func get(t *testing.T, addr, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMonitorEndpoints(t *testing.T) {
+	recs := trace.NewRecorderSet(2, 16)
+	recs[0].Begin("selection")
+	recs[1].Begin("estimation")
+
+	s := New("unit")
+	s.SetRecorders(recs)
+	s.SetHealth(func() []mpi.RankState {
+		return []mpi.RankState{mpi.RankRunning, mpi.RankRunning}
+	})
+	s.SetStats(func() []mpi.Stats {
+		var st mpi.Stats
+		st.Calls[mpi.CatCollective] = 7
+		st.Bytes[mpi.CatCollective] = 1024
+		st.Time[mpi.CatCollective] = time.Second
+		return []mpi.Stats{st, {}}
+	})
+	s.SetState(func() map[string]any {
+		return map[string]any{"algo": "lasso", "quorum": true}
+	})
+
+	addr, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	code, body := get(t, addr, "/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+
+	code, body = get(t, addr, "/debug/uoivar")
+	if code != http.StatusOK {
+		t.Fatalf("snapshot status = %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("snapshot not JSON: %v\n%s", err, body)
+	}
+	if snap.Name != "unit" || len(snap.Ranks) != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.Ranks[0].Phase != "selection" || snap.Ranks[1].Phase != "estimation" {
+		t.Fatalf("phases = %q, %q", snap.Ranks[0].Phase, snap.Ranks[1].Phase)
+	}
+	if snap.Ranks[0].Health != "running" {
+		t.Fatalf("health = %q", snap.Ranks[0].Health)
+	}
+	cc := snap.Ranks[0].Comm["collective"]
+	if cc.Calls != 7 || cc.Bytes != 1024 || cc.Seconds != 1 {
+		t.Fatalf("collective counters = %+v", cc)
+	}
+	if snap.State["algo"] != "lasso" || snap.State["quorum"] != true {
+		t.Fatalf("state = %+v", snap.State)
+	}
+
+	// The snapshot is also published as the expvar "uoivar".
+	code, body = get(t, addr, "/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, `"uoivar"`) {
+		t.Fatalf("expvar = %d, uoivar present = %v", code, strings.Contains(body, `"uoivar"`))
+	}
+}
+
+func TestMonitorDegraded(t *testing.T) {
+	s := New("unit")
+	s.SetHealth(func() []mpi.RankState {
+		return []mpi.RankState{mpi.RankRunning, mpi.RankFailed, mpi.RankFailed}
+	})
+	addr, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	code, body := get(t, addr, "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded healthz status = %d", code)
+	}
+	if !strings.Contains(body, "failed ranks [1 2]") {
+		t.Fatalf("degraded body = %q", body)
+	}
+}
+
+// A bare monitor with no sources must still serve sane empty documents, and
+// a second Server must be able to take over the shared expvar name.
+func TestMonitorNoSources(t *testing.T) {
+	s := New("empty")
+	addr, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	code, body := get(t, addr, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+	var snap Snapshot
+	code, body = get(t, addr, "/debug/uoivar")
+	if code != http.StatusOK {
+		t.Fatalf("snapshot status = %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Ranks) != 0 || snap.Name != "empty" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestMonitorCloseIdempotent(t *testing.T) {
+	s := New("x")
+	if err := s.Close(); err != nil {
+		t.Fatalf("close before serve: %v", err)
+	}
+	if _, err := s.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil && err != http.ErrServerClosed {
+		t.Fatalf("second close: %v", err)
+	}
+}

@@ -23,7 +23,8 @@ func (c *Comm) Alltoallv(send [][]float64) [][]float64 {
 	}
 	g.a2aSlots[c.rank] = send
 	g.mu.Unlock()
-	c.sync()
+	var wait time.Duration
+	c.syncW(&wait)
 	recv := make([][]float64, size)
 	floats := 0
 	for s := 0; s < size; s++ {
@@ -35,14 +36,39 @@ func (c *Comm) Alltoallv(send [][]float64) [][]float64 {
 		recv[s] = out
 		floats += len(block)
 	}
-	c.sync()
+	c.syncW(&wait)
 	// Reset for reuse once everyone has read.
 	if c.rank == 0 {
 		g.mu.Lock()
 		g.a2aSlots = nil
 		g.mu.Unlock()
 	}
-	c.sync()
+	c.syncW(&wait)
 	c.meter(CatP2P, floats, start)
+	c.meterAlltoall(send, recv)
+	c.commEvent("alltoallv", CatP2P, floats, start, wait)
 	return recv
+}
+
+// meterAlltoall folds one Alltoallv exchange into the per-pair matrix: this
+// rank is the sender of every send[d] block and the receiver of every
+// recv[s] block, so both sides of each pairwise flow are accounted and the
+// p2p conservation law holds. The exchange's wall time lives in the
+// aggregate meter; pair rows carry calls and bytes only (the pairwise
+// exchange is a single synchronized operation with no per-pair timing).
+func (c *Comm) meterAlltoall(send, recv [][]float64) {
+	w := c.world
+	me := c.worldRank
+	w.statsMu.Lock()
+	for d, block := range send {
+		cell := &w.pairs[w.pairIndex(me, c.group.members[d], CatP2P)]
+		cell.sendCalls++
+		cell.sendBytes += int64(len(block) * bytesPerFloat)
+	}
+	for s, block := range recv {
+		cell := &w.pairs[w.pairIndex(c.group.members[s], me, CatP2P)]
+		cell.recvCalls++
+		cell.recvBytes += int64(len(block) * bytesPerFloat)
+	}
+	w.statsMu.Unlock()
 }

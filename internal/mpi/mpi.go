@@ -28,6 +28,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"uoivar/internal/trace"
 )
 
 // Op is a reduction operator for Allreduce/Reduce.
@@ -151,6 +153,85 @@ func (s *Stats) add(o *Stats) {
 
 const bytesPerFloat = 8
 
+// pairCell is one src→dst×category cell of the communication matrix. Send
+// fields are recorded by the sending rank, recv fields by the receiving
+// rank; for one-sided (RMA) transfers the origin records both directions,
+// since the target is passive.
+type pairCell struct {
+	sendCalls, sendBytes int64
+	sendTime             time.Duration
+	recvCalls, recvBytes int64
+	recvTime             time.Duration
+}
+
+// PairFlow is one nonzero cell of the per-pair communication matrix: all
+// traffic from Src to Dst in one category, with both endpoints' accounting.
+type PairFlow struct {
+	Src, Dst  int
+	Category  Category
+	SendCalls int64
+	SendBytes int64
+	SendTime  time.Duration
+	RecvCalls int64
+	RecvBytes int64
+	RecvTime  time.Duration
+}
+
+// pairIndex flattens (src, dst, cat) into the world's pairs slice.
+func (w *World) pairIndex(src, dst int, cat Category) int {
+	return (src*w.size+dst)*int(numCategories) + int(cat)
+}
+
+// pairDir selects which side of a pair cell a call updates.
+type pairDir uint8
+
+const (
+	pairSend pairDir = iota
+	pairRecv
+)
+
+// procStats optionally aggregates every world's per-rank meters
+// process-wide, across all Run invocations — the hook cmd/experiments uses
+// to report per-rank communication rows even though it launches many
+// worlds internally. Disabled (one atomic load per meter call) by default.
+var procStats struct {
+	enabled atomic.Bool
+	mu      sync.Mutex
+	ranks   []Stats
+}
+
+// EnableProcessStats turns process-wide per-rank aggregation on or off.
+func EnableProcessStats(on bool) { procStats.enabled.Store(on) }
+
+// ResetProcessStats clears the process-wide aggregate.
+func ResetProcessStats() {
+	procStats.mu.Lock()
+	procStats.ranks = nil
+	procStats.mu.Unlock()
+}
+
+// ProcessStats returns the process-wide per-world-rank aggregate collected
+// since the last reset (world rank r of every Run folds into entry r).
+func ProcessStats() []Stats {
+	procStats.mu.Lock()
+	defer procStats.mu.Unlock()
+	out := make([]Stats, len(procStats.ranks))
+	copy(out, procStats.ranks)
+	return out
+}
+
+func procAdd(rank int, cat Category, bytes int64, elapsed time.Duration) {
+	procStats.mu.Lock()
+	for len(procStats.ranks) <= rank {
+		procStats.ranks = append(procStats.ranks, Stats{})
+	}
+	s := &procStats.ranks[rank]
+	s.Calls[cat]++
+	s.Bytes[cat] += bytes
+	s.Time[cat] += elapsed
+	procStats.mu.Unlock()
+}
+
 // FaultInjector is consulted at the start of every communication operation
 // of a rank. It returns a latency to inject (0 = none) and, when the rank is
 // scheduled to die at this operation, a non-nil crash error. The injector is
@@ -166,7 +247,8 @@ type FaultInjector interface {
 // police slow computation between collectives.
 const DefaultCollectiveTimeout = 2 * time.Minute
 
-// RunOptions configures fault tolerance for RunWithOptions.
+// RunOptions configures fault tolerance and observability for
+// RunWithOptions.
 type RunOptions struct {
 	// CollectiveTimeout is the deadline for every blocking communication
 	// call (barriers, collectives, Send/Recv). A rank that waits longer
@@ -175,6 +257,15 @@ type RunOptions struct {
 	CollectiveTimeout time.Duration
 	// Fault injects deterministic faults (nil = none).
 	Fault FaultInjector
+	// Recorders, indexed by world rank, attach per-rank event timelines:
+	// every communication call of rank r (with peer, tag, bytes, and
+	// wait-vs-transfer attribution), plus injected-fault instants, is
+	// recorded onto Recorders[r]. The slice may be nil, short, or carry nil
+	// entries — unlisted ranks simply record nothing. Background helper
+	// goroutines (non-blocking collectives) never record, so a rank's event
+	// sequence is a pure function of its own call sequence and replays
+	// deterministically under a seeded fault plan.
+	Recorders []*trace.Recorder
 }
 
 // World owns the shared state for one Run invocation.
@@ -186,9 +277,21 @@ type World struct {
 	// registry shares transient objects between ranks (Split group handoff).
 	registry sync.Map
 	stats    []Stats // indexed by world rank
+	// pairs is the R×R×category communication matrix, flat-indexed by
+	// pairIndex and guarded by statsMu alongside stats.
+	pairs    []pairCell
 	statsMu  sync.Mutex
 	failOnce sync.Once
 	failErr  error
+
+	// eventsOn is true when any rank has an event recorder; it gates the
+	// (tiny) bookkeeping for flow IDs so recorder-free runs pay nothing.
+	eventsOn bool
+	// flowSend/flowRecv sequence p2p messages per (comm, src, dst, tag)
+	// channel for deterministic flow IDs; FIFO channels guarantee the nth
+	// send matches the nth recv.
+	flowSend sync.Map // chanKey -> *atomic.Int64
+	flowRecv sync.Map
 
 	// groups lists every communicator group ever created so a failure can
 	// break all barriers.
@@ -249,8 +352,15 @@ func RunWithOptions(size int, opts RunOptions, body func(c *Comm) error) error {
 		size:   size,
 		opts:   opts,
 		stats:  make([]Stats, size),
+		pairs:  make([]pairCell, size*size*int(numCategories)),
 		failCh: make(chan struct{}),
 		health: make([]atomic.Int32, size),
+	}
+	for _, r := range opts.Recorders {
+		if r != nil {
+			w.eventsOn = true
+			break
+		}
 	}
 	members := make([]int, size)
 	for i := range members {
@@ -404,8 +514,18 @@ func (c *Comm) Health() []RankState {
 	return out
 }
 
+// recorder returns this rank's event recorder (nil when none is attached).
+func (c *Comm) recorder() *trace.Recorder {
+	rs := c.world.opts.Recorders
+	if c.worldRank < len(rs) {
+		return rs[c.worldRank]
+	}
+	return nil
+}
+
 // faultPoint consults the fault injector at the start of a communication
 // operation: it sleeps injected latency and dies on an injected crash.
+// Injected faults are surfaced on the rank's event timeline as instants.
 func (c *Comm) faultPoint() {
 	f := c.world.opts.Fault
 	if f == nil {
@@ -413,9 +533,11 @@ func (c *Comm) faultPoint() {
 	}
 	delay, crash := f.CommOp(c.worldRank)
 	if delay > 0 {
+		c.recorder().Instant("fault/delay", "fault", delay)
 		time.Sleep(delay)
 	}
 	if crash != nil {
+		c.recorder().Instant("fault/crash", "fault", 0)
 		panic(commFailure{crash})
 	}
 }
@@ -428,15 +550,80 @@ func (c *Comm) sync() {
 	}
 }
 
-// meter records a communication event on this rank.
+// syncW is sync with barrier-wait accounting: when this rank records
+// events, the time spent inside the barrier is accumulated into *wait so
+// the call's event can attribute wait-vs-transfer. Recorder-free ranks pay
+// only the nil check.
+func (c *Comm) syncW(wait *time.Duration) {
+	if !c.world.eventsOn {
+		c.sync()
+		return
+	}
+	t0 := time.Now()
+	c.sync()
+	*wait += time.Since(t0)
+}
+
+// meter records a communication event on this rank's aggregate counters.
 func (c *Comm) meter(cat Category, floats int, start time.Time) {
+	c.meterPair(cat, -1, 0, floats, start)
+}
+
+// meterPair is meter plus, when peerWorld ≥ 0, an update of the per-pair
+// communication matrix under the same lock acquisition. dir selects whether
+// this rank is the sending or receiving endpoint of the src→dst flow.
+func (c *Comm) meterPair(cat Category, peerWorld int, dir pairDir, floats int, start time.Time) {
 	elapsed := time.Since(start)
-	c.world.statsMu.Lock()
-	s := &c.world.stats[c.worldRank]
+	bytes := int64(floats * bytesPerFloat)
+	w := c.world
+	w.statsMu.Lock()
+	s := &w.stats[c.worldRank]
 	s.Calls[cat]++
-	s.Bytes[cat] += int64(floats * bytesPerFloat)
+	s.Bytes[cat] += bytes
 	s.Time[cat] += elapsed
-	c.world.statsMu.Unlock()
+	if peerWorld >= 0 {
+		if dir == pairSend {
+			cell := &w.pairs[w.pairIndex(c.worldRank, peerWorld, cat)]
+			cell.sendCalls++
+			cell.sendBytes += bytes
+			cell.sendTime += elapsed
+		} else {
+			cell := &w.pairs[w.pairIndex(peerWorld, c.worldRank, cat)]
+			cell.recvCalls++
+			cell.recvBytes += bytes
+			cell.recvTime += elapsed
+		}
+	}
+	w.statsMu.Unlock()
+	if procStats.enabled.Load() {
+		procAdd(c.worldRank, cat, bytes, elapsed)
+	}
+}
+
+// meterFlow records a one-sided (RMA) transfer flowing srcWorld→dstWorld:
+// the origin rank accounts for both endpoints of the cell, since the target
+// is passive. The aggregate counters are still charged to the calling rank
+// only (the rank that spent the time).
+func (c *Comm) meterFlow(cat Category, srcWorld, dstWorld, floats int, start time.Time) {
+	elapsed := time.Since(start)
+	bytes := int64(floats * bytesPerFloat)
+	w := c.world
+	w.statsMu.Lock()
+	s := &w.stats[c.worldRank]
+	s.Calls[cat]++
+	s.Bytes[cat] += bytes
+	s.Time[cat] += elapsed
+	cell := &w.pairs[w.pairIndex(srcWorld, dstWorld, cat)]
+	cell.sendCalls++
+	cell.sendBytes += bytes
+	cell.sendTime += elapsed
+	cell.recvCalls++
+	cell.recvBytes += bytes
+	cell.recvTime += elapsed
+	w.statsMu.Unlock()
+	if procStats.enabled.Load() {
+		procAdd(c.worldRank, cat, bytes, elapsed)
+	}
 }
 
 // LocalStats returns a copy of this rank's counters.
@@ -446,15 +633,60 @@ func (c *Comm) LocalStats() Stats {
 	return c.world.stats[c.worldRank]
 }
 
-// GlobalStats returns counters summed over all world ranks. Counters from
-// ranks still inside a communication call may or may not be included; call
-// after a Barrier for a consistent view.
+// GlobalStats returns counters summed over all world ranks. The snapshot is
+// taken atomically under the stats lock, so it is internally consistent and
+// safe to call at any time, from any goroutine — including concurrently
+// with ranks mid-communication (a call's counters appear in one piece when
+// the call completes, never partially). The live debug endpoint polls this
+// while a fit is running.
 func (c *Comm) GlobalStats() Stats {
 	c.world.statsMu.Lock()
 	defer c.world.statsMu.Unlock()
 	var out Stats
 	for i := range c.world.stats {
 		out.add(&c.world.stats[i])
+	}
+	return out
+}
+
+// AllStats returns a copy of every world rank's counters, indexed by world
+// rank. Like GlobalStats the snapshot is taken under the stats lock and is
+// safe mid-run; the live debug endpoint uses it for per-rank comm rows.
+func (c *Comm) AllStats() []Stats {
+	c.world.statsMu.Lock()
+	defer c.world.statsMu.Unlock()
+	out := make([]Stats, len(c.world.stats))
+	copy(out, c.world.stats)
+	return out
+}
+
+// CommMatrix returns the nonzero cells of the world's per-pair
+// communication matrix (src→dst traffic per category), sorted by (src, dst,
+// category). Like GlobalStats, the snapshot is taken under the stats lock
+// and is safe to call mid-run. Send fields are the sender's accounting,
+// recv fields the receiver's; RMA transfers are recorded entirely by the
+// origin rank, so both sides of a one-sided cell agree by construction and
+// p2p bytes satisfy the conservation law Σ_src send = Σ_dst recv once all
+// in-flight messages have been received.
+func (c *Comm) CommMatrix() []PairFlow {
+	w := c.world
+	w.statsMu.Lock()
+	defer w.statsMu.Unlock()
+	var out []PairFlow
+	for src := 0; src < w.size; src++ {
+		for dst := 0; dst < w.size; dst++ {
+			for cat := Category(0); cat < numCategories; cat++ {
+				cell := &w.pairs[w.pairIndex(src, dst, cat)]
+				if cell.sendCalls == 0 && cell.recvCalls == 0 {
+					continue
+				}
+				out = append(out, PairFlow{
+					Src: src, Dst: dst, Category: cat,
+					SendCalls: cell.sendCalls, SendBytes: cell.sendBytes, SendTime: cell.sendTime,
+					RecvCalls: cell.recvCalls, RecvBytes: cell.recvBytes, RecvTime: cell.recvTime,
+				})
+			}
+		}
 	}
 	return out
 }
@@ -469,16 +701,70 @@ func (c *Comm) channel(src, dst, tag int) chan []float64 {
 	return v.(chan []float64)
 }
 
-// Send transmits a copy of data to rank dst with the given tag.
-func (c *Comm) Send(dst, tag int, data []float64) {
-	c.faultPoint()
-	c.sendRaw(dst, tag, data)
+// flowHash derives a deterministic 64-bit flow ID (FNV-1a over the parts);
+// never returns 0 (the "no flow" sentinel).
+func flowHash(parts ...uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, p := range parts {
+		for i := 0; i < 8; i++ {
+			h ^= p & 0xff
+			h *= 1099511628211
+			p >>= 8
+		}
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
 }
 
-// sendRaw is Send without the fault point (used by non-blocking collectives,
-// whose background goroutines must not perturb the deterministic per-rank
-// operation count).
-func (c *Comm) sendRaw(dst, tag int, data []float64) {
+// flowID sequences the (comm, src, dst, tag) channel and hashes the
+// sequence number into the channel identity: because channels are FIFO, the
+// nth wrapped Send on a channel matches the nth wrapped Recv, so both ends
+// compute the same ID without any side-channel. Only called when events are
+// on.
+func (w *World) flowID(key chanKey, send bool) uint64 {
+	m := &w.flowRecv
+	if send {
+		m = &w.flowSend
+	}
+	v, ok := m.Load(key)
+	if !ok {
+		v, _ = m.LoadOrStore(key, new(atomic.Int64))
+	}
+	seq := v.(*atomic.Int64).Add(1)
+	return flowHash(uint64(key.comm), uint64(key.src)+1, uint64(key.dst)+1, uint64(int64(key.tag))+1, uint64(seq))
+}
+
+// commEvent records a completed peerless (collective/RMA-epoch) call on the
+// rank's event timeline; a no-op without a recorder.
+func (c *Comm) commEvent(name string, cat Category, floats int, start time.Time, wait time.Duration) {
+	if r := c.recorder(); r != nil {
+		r.Comm(name, cat.String(), -1, 0, int64(floats*bytesPerFloat), start, wait, 0, false)
+	}
+}
+
+// Send transmits a copy of data to rank dst with the given tag.
+func (c *Comm) Send(dst, tag int, data []float64) {
+	start := time.Now()
+	c.faultPoint()
+	var flow uint64
+	if c.world.eventsOn {
+		flow = c.world.flowID(chanKey{comm: c.group.id, src: c.rank, dst: dst, tag: tag}, true)
+	}
+	wait := c.sendRaw(dst, tag, data)
+	if r := c.recorder(); r != nil {
+		r.Comm("send", CatP2P.String(), c.group.members[dst], tag,
+			int64(len(data)*bytesPerFloat), start, wait, flow, false)
+	}
+}
+
+// sendRaw is Send without the fault point or event recording (used by
+// non-blocking collectives, whose background goroutines must not perturb
+// the deterministic per-rank operation count or event order); it returns
+// the time spent blocked on a full channel. The communication matrix is
+// updated here so every message is accounted for, wrapped or not.
+func (c *Comm) sendRaw(dst, tag int, data []float64) (wait time.Duration) {
 	start := time.Now()
 	c.checkRank(dst)
 	buf := make([]float64, len(data))
@@ -488,6 +774,7 @@ func (c *Comm) sendRaw(dst, tag int, data []float64) {
 	case ch <- buf:
 	default:
 		// Channel full: block with deadline and failure wakeup.
+		t0 := time.Now()
 		timer := c.deadline()
 		select {
 		case ch <- buf:
@@ -496,27 +783,42 @@ func (c *Comm) sendRaw(dst, tag int, data []float64) {
 		case <-timer:
 			panic(commFailure{fmt.Errorf("%w: Send to rank %d (tag %d) after %v", ErrTimeout, dst, tag, c.world.opts.CollectiveTimeout)})
 		}
+		wait = time.Since(t0)
 	}
-	c.meter(CatP2P, len(data), start)
+	c.meterPair(CatP2P, c.group.members[dst], pairSend, len(data), start)
+	return wait
 }
 
 // Recv blocks until a message with the given tag arrives from src and
 // returns its payload. If the world fails or the deadline expires first,
 // the call unwinds with ErrRankFailed/ErrTimeout.
 func (c *Comm) Recv(src, tag int) []float64 {
+	start := time.Now()
 	c.faultPoint()
-	return c.recvRaw(src, tag)
+	var flow uint64
+	if c.world.eventsOn {
+		flow = c.world.flowID(chanKey{comm: c.group.id, src: src, dst: c.rank, tag: tag}, false)
+	}
+	data, wait := c.recvRaw(src, tag)
+	if r := c.recorder(); r != nil {
+		r.Comm("recv", CatP2P.String(), c.group.members[src], tag,
+			int64(len(data)*bytesPerFloat), start, wait, flow, true)
+	}
+	return data
 }
 
-// recvRaw is Recv without the fault point (see sendRaw).
-func (c *Comm) recvRaw(src, tag int) []float64 {
+// recvRaw is Recv without the fault point or event recording (see sendRaw);
+// it returns the payload and the time spent blocked waiting for it.
+func (c *Comm) recvRaw(src, tag int) ([]float64, time.Duration) {
 	start := time.Now()
 	c.checkRank(src)
 	ch := c.channel(src, c.rank, tag)
 	var data []float64
+	var wait time.Duration
 	select {
 	case data = <-ch:
 	default:
+		t0 := time.Now()
 		timer := c.deadline()
 		select {
 		case data = <-ch:
@@ -531,9 +833,10 @@ func (c *Comm) recvRaw(src, tag int) []float64 {
 		case <-timer:
 			panic(commFailure{fmt.Errorf("%w: Recv from rank %d (tag %d) after %v", ErrTimeout, src, tag, c.world.opts.CollectiveTimeout)})
 		}
+		wait = time.Since(t0)
 	}
-	c.meter(CatP2P, len(data), start)
-	return data
+	c.meterPair(CatP2P, c.group.members[src], pairRecv, len(data), start)
+	return data, wait
 }
 
 // deadline returns a timer channel for the collective timeout (nil — which
@@ -556,8 +859,10 @@ func (c *Comm) checkRank(r int) {
 func (c *Comm) Barrier() {
 	start := time.Now()
 	c.faultPoint()
-	c.sync()
+	var wait time.Duration
+	c.syncW(&wait)
 	c.meter(CatCollective, 0, start)
+	c.commEvent("barrier", CatCollective, 0, start, wait)
 }
 
 // Bcast copies root's data into every rank's data slice (lengths must match
@@ -572,7 +877,8 @@ func (c *Comm) Bcast(root int, data []float64) {
 		g.result = data
 		g.mu.Unlock()
 	}
-	c.sync()
+	var wait time.Duration
+	c.syncW(&wait)
 	if c.rank != root {
 		g.mu.Lock()
 		src := g.result
@@ -582,8 +888,9 @@ func (c *Comm) Bcast(root int, data []float64) {
 		}
 		copy(data, src)
 	}
-	c.sync()
+	c.syncW(&wait)
 	c.meter(CatCollective, len(data), start)
+	c.commEvent("bcast", CatCollective, len(data), start, wait)
 }
 
 // Allreduce reduces data elementwise across ranks with op and leaves the
@@ -593,7 +900,8 @@ func (c *Comm) Allreduce(op Op, data []float64) {
 	c.faultPoint()
 	g := c.group
 	g.slots[c.rank] = data
-	c.sync()
+	var wait time.Duration
+	c.syncW(&wait)
 	if c.rank == 0 {
 		res := make([]float64, len(data))
 		copy(res, g.slots[0])
@@ -607,13 +915,14 @@ func (c *Comm) Allreduce(op Op, data []float64) {
 		g.result = res
 		g.mu.Unlock()
 	}
-	c.sync()
+	c.syncW(&wait)
 	g.mu.Lock()
 	res := g.result
 	g.mu.Unlock()
 	copy(data, res)
-	c.sync()
+	c.syncW(&wait)
 	c.meter(CatCollective, len(data), start)
+	c.commEvent("allreduce", CatCollective, len(data), start, wait)
 }
 
 // AllreduceScalar is Allreduce over a single value.
@@ -630,7 +939,8 @@ func (c *Comm) Reduce(root int, op Op, data []float64) {
 	c.checkRank(root)
 	g := c.group
 	g.slots[c.rank] = data
-	c.sync()
+	var wait time.Duration
+	c.syncW(&wait)
 	if c.rank == root {
 		res := make([]float64, len(data))
 		copy(res, g.slots[0])
@@ -639,8 +949,9 @@ func (c *Comm) Reduce(root int, op Op, data []float64) {
 		}
 		copy(data, res)
 	}
-	c.sync()
+	c.syncW(&wait)
 	c.meter(CatCollective, len(data), start)
+	c.commEvent("reduce", CatCollective, len(data), start, wait)
 }
 
 // Gather collects equal-length contributions onto root, concatenated in rank
@@ -651,7 +962,8 @@ func (c *Comm) Gather(root int, data []float64) []float64 {
 	c.checkRank(root)
 	g := c.group
 	g.slots[c.rank] = data
-	c.sync()
+	var wait time.Duration
+	c.syncW(&wait)
 	var out []float64
 	if c.rank == root {
 		for r := 0; r < c.Size(); r++ {
@@ -661,8 +973,9 @@ func (c *Comm) Gather(root int, data []float64) []float64 {
 			out = append(out, g.slots[r]...)
 		}
 	}
-	c.sync()
+	c.syncW(&wait)
 	c.meter(CatCollective, len(data), start)
+	c.commEvent("gather", CatCollective, len(data), start, wait)
 	return out
 }
 
@@ -672,7 +985,8 @@ func (c *Comm) Allgather(data []float64) []float64 {
 	c.faultPoint()
 	g := c.group
 	g.slots[c.rank] = data
-	c.sync()
+	var wait time.Duration
+	c.syncW(&wait)
 	out := make([]float64, 0, len(data)*c.Size())
 	for r := 0; r < c.Size(); r++ {
 		if len(g.slots[r]) != len(data) {
@@ -680,8 +994,9 @@ func (c *Comm) Allgather(data []float64) []float64 {
 		}
 		out = append(out, g.slots[r]...)
 	}
-	c.sync()
+	c.syncW(&wait)
 	c.meter(CatCollective, len(data)*c.Size(), start)
+	c.commEvent("allgather", CatCollective, len(data)*c.Size(), start, wait)
 	return out
 }
 
@@ -700,14 +1015,16 @@ func (c *Comm) Scatter(root int, src []float64, count int) []float64 {
 		g.result = src
 		g.mu.Unlock()
 	}
-	c.sync()
+	var wait time.Duration
+	c.syncW(&wait)
 	g.mu.Lock()
 	whole := g.result
 	g.mu.Unlock()
 	out := make([]float64, count)
 	copy(out, whole[c.rank*count:(c.rank+1)*count])
-	c.sync()
+	c.syncW(&wait)
 	c.meter(CatCollective, count, start)
+	c.commEvent("scatter", CatCollective, count, start, wait)
 	return out
 }
 

@@ -22,12 +22,20 @@ type Request struct {
 // rank died or the deadline expired), Wait unwinds the caller with the
 // typed communication error, exactly as the blocking collectives do.
 func (r *Request) Wait() {
-	<-r.done
+	var wait time.Duration
+	if r.comm.world.eventsOn {
+		t0 := time.Now()
+		<-r.done
+		wait = time.Since(t0)
+	} else {
+		<-r.done
+	}
 	if r.err != nil {
 		panic(commFailure{r.err})
 	}
 	copy(r.target, r.result)
 	r.comm.meter(CatCollective, r.floats, r.start)
+	r.comm.commEvent("iallreduce", CatCollective, r.floats, r.start, wait)
 }
 
 // Test reports whether the operation has completed without blocking.
@@ -94,7 +102,7 @@ func (c *Comm) IAllreduce(op Op, data []float64) *Request {
 				break
 			}
 			if rank+k < size {
-				other := c.recvRaw(rank+k, tag)
+				other, _ := c.recvRaw(rank+k, tag)
 				if len(other) != len(val) {
 					panic(fmt.Sprintf("mpi: IAllreduce length mismatch (%d vs %d)", len(other), len(val)))
 				}
@@ -107,7 +115,7 @@ func (c *Comm) IAllreduce(op Op, data []float64) *Request {
 		if rank != 0 {
 			// parent = rank with the lowest set bit cleared.
 			parent := rank - rank&(-rank)
-			val = c.recvRaw(parent, tag+1)
+			val, _ = c.recvRaw(parent, tag+1)
 		}
 		for k := highestPow2Below(size); k >= 1; k >>= 1 {
 			if rank&(k-1) == 0 && rank&k == 0 && rank+k < size {

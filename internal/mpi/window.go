@@ -25,11 +25,13 @@ func (c *Comm) CreateWin(local []float64) *Win {
 	c.faultPoint()
 	g := c.group
 	g.slots[c.rank] = local
-	c.sync()
+	var wait time.Duration
+	c.syncW(&wait)
 	buffers := make([][]float64, c.Size())
 	copy(buffers, g.slots)
-	c.sync()
+	c.syncW(&wait)
 	c.meter(CatOneSided, 0, start)
+	c.commEvent("win/create", CatOneSided, 0, start, wait)
 	return &Win{comm: c, buffers: buffers}
 }
 
@@ -38,8 +40,10 @@ func (c *Comm) CreateWin(local []float64) *Win {
 func (w *Win) Fence() {
 	start := time.Now()
 	w.comm.faultPoint()
-	w.comm.sync()
+	var wait time.Duration
+	w.comm.syncW(&wait)
 	w.comm.meter(CatOneSided, 0, start)
+	w.comm.commEvent("win/fence", CatOneSided, 0, start, wait)
 }
 
 // Get copies len(dst) values from target's buffer starting at offset.
@@ -51,7 +55,10 @@ func (w *Win) Get(target, offset int, dst []float64) {
 			offset, offset+len(dst), len(buf), target))
 	}
 	copy(dst, buf[offset:offset+len(dst)])
-	w.comm.meter(CatOneSided, len(dst), start)
+	// Data flows target→origin; the origin records both matrix endpoints
+	// because the target is passive.
+	w.comm.meterFlow(CatOneSided, w.comm.group.members[target], w.comm.worldRank, len(dst), start)
+	w.rmaEvent("win/get", target, len(dst), start)
 }
 
 // Put copies src into target's buffer starting at offset. Concurrent Puts to
@@ -65,7 +72,8 @@ func (w *Win) Put(target, offset int, src []float64) {
 			offset, offset+len(src), len(buf), target))
 	}
 	copy(buf[offset:offset+len(src)], src)
-	w.comm.meter(CatOneSided, len(src), start)
+	w.comm.meterFlow(CatOneSided, w.comm.worldRank, w.comm.group.members[target], len(src), start)
+	w.rmaEvent("win/put", target, len(src), start)
 }
 
 // Accumulate adds src into target's buffer at offset under a window-wide
@@ -86,11 +94,21 @@ func (w *Win) Accumulate(target, offset int, src []float64) {
 		buf[offset+i] += v
 	}
 	w.comm.group.mu.Unlock()
-	w.comm.meter(CatOneSided, len(src), start)
+	w.comm.meterFlow(CatOneSided, w.comm.worldRank, w.comm.group.members[target], len(src), start)
+	w.rmaEvent("win/acc", target, len(src), start)
 }
 
 // LocalLen returns the length of target's exposed buffer.
 func (w *Win) LocalLen(target int) int { return len(w.target(target)) }
+
+// rmaEvent records one RMA operation on the origin rank's event timeline
+// (no flow arrow: the target rank makes no matching call to anchor one).
+func (w *Win) rmaEvent(name string, target, floats int, start time.Time) {
+	if r := w.comm.recorder(); r != nil {
+		r.Comm(name, CatOneSided.String(), w.comm.group.members[target], 0,
+			int64(floats*bytesPerFloat), start, 0, 0, false)
+	}
+}
 
 func (w *Win) target(r int) []float64 {
 	if r < 0 || r >= len(w.buffers) {

@@ -1,0 +1,251 @@
+// Timeline analysis: merges the per-rank event streams into the scaling
+// diagnostics the paper's analysis hinges on — per-phase load imbalance
+// across ranks (who is the straggler of each phase), barrier-wait
+// attribution (how much of a rank's communication time is spent waiting on
+// peers rather than moving bytes), and the critical path through the
+// pipeline's phase DAG (λ-grid → selection → intersection → estimation →
+// union), i.e. the sequence of slowest-rank phase times that bounds the
+// run's wall clock.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PhaseLoad is one top-level phase's cross-rank load profile.
+type PhaseLoad struct {
+	Name string `json:"name"`
+	// Ranks is how many ranks recorded the phase.
+	Ranks int `json:"ranks"`
+	// MeanSeconds/MaxSeconds/MinSeconds summarize per-rank phase time.
+	MeanSeconds float64 `json:"mean_seconds"`
+	MaxSeconds  float64 `json:"max_seconds"`
+	MinSeconds  float64 `json:"min_seconds"`
+	// MaxRank is the rank with the largest phase time — the phase's
+	// straggler, and its representative on the critical path.
+	MaxRank int `json:"max_rank"`
+	// Imbalance is max/mean (1.0 = perfectly balanced); the paper's Fig. 5
+	// reports the same ratio for Allreduce times.
+	Imbalance float64 `json:"imbalance"`
+	// startNS orders phases by first observed begin across ranks.
+	startNS int64
+}
+
+// RankWait is one rank's communication-wait attribution.
+type RankWait struct {
+	Rank int `json:"rank"`
+	// CommSeconds is total time inside communication calls.
+	CommSeconds float64 `json:"comm_seconds"`
+	// WaitSeconds is the blocked portion (barrier waits, absent messages).
+	WaitSeconds float64 `json:"wait_seconds"`
+	// WaitByCategory splits WaitSeconds by category.
+	WaitByCategory map[string]float64 `json:"wait_by_category,omitempty"`
+	// Faults counts instant fault events observed on the rank.
+	Faults int `json:"faults,omitempty"`
+}
+
+// CriticalStep is one phase of the critical path: the phase's slowest rank
+// and its time.
+type CriticalStep struct {
+	Phase   string  `json:"phase"`
+	Rank    int     `json:"rank"`
+	Seconds float64 `json:"seconds"`
+}
+
+// TimelineSummary is the merged-timeline analysis artifact.
+type TimelineSummary struct {
+	Ranks  int         `json:"ranks"`
+	Phases []PhaseLoad `json:"phases"`
+	Waits  []RankWait  `json:"waits"`
+	// Critical is the phase-DAG critical path in execution order.
+	Critical []CriticalStep `json:"critical"`
+	// CriticalSeconds is the summed critical path — the lower bound the
+	// slowest rank of each phase imposes on the run.
+	CriticalSeconds float64 `json:"critical_seconds"`
+	// SpanSeconds is the observed timeline extent (first event to last).
+	SpanSeconds float64 `json:"span_seconds"`
+	// DroppedEvents counts ring-buffer evictions across ranks (nonzero
+	// means the analysis saw a truncated window).
+	DroppedEvents int64 `json:"dropped_events,omitempty"`
+}
+
+// AnalyzeTimeline merges the recorders' event streams into a summary.
+// Nil recorders are skipped.
+func AnalyzeTimeline(recs []*Recorder) *TimelineSummary {
+	type phaseAcc struct {
+		perRank map[int]float64
+		startNS int64
+	}
+	phases := map[string]*phaseAcc{}
+	waits := map[int]*RankWait{}
+	s := &TimelineSummary{}
+	var minTS, maxTS int64
+	first := true
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		s.Ranks++
+		s.DroppedEvents += r.Dropped()
+		rank := r.Rank()
+		w := &RankWait{Rank: rank, WaitByCategory: map[string]float64{}}
+		waits[rank] = w
+		// Open-span stack for matching B/E pairs; unmatched events (a
+		// truncated ring window) are dropped from the phase accounting.
+		type openSpan struct {
+			name string
+			ts   int64
+		}
+		var stack []openSpan
+		for _, e := range r.Events() {
+			if first || e.TS < minTS {
+				minTS = e.TS
+				first = false
+			}
+			if end := e.TS + e.Dur; end > maxTS {
+				maxTS = end
+			}
+			switch e.Kind {
+			case EvBegin:
+				stack = append(stack, openSpan{e.Name, e.TS})
+			case EvEnd:
+				for i := len(stack) - 1; i >= 0; i-- {
+					if stack[i].name == e.Name {
+						if !strings.Contains(e.Name, "/") {
+							pa := phases[e.Name]
+							if pa == nil {
+								pa = &phaseAcc{perRank: map[int]float64{}, startNS: stack[i].ts}
+								phases[e.Name] = pa
+							}
+							if stack[i].ts < pa.startNS {
+								pa.startNS = stack[i].ts
+							}
+							pa.perRank[rank] += float64(e.TS-stack[i].ts) / 1e9
+						}
+						stack = append(stack[:i], stack[i+1:]...)
+						break
+					}
+				}
+			case EvComm:
+				w.CommSeconds += float64(e.Dur) / 1e9
+				w.WaitSeconds += float64(e.Wait) / 1e9
+				w.WaitByCategory[e.Cat] += float64(e.Wait) / 1e9
+			case EvInstant:
+				if e.Cat == "fault" {
+					w.Faults++
+				}
+			}
+		}
+	}
+	if !first {
+		s.SpanSeconds = float64(maxTS-minTS) / 1e9
+	}
+	for name, pa := range phases {
+		pl := PhaseLoad{Name: name, Ranks: len(pa.perRank), startNS: pa.startNS, MaxRank: -1}
+		sum := 0.0
+		firstRank := true
+		// Deterministic MaxRank: iterate ranks in order.
+		ranks := make([]int, 0, len(pa.perRank))
+		for r := range pa.perRank {
+			ranks = append(ranks, r)
+		}
+		sort.Ints(ranks)
+		for _, r := range ranks {
+			v := pa.perRank[r]
+			sum += v
+			if firstRank || v < pl.MinSeconds {
+				pl.MinSeconds = v
+			}
+			if firstRank || v > pl.MaxSeconds {
+				pl.MaxSeconds = v
+				pl.MaxRank = r
+			}
+			firstRank = false
+		}
+		pl.MeanSeconds = sum / float64(len(pa.perRank))
+		if pl.MeanSeconds > 0 {
+			pl.Imbalance = pl.MaxSeconds / pl.MeanSeconds
+		}
+		s.Phases = append(s.Phases, pl)
+	}
+	// Execution order: first observed begin (ties broken by name for
+	// determinism).
+	sort.Slice(s.Phases, func(i, j int) bool {
+		if s.Phases[i].startNS != s.Phases[j].startNS {
+			return s.Phases[i].startNS < s.Phases[j].startNS
+		}
+		return s.Phases[i].Name < s.Phases[j].Name
+	})
+	for _, pl := range s.Phases {
+		s.Critical = append(s.Critical, CriticalStep{Phase: pl.Name, Rank: pl.MaxRank, Seconds: pl.MaxSeconds})
+		s.CriticalSeconds += pl.MaxSeconds
+	}
+	for _, r := range sortedWaitRanks(waits) {
+		s.Waits = append(s.Waits, *waits[r])
+	}
+	return s
+}
+
+func sortedWaitRanks(m map[int]*RankWait) []int {
+	out := make([]int, 0, len(m))
+	for r := range m {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Format renders the summary as the -trace-summary table: per-phase
+// max/mean imbalance, the critical path, and per-rank barrier-wait
+// attribution.
+func (s *TimelineSummary) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline summary: %d ranks, %.3fs span", s.Ranks, s.SpanSeconds)
+	if s.DroppedEvents > 0 {
+		fmt.Fprintf(&b, " (%d events dropped — window truncated)", s.DroppedEvents)
+	}
+	b.WriteString("\n\n")
+	fmt.Fprintf(&b, "%-14s %8s %8s %8s %9s %9s\n", "phase", "mean(s)", "max(s)", "min(s)", "max/mean", "max rank")
+	for _, p := range s.Phases {
+		fmt.Fprintf(&b, "%-14s %8.4f %8.4f %8.4f %9.2f %9d\n",
+			p.Name, p.MeanSeconds, p.MaxSeconds, p.MinSeconds, p.Imbalance, p.MaxRank)
+	}
+	b.WriteString("\ncritical path: ")
+	for i, st := range s.Critical {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		fmt.Fprintf(&b, "%s[r%d %.4fs]", st.Phase, st.Rank, st.Seconds)
+	}
+	fmt.Fprintf(&b, "\ncritical total %.4fs of %.4fs span", s.CriticalSeconds, s.SpanSeconds)
+	if s.SpanSeconds > 0 {
+		fmt.Fprintf(&b, " (%.0f%%)", 100*s.CriticalSeconds/s.SpanSeconds)
+	}
+	b.WriteString("\n\n")
+	fmt.Fprintf(&b, "%-6s %10s %10s %8s  %s\n", "rank", "comm(s)", "wait(s)", "wait%", "wait by category")
+	for _, w := range s.Waits {
+		pct := 0.0
+		if w.CommSeconds > 0 {
+			pct = 100 * w.WaitSeconds / w.CommSeconds
+		}
+		cats := make([]string, 0, len(w.WaitByCategory))
+		for c := range w.WaitByCategory {
+			cats = append(cats, c)
+		}
+		sort.Strings(cats)
+		parts := make([]string, 0, len(cats))
+		for _, c := range cats {
+			if v := w.WaitByCategory[c]; v > 0 {
+				parts = append(parts, fmt.Sprintf("%s %.4fs", c, v))
+			}
+		}
+		line := strings.Join(parts, ", ")
+		if w.Faults > 0 {
+			line += fmt.Sprintf("  [%d fault events]", w.Faults)
+		}
+		fmt.Fprintf(&b, "r%-5d %10.4f %10.4f %7.1f%%  %s\n", w.Rank, w.CommSeconds, w.WaitSeconds, pct, line)
+	}
+	return b.String()
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// recWithEvents injects hand-built events (same package, so the test can
+// control timestamps exactly).
+func recWithEvents(rank int, evs []Event) *Recorder {
+	r := NewRecorder(rank, len(evs)+1)
+	for _, e := range evs {
+		r.mu.Lock()
+		r.push(e)
+		r.mu.Unlock()
+	}
+	return r
+}
+
+const sec = int64(1e9)
+
+func analysisFixture() []*Recorder {
+	r0 := recWithEvents(0, []Event{
+		{Kind: EvBegin, Name: "selection", TS: 0},
+		{Kind: EvComm, Name: "allreduce", Cat: "collective", TS: sec / 2, Dur: sec / 10, Wait: sec / 25},
+		{Kind: EvEnd, Name: "selection", TS: 1 * sec},
+		{Kind: EvBegin, Name: "estimation", TS: 1 * sec},
+		// Nested span: must not count as a top-level phase.
+		{Kind: EvBegin, Name: "estimation/bootstrap", TS: 1 * sec},
+		{Kind: EvEnd, Name: "estimation/bootstrap", TS: sec + sec/4},
+		{Kind: EvEnd, Name: "estimation", TS: sec + sec/2},
+	})
+	r1 := recWithEvents(1, []Event{
+		{Kind: EvBegin, Name: "selection", TS: 0},
+		{Kind: EvComm, Name: "send", Cat: "p2p", TS: sec, Dur: sec / 5, Wait: sec / 10, Peer: 0},
+		{Kind: EvEnd, Name: "selection", TS: 2 * sec},
+		{Kind: EvInstant, Name: "fault/delay", Cat: "fault", TS: 2 * sec},
+		{Kind: EvBegin, Name: "estimation", TS: 2 * sec},
+		{Kind: EvEnd, Name: "estimation", TS: 2*sec + sec/5},
+	})
+	return []*Recorder{r0, r1}
+}
+
+func TestAnalyzeTimeline(t *testing.T) {
+	s := AnalyzeTimeline(analysisFixture())
+	if s.Ranks != 2 {
+		t.Fatalf("ranks = %d", s.Ranks)
+	}
+	if len(s.Phases) != 2 || s.Phases[0].Name != "selection" || s.Phases[1].Name != "estimation" {
+		t.Fatalf("phases = %+v", s.Phases)
+	}
+	sel := s.Phases[0]
+	if sel.Ranks != 2 || sel.MaxRank != 1 {
+		t.Fatalf("selection profile = %+v", sel)
+	}
+	if math.Abs(sel.MeanSeconds-1.5) > 1e-9 || math.Abs(sel.MaxSeconds-2) > 1e-9 || math.Abs(sel.MinSeconds-1) > 1e-9 {
+		t.Fatalf("selection stats = %+v", sel)
+	}
+	if math.Abs(sel.Imbalance-2.0/1.5) > 1e-9 {
+		t.Fatalf("imbalance = %v", sel.Imbalance)
+	}
+	est := s.Phases[1]
+	if est.MaxRank != 0 || math.Abs(est.MaxSeconds-0.5) > 1e-9 {
+		t.Fatalf("estimation profile = %+v", est)
+	}
+	// Critical path: slowest rank of each phase, in execution order.
+	if len(s.Critical) != 2 ||
+		s.Critical[0] != (CriticalStep{Phase: "selection", Rank: 1, Seconds: 2}) ||
+		s.Critical[1] != (CriticalStep{Phase: "estimation", Rank: 0, Seconds: 0.5}) {
+		t.Fatalf("critical = %+v", s.Critical)
+	}
+	if math.Abs(s.CriticalSeconds-2.5) > 1e-9 {
+		t.Fatalf("critical seconds = %v", s.CriticalSeconds)
+	}
+	if math.Abs(s.SpanSeconds-2.2) > 1e-9 {
+		t.Fatalf("span = %v", s.SpanSeconds)
+	}
+	// Wait attribution.
+	if len(s.Waits) != 2 {
+		t.Fatalf("waits = %+v", s.Waits)
+	}
+	w0, w1 := s.Waits[0], s.Waits[1]
+	if math.Abs(w0.CommSeconds-0.1) > 1e-9 || math.Abs(w0.WaitSeconds-0.04) > 1e-9 {
+		t.Fatalf("rank0 wait = %+v", w0)
+	}
+	if math.Abs(w0.WaitByCategory["collective"]-0.04) > 1e-9 {
+		t.Fatalf("rank0 wait by cat = %+v", w0.WaitByCategory)
+	}
+	if math.Abs(w1.WaitByCategory["p2p"]-0.1) > 1e-9 || w1.Faults != 1 {
+		t.Fatalf("rank1 wait = %+v", w1)
+	}
+}
+
+func TestAnalyzeTimelineEmptyAndNil(t *testing.T) {
+	s := AnalyzeTimeline([]*Recorder{nil, NewRecorder(1, 4)})
+	if s.Ranks != 1 || len(s.Phases) != 0 || s.SpanSeconds != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Formatting an empty summary must not panic.
+	_ = s.Format()
+}
+
+func TestTimelineSummaryFormat(t *testing.T) {
+	out := AnalyzeTimeline(analysisFixture()).Format()
+	for _, want := range []string{
+		"timeline summary: 2 ranks",
+		"selection",
+		"critical path: selection[r1 2.0000s] -> estimation[r0 0.5000s]",
+		"critical total 2.5000s",
+		"wait by category",
+		"[1 fault events]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// A truncated ring (dropped events) must be surfaced, and unmatched
+// begin/end pairs from the truncation must not corrupt phase accounting.
+func TestAnalyzeTimelineTruncatedWindow(t *testing.T) {
+	r := NewRecorder(0, 3)
+	r.mu.Lock()
+	r.push(Event{Kind: EvBegin, Name: "selection", TS: 0})
+	r.push(Event{Kind: EvEnd, Name: "selection", TS: sec})
+	r.push(Event{Kind: EvBegin, Name: "estimation", TS: sec})
+	r.push(Event{Kind: EvEnd, Name: "estimation", TS: 2 * sec}) // evicts the selection begin
+	r.mu.Unlock()
+	s := AnalyzeTimeline([]*Recorder{r})
+	if s.DroppedEvents != 1 {
+		t.Fatalf("dropped = %d", s.DroppedEvents)
+	}
+	// The orphaned selection End has no Begin; only estimation accumulates.
+	if len(s.Phases) != 1 || s.Phases[0].Name != "estimation" {
+		t.Fatalf("phases = %+v", s.Phases)
+	}
+}

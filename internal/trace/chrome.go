@@ -1,0 +1,166 @@
+// Chrome trace-event export: serializes a set of per-rank Recorders into
+// the Trace Event Format consumed by Perfetto (https://ui.perfetto.dev) and
+// chrome://tracing. One thread track per rank, B/E span pairs for the
+// pipeline phases, X complete events for every communication call (with
+// wait-vs-transfer attribution in args), s/f flow arrows linking each p2p
+// send to its matching recv, and scoped instant events for injected faults.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ChromeEvent is one entry of the trace's traceEvents array, restricted to
+// the fields this exporter emits. Field tags follow the Trace Event Format
+// spec; ts and dur are microseconds.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the JSON-object container format (the array format is also
+// legal, but the object form carries metadata and is what Perfetto's
+// examples use).
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+const chromePid = 0
+
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// BuildChromeTrace converts the recorders' event streams into a ChromeTrace.
+// name labels the process track; recorders may be nil or empty (their ranks
+// simply have no track).
+func BuildChromeTrace(name string, recs []*Recorder) *ChromeTrace {
+	ct := &ChromeTrace{
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]any{"name": name, "schema": "uoivar/chrome-trace/v1"},
+	}
+	ct.TraceEvents = append(ct.TraceEvents, ChromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePid, Tid: 0,
+		Args: map[string]any{"name": name},
+	})
+	var dropped int64
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		rank := r.Rank()
+		dropped += r.Dropped()
+		ct.TraceEvents = append(ct.TraceEvents,
+			ChromeEvent{Name: "thread_name", Ph: "M", Pid: chromePid, Tid: rank,
+				Args: map[string]any{"name": fmt.Sprintf("rank %d", rank)}},
+			ChromeEvent{Name: "thread_sort_index", Ph: "M", Pid: chromePid, Tid: rank,
+				Args: map[string]any{"sort_index": rank}},
+		)
+		for _, e := range r.Events() {
+			ct.TraceEvents = append(ct.TraceEvents, convertEvent(rank, e)...)
+		}
+	}
+	if dropped > 0 {
+		ct.OtherData["dropped_events"] = dropped
+	}
+	return ct
+}
+
+// convertEvent maps one recorder event onto its Chrome representation (a
+// comm event with a flow ID expands into the slice plus its flow endpoint).
+func convertEvent(rank int, e Event) []ChromeEvent {
+	switch e.Kind {
+	case EvBegin:
+		return []ChromeEvent{{Name: e.Name, Ph: "B", TS: usec(e.TS), Pid: chromePid, Tid: rank, Cat: "phase"}}
+	case EvEnd:
+		return []ChromeEvent{{Name: e.Name, Ph: "E", TS: usec(e.TS), Pid: chromePid, Tid: rank, Cat: "phase"}}
+	case EvInstant:
+		args := map[string]any{}
+		if e.Dur > 0 {
+			args["delay_us"] = usec(e.Dur)
+		}
+		ev := ChromeEvent{Name: e.Name, Ph: "i", TS: usec(e.TS), Pid: chromePid, Tid: rank, Cat: e.Cat, S: "t"}
+		if len(args) > 0 {
+			ev.Args = args
+		}
+		return []ChromeEvent{ev}
+	case EvComm:
+		args := map[string]any{
+			"bytes":   e.Bytes,
+			"wait_us": usec(e.Wait),
+		}
+		if e.Peer >= 0 {
+			args["peer"] = e.Peer
+			args["tag"] = e.Tag
+		}
+		out := []ChromeEvent{{
+			Name: e.Name, Ph: "X", TS: usec(e.TS), Dur: usec(e.Dur),
+			Pid: chromePid, Tid: rank, Cat: e.Cat, Args: args,
+		}}
+		if e.Flow != 0 {
+			// Anchor the flow endpoint inside the slice so the viewer binds
+			// the arrow to it (bp:"e" = bind the finish to the enclosing
+			// slice).
+			mid := usec(e.TS) + usec(e.Dur)/2
+			fe := ChromeEvent{
+				Name: "msg", Ph: "s", TS: mid, Pid: chromePid, Tid: rank,
+				Cat: "p2p-flow", ID: strconv.FormatUint(e.Flow, 16),
+			}
+			if e.FlowRecv {
+				fe.Ph = "f"
+				fe.BP = "e"
+			}
+			out = append(out, fe)
+		}
+		return out
+	}
+	return nil
+}
+
+// WriteChromeTrace serializes the recorders as Chrome trace-event JSON.
+func WriteChromeTrace(w io.Writer, name string, recs []*Recorder) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(BuildChromeTrace(name, recs))
+}
+
+// validPhases are the event types this exporter produces.
+var validPhases = map[string]bool{
+	"B": true, "E": true, "X": true, "i": true, "s": true, "f": true, "M": true,
+}
+
+// ParseChromeTrace decodes and validates an exported trace: every event
+// must carry a known ph and non-negative pid/tid/ts — the round-trip check
+// behind the chaos replay test and a guard for external viewers.
+func ParseChromeTrace(data []byte) (*ChromeTrace, error) {
+	var ct ChromeTrace
+	if err := json.Unmarshal(data, &ct); err != nil {
+		return nil, fmt.Errorf("trace: parsing chrome trace: %w", err)
+	}
+	for i, e := range ct.TraceEvents {
+		if !validPhases[e.Ph] {
+			return nil, fmt.Errorf("trace: event %d (%q) has invalid ph %q", i, e.Name, e.Ph)
+		}
+		if e.Pid < 0 || e.Tid < 0 {
+			return nil, fmt.Errorf("trace: event %d (%q) has negative pid/tid", i, e.Name)
+		}
+		if e.TS < 0 {
+			return nil, fmt.Errorf("trace: event %d (%q) has negative ts", i, e.Name)
+		}
+		if (e.Ph == "s" || e.Ph == "f") && e.ID == "" {
+			return nil, fmt.Errorf("trace: flow event %d (%q) missing id", i, e.Name)
+		}
+	}
+	return &ct, nil
+}

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// sampleRecorders builds a 2-rank timeline with a phase span, a matched
+// send/recv flow, a collective, and a fault instant.
+func sampleRecorders() []*Recorder {
+	recs := NewRecorderSet(2, 64)
+	for r, rec := range recs {
+		rec.Begin("selection")
+		rec.Comm("allreduce", "collective", -1, 0, 256, time.Now(), time.Microsecond, 0, false)
+		rec.End("selection")
+		_ = r
+	}
+	recs[0].Comm("send", "p2p", 1, 3, 64, time.Now(), 0, 0xbeef, false)
+	recs[1].Comm("recv", "p2p", 0, 3, 64, time.Now(), time.Microsecond, 0xbeef, true)
+	recs[1].Instant("fault/delay", "fault", time.Millisecond)
+	return recs
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	recs := sampleRecorders()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, "unit", recs); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := ParseChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", ct.DisplayTimeUnit)
+	}
+	if ct.OtherData["schema"] != "uoivar/chrome-trace/v1" {
+		t.Fatalf("schema = %v", ct.OtherData["schema"])
+	}
+	counts := map[string]int{}
+	tids := map[int]bool{}
+	for _, e := range ct.TraceEvents {
+		counts[e.Ph]++
+		tids[e.Tid] = true
+		if !validPhases[e.Ph] {
+			t.Fatalf("invalid ph %q", e.Ph)
+		}
+	}
+	// Per rank: thread_name + thread_sort_index, plus process_name.
+	if counts["M"] != 5 {
+		t.Fatalf("metadata events = %d, want 5", counts["M"])
+	}
+	if counts["B"] != 2 || counts["E"] != 2 {
+		t.Fatalf("span events B=%d E=%d", counts["B"], counts["E"])
+	}
+	// 2 allreduce + send + recv.
+	if counts["X"] != 4 {
+		t.Fatalf("complete events = %d, want 4", counts["X"])
+	}
+	if counts["s"] != 1 || counts["f"] != 1 {
+		t.Fatalf("flow events s=%d f=%d", counts["s"], counts["f"])
+	}
+	if counts["i"] != 1 {
+		t.Fatalf("instant events = %d", counts["i"])
+	}
+	if !tids[0] || !tids[1] {
+		t.Fatal("missing a rank track")
+	}
+}
+
+// The two ends of a flow must share an id so the viewer can draw the arrow.
+func TestChromeFlowEndpointsMatch(t *testing.T) {
+	ct := BuildChromeTrace("unit", sampleRecorders())
+	var s, f *ChromeEvent
+	for i := range ct.TraceEvents {
+		e := &ct.TraceEvents[i]
+		switch e.Ph {
+		case "s":
+			s = e
+		case "f":
+			f = e
+		}
+	}
+	if s == nil || f == nil {
+		t.Fatal("missing flow endpoints")
+	}
+	if s.ID == "" || s.ID != f.ID {
+		t.Fatalf("flow ids differ: %q vs %q", s.ID, f.ID)
+	}
+	if s.Tid != 0 || f.Tid != 1 {
+		t.Fatalf("flow tids: s=%d f=%d", s.Tid, f.Tid)
+	}
+	if f.BP != "e" {
+		t.Fatalf("finish bp = %q, want e", f.BP)
+	}
+}
+
+func TestChromeCommArgs(t *testing.T) {
+	ct := BuildChromeTrace("unit", sampleRecorders())
+	for _, e := range ct.TraceEvents {
+		if e.Ph != "X" || e.Name != "send" {
+			continue
+		}
+		if e.Args["peer"] != int32(1) || e.Args["tag"] != int32(3) || e.Args["bytes"] != int64(64) {
+			t.Fatalf("send args = %+v", e.Args)
+		}
+		return
+	}
+	t.Fatal("send event not found")
+}
+
+func TestParseChromeTraceRejectsMalformed(t *testing.T) {
+	cases := []string{
+		`{"traceEvents":[{"name":"x","ph":"Q","ts":0,"pid":0,"tid":0}]}`,
+		`{"traceEvents":[{"name":"x","ph":"B","ts":-5,"pid":0,"tid":0}]}`,
+		`{"traceEvents":[{"name":"x","ph":"B","ts":0,"pid":-1,"tid":0}]}`,
+		`{"traceEvents":[{"name":"x","ph":"s","ts":0,"pid":0,"tid":0}]}`,
+		`{not json`,
+	}
+	for _, c := range cases {
+		if _, err := ParseChromeTrace([]byte(c)); err == nil {
+			t.Fatalf("accepted malformed trace %s", c)
+		}
+	}
+}
+
+// Dropped events must surface in otherData so a truncated window is visible
+// to whoever opens the trace.
+func TestChromeTraceReportsDrops(t *testing.T) {
+	r := NewRecorder(0, 2)
+	for i := 0; i < 5; i++ {
+		r.Instant("e", "x", 0)
+	}
+	ct := BuildChromeTrace("unit", []*Recorder{r, nil})
+	raw, err := json.Marshal(ct.OtherData["dropped_events"])
+	if err != nil || string(raw) != "3" {
+		t.Fatalf("dropped_events = %v (%v)", ct.OtherData["dropped_events"], err)
+	}
+}

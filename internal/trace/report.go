@@ -9,8 +9,15 @@ import (
 )
 
 // SchemaVersion identifies the PerfReport JSON layout. Bump on breaking
-// changes; consumers (and the golden test) pin against it.
-const SchemaVersion = "uoivar/perf-report/v1"
+// changes; consumers (and the golden test) pin against it. v2 is a strictly
+// additive extension of v1: rank entries gain optional per-peer
+// communication rows ("peers") and event-drop counts; every v1 field keeps
+// its name, type, and ordering, so v1 consumers can read v2 reports by
+// ignoring the new fields and this parser still accepts v1 artifacts.
+const (
+	SchemaVersion   = "uoivar/perf-report/v2"
+	SchemaVersionV1 = "uoivar/perf-report/v1"
+)
 
 // PerfReport is the structured performance artifact a run emits behind
 // -perf-report: per-rank phase timings joined with the per-rank
@@ -35,6 +42,32 @@ type RankPerf struct {
 	Comm           []CommStat       `json:"comm,omitempty"`
 	ComputeSeconds float64          `json:"compute_seconds"`
 	CommSeconds    float64          `json:"comm_seconds"`
+	// Peers (schema v2) is this rank's slice of the per-pair communication
+	// matrix: one row per (peer, category, direction) with nonzero traffic.
+	// RMA transfers are recorded entirely by the origin rank, so a window
+	// target's "send" rows describe data served from its exposed buffer.
+	Peers []PeerFlow `json:"peers,omitempty"`
+	// DroppedEvents (schema v2) counts per-rank event-ring evictions when an
+	// event recorder was attached (0 = complete timeline or no recorder).
+	DroppedEvents int64 `json:"dropped_events,omitempty"`
+}
+
+// PeerFlow is one directed per-peer communication row (schema v2).
+type PeerFlow struct {
+	Peer      int     `json:"peer"`
+	Category  string  `json:"category"`
+	Direction string  `json:"direction"` // "send" | "recv"
+	Calls     int64   `json:"calls"`
+	Bytes     int64   `json:"bytes"`
+	Seconds   float64 `json:"seconds"`
+}
+
+// AddPeer appends one per-peer communication row.
+func (r *RankPerf) AddPeer(peer int, category, direction string, calls, bytes int64, seconds float64) {
+	r.Peers = append(r.Peers, PeerFlow{
+		Peer: peer, Category: category, Direction: direction,
+		Calls: calls, Bytes: bytes, Seconds: seconds,
+	})
 }
 
 // PhaseStat is one phase's aggregate: how many spans closed and their total
@@ -121,14 +154,16 @@ func (p *PerfReport) WriteJSON(w io.Writer) error {
 	return enc.Encode(p)
 }
 
-// ParsePerfReport decodes and schema-checks a report.
+// ParsePerfReport decodes and schema-checks a report. Both the current v2
+// layout and the v1 layout it additively extends are accepted (a v1 report
+// simply has no peers/dropped_events fields).
 func ParsePerfReport(data []byte) (*PerfReport, error) {
 	var p PerfReport
 	if err := json.Unmarshal(data, &p); err != nil {
 		return nil, fmt.Errorf("trace: parsing perf report: %w", err)
 	}
-	if p.Schema != SchemaVersion {
-		return nil, fmt.Errorf("trace: perf report schema %q, want %q", p.Schema, SchemaVersion)
+	if p.Schema != SchemaVersion && p.Schema != SchemaVersionV1 {
+		return nil, fmt.Errorf("trace: perf report schema %q, want %q (or legacy %q)", p.Schema, SchemaVersion, SchemaVersionV1)
 	}
 	return &p, nil
 }

@@ -108,6 +108,20 @@ func TestParsePerfReportRejectsWrongSchema(t *testing.T) {
 	}
 }
 
+// A legacy v1 artifact (no peers/dropped_events) must still parse: v2 is an
+// additive extension.
+func TestParsePerfReportAcceptsV1(t *testing.T) {
+	v1 := `{"schema":"uoivar/perf-report/v1","name":"old","wall_seconds":1,
+		"ranks":[{"rank":0,"phases":[],"compute_seconds":0,"comm_seconds":0}]}`
+	p, err := ParsePerfReport([]byte(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Schema != SchemaVersionV1 || len(p.Ranks) != 1 {
+		t.Fatalf("v1 report parsed wrong: %+v", p)
+	}
+}
+
 // TestPerfReportGolden pins the exact serialized layout: field names, key
 // order, and schema string. Changing any of these is a consumer-visible
 // break and must come with a schema bump.
@@ -118,6 +132,7 @@ func TestPerfReportGolden(t *testing.T) {
 		Counters: map[string]int64{"admm/iters": 40},
 	}
 	rp.AddComm("collective", 3, 256, 0.125)
+	rp.AddPeer(1, "p2p", "send", 2, 128, 0.01)
 	rp.FinalizeCompute()
 	p := NewPerfReport("golden", 1.5, []RankPerf{rp})
 	var buf bytes.Buffer
@@ -125,7 +140,7 @@ func TestPerfReportGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	const golden = `{
-  "schema": "uoivar/perf-report/v1",
+  "schema": "uoivar/perf-report/v2",
   "name": "golden",
   "wall_seconds": 1.5,
   "ranks": [
@@ -150,7 +165,17 @@ func TestPerfReportGolden(t *testing.T) {
         }
       ],
       "compute_seconds": 0.375,
-      "comm_seconds": 0.125
+      "comm_seconds": 0.125,
+      "peers": [
+        {
+          "peer": 1,
+          "category": "p2p",
+          "direction": "send",
+          "calls": 2,
+          "bytes": 128,
+          "seconds": 0.01
+        }
+      ]
     }
   ]
 }

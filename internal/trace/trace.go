@@ -29,6 +29,10 @@ type Tracer struct {
 	phases   map[string]*phaseAgg
 	counters map[string]int64
 	maxes    map[string]int64
+	// rec, when non-nil, additionally receives span begin/end and instant
+	// events on the per-rank timeline (see Recorder). Aggregation semantics
+	// are unchanged; the recorder only adds the event stream.
+	rec *Recorder
 }
 
 type phaseAgg struct {
@@ -48,6 +52,34 @@ func New() *Tracer {
 // Enabled reports whether spans and counters are being recorded.
 func (t *Tracer) Enabled() bool { return t != nil }
 
+// WithRecorder attaches a per-rank event recorder: every span Start/End and
+// Instant is mirrored onto rec's timeline. Returns t for chaining; a nil
+// tracer ignores the attachment.
+func (t *Tracer) WithRecorder(rec *Recorder) *Tracer {
+	if t != nil {
+		t.rec = rec
+	}
+	return t
+}
+
+// EventRecorder returns the attached recorder (nil when none or disabled).
+func (t *Tracer) EventRecorder() *Recorder {
+	if t == nil {
+		return nil
+	}
+	return t.rec
+}
+
+// Instant forwards a point event (a dropped bootstrap, an observed fault)
+// to the attached recorder. Aggregates are untouched; without a recorder
+// this is a no-op.
+func (t *Tracer) Instant(name, cat string) {
+	if t == nil || t.rec == nil {
+		return
+	}
+	t.rec.Instant(name, cat, 0)
+}
+
 // Span is an in-flight timed region. Spans are small values (never heap
 // allocated by the tracer) so the disabled path stays allocation-free.
 // A span taken from a nil tracer is inert: End and Child are no-ops.
@@ -64,6 +96,7 @@ func (t *Tracer) Start(name string) Span {
 	if t == nil {
 		return Span{}
 	}
+	t.rec.Begin(name)
 	return Span{t: t, name: name, start: time.Now()}
 }
 
@@ -93,6 +126,7 @@ func (s Span) End() {
 	a.count++
 	a.nanos += int64(d)
 	s.t.mu.Unlock()
+	s.t.rec.End(s.name)
 }
 
 // Add increments counter name by delta.

@@ -195,6 +195,7 @@ func LassoDistributedPhases(comm *mpi.Comm, xSel *mat.Dense, ySel []float64, xEs
 				okLocal = 0
 			}
 			if rowComm.AllreduceScalar(mpi.OpMin, okLocal) == 0 {
+				tr.Instant("fault/bootstrap_dropped", "fault")
 				spBoot.End()
 				continue // bootstrap k dropped row-wide
 			}
@@ -302,6 +303,7 @@ func LassoDistributedPhases(comm *mpi.Comm, xSel *mat.Dense, ySel []float64, xEs
 				okLocal = 0
 			}
 			if sub.AllreduceScalar(mpi.OpMin, okLocal) == 0 {
+				tr.Instant("fault/bootstrap_dropped", "fault")
 				spBoot.End()
 				continue // bootstrap k dropped group-wide
 			}

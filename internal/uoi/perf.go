@@ -14,6 +14,10 @@ import (
 // The mpi meters are cumulative since the world started, so call this once
 // per fit, on a fresh world, after the fit returns (typically right before
 // the rank's mpi.Run body exits).
+// When the tracer carries an event recorder, the entry also gets the schema
+// v2 fields: this rank's rows of the per-pair communication matrix (its
+// outgoing traffic as "send" rows, incoming as "recv" rows) and the
+// recorder's ring-eviction count.
 func RankPerf(comm *mpi.Comm, tr *trace.Tracer) trace.RankPerf {
 	rp := tr.RankPerf(comm.Rank())
 	st := comm.LocalStats()
@@ -24,5 +28,19 @@ func RankPerf(comm *mpi.Comm, tr *trace.Tracer) trace.RankPerf {
 		rp.AddComm(cat.String(), st.Calls[cat], st.Bytes[cat], st.Time[cat].Seconds())
 	}
 	rp.FinalizeCompute()
+	if rec := tr.EventRecorder(); rec != nil {
+		rp.DroppedEvents = rec.Dropped()
+		me := comm.WorldRank()
+		for _, pf := range comm.CommMatrix() {
+			if pf.Src == me && pf.SendCalls > 0 {
+				rp.AddPeer(pf.Dst, pf.Category.String(), "send",
+					pf.SendCalls, pf.SendBytes, pf.SendTime.Seconds())
+			}
+			if pf.Dst == me && pf.RecvCalls > 0 {
+				rp.AddPeer(pf.Src, pf.Category.String(), "recv",
+					pf.RecvCalls, pf.RecvBytes, pf.RecvTime.Seconds())
+			}
+		}
+	}
 	return rp
 }

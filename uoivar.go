@@ -35,6 +35,8 @@
 package uoivar
 
 import (
+	"io"
+
 	"uoivar/internal/admm"
 	"uoivar/internal/datagen"
 	"uoivar/internal/distio"
@@ -121,6 +123,21 @@ type Comm = mpi.Comm
 
 // Run launches size ranks, each executing body, and waits for all of them.
 func Run(size int, body func(c *Comm) error) error { return mpi.Run(size, body) }
+
+// RunOptions configures fault tolerance and observability for
+// RunWithOptions (collective deadlines, fault injection, per-rank event
+// recorders).
+type RunOptions = mpi.RunOptions
+
+// RunWithOptions is Run with explicit options.
+func RunWithOptions(size int, opts RunOptions, body func(c *Comm) error) error {
+	return mpi.RunWithOptions(size, opts, body)
+}
+
+// CommMatrixFlow is one nonzero cell of the per-pair communication matrix
+// (Comm.CommMatrix): all src→dst traffic in one category with both
+// endpoints' accounting.
+type CommMatrixFlow = mpi.PairFlow
 
 // ---- Data distribution and storage ----
 
@@ -252,10 +269,12 @@ type Tracer = trace.Tracer
 func NewTracer() *Tracer { return trace.New() }
 
 // PerfReport is the serialized phase/communication breakdown artifact
-// (schema uoivar/perf-report/v1), one RankPerf entry per rank.
+// (schema uoivar/perf-report/v2; legacy v1 still parses), one RankPerf
+// entry per rank.
 type PerfReport = trace.PerfReport
 
-// RankPerf is one rank's phase timings, counters, and compute-vs-comm split.
+// RankPerf is one rank's phase timings, counters, compute-vs-comm split,
+// and (v2) per-peer traffic rows.
 type RankPerf = trace.RankPerf
 
 // CollectRankPerf joins a rank's tracer with its communication meters into
@@ -270,6 +289,49 @@ func NewPerfReport(name string, wallSeconds float64, ranks []RankPerf) *PerfRepo
 
 // ParsePerfReport decodes and schema-checks a serialized PerfReport.
 func ParsePerfReport(data []byte) (*PerfReport, error) { return trace.ParsePerfReport(data) }
+
+// ---- Event-timeline tracing (DESIGN.md §9) ----
+
+// EventRecorder is a bounded per-rank event timeline: phase span begin/end,
+// every communication call (peer, tag, bytes, wait-vs-transfer split), and
+// injected-fault instants, on a fixed-capacity ring. A nil *EventRecorder
+// is the canonical disabled recorder.
+type EventRecorder = trace.Recorder
+
+// NewEventRecorder returns a recorder for one rank (capacity ≤ 0 selects
+// the default).
+func NewEventRecorder(rank, capacity int) *EventRecorder {
+	return trace.NewRecorder(rank, capacity)
+}
+
+// NewEventRecorderSet returns one recorder per rank sharing a common time
+// epoch, ready for RunOptions.Recorders (attach each to its rank's tracer
+// with Tracer.WithRecorder so phase spans land on the timeline too).
+func NewEventRecorderSet(ranks, capacity int) []*EventRecorder {
+	return trace.NewRecorderSet(ranks, capacity)
+}
+
+// WriteChromeTrace serializes the recorders as Chrome trace-event JSON
+// (open in https://ui.perfetto.dev): one row per rank, flow arrows linking
+// matched sends and receives, instants for injected faults.
+func WriteChromeTrace(w io.Writer, name string, recs []*EventRecorder) error {
+	return trace.WriteChromeTrace(w, name, recs)
+}
+
+// ParseChromeTrace decodes and validates an exported Chrome trace.
+func ParseChromeTrace(data []byte) (*trace.ChromeTrace, error) {
+	return trace.ParseChromeTrace(data)
+}
+
+// TimelineSummary is the merged-timeline analysis: per-phase load imbalance
+// across ranks, barrier-wait attribution, and the critical path through the
+// pipeline's phase DAG.
+type TimelineSummary = trace.TimelineSummary
+
+// AnalyzeTimeline merges per-rank event streams into a TimelineSummary.
+func AnalyzeTimeline(recs []*EventRecorder) *TimelineSummary {
+	return trace.AnalyzeTimeline(recs)
+}
 
 // ---- Solver extensions ----
 
