@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-full vet fmt experiments csv examples trace clean
+.PHONY: build test test-short test-race bench bench-full vet fmt experiments csv examples trace serve-smoke clean
 
 build:
 	$(GO) build ./...
@@ -24,8 +24,9 @@ test-short:
 test-race:
 	$(GO) test -race -short ./...
 
-# Regenerate the machine-readable benchmark artifact (schema uoivar/bench/v1):
-# trace overhead on/off, kernel shapes, ADMM, and full-pipeline fits.
+# Regenerate the machine-readable benchmark artifact (schema uoivar/bench/v2):
+# trace overhead on/off, kernel shapes, ADMM, full-pipeline fits, and the
+# inference-server serving rows (QPS, p50/p99, coalescing at 1/8/64 clients).
 bench:
 	$(GO) run ./cmd/benchjson -o BENCH_PR2.json
 
@@ -49,6 +50,11 @@ trace:
 	$(GO) run ./cmd/uoigen -kind regression -n 2000 -p 64 -o out/trace-sample.hbf
 	$(GO) run ./cmd/uoifit -algo lasso -data out/trace-sample.hbf -ranks 4 \
 		-trace-out out/sample.trace.json -trace-summary
+
+# End-to-end inference-server smoke test: uoigen → uoifit -model-out →
+# uoiserve → curl /healthz and /v1/forecast, then graceful drain.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,6 +1,8 @@
 package uoivar_test
 
 import (
+	"errors"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -107,4 +109,72 @@ func TestPublicAPIPerfModel(t *testing.T) {
 	if v.Distribution <= 0 {
 		t.Fatalf("VAR model breakdown implausible: %+v", v)
 	}
+}
+
+// TestPublicAPIModelArtifacts exercises the save/load/predict surface: fit,
+// snapshot, round-trip through disk, and forecast bit-identically.
+func TestPublicAPIModelArtifacts(t *testing.T) {
+	fin := uoivar.MakeFinance(21, 8, 500, nil)
+	res, err := uoivar.FitVAR(fin.Series, &uoivar.VARConfig{Order: 1, B1: 6, B2: 3, Q: 6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := uoivar.VARArtifact(res, &uoivar.VARConfig{Order: 1, B1: 6, B2: 3, Q: 6, Seed: 4})
+	path := filepath.Join(t.TempDir(), "fin.uoim")
+	if err := uoivar.SaveModel(path, art); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := uoivar.LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Meta.Kind != "var" || loaded.Meta.P != 8 || loaded.Meta.Seed != 4 {
+		t.Fatalf("loaded meta: %+v", loaded.Meta)
+	}
+	memPred, err := uoivar.NewPredictor(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskPred, err := uoivar.NewPredictor(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fMem, err := memPred.Forecast(fin.Series, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fDisk, err := diskPred.Forecast(fin.Series, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range fMem.Data {
+		if fDisk.Data[i] != v {
+			t.Fatalf("forecast element %d: %v != %v after round-trip", i, fDisk.Data[i], v)
+		}
+	}
+	edges, err := diskPred.Edges(1e-7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != len(uoivar.Edges(res.A, 1e-7, false)) {
+		t.Fatal("edge set changed across save/load")
+	}
+
+	// Corrupt files report the typed error.
+	if err := corruptFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := uoivar.LoadModel(path); !errors.Is(err, uoivar.ErrModelCorrupt) {
+		t.Fatalf("corrupt artifact: %v, want ErrModelCorrupt", err)
+	}
+}
+
+// corruptFile flips a byte in the middle of a file.
+func corruptFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	data[len(data)/2] ^= 0xFF
+	return os.WriteFile(path, data, 0o644)
 }

@@ -31,27 +31,6 @@ import (
 	"uoivar/internal/uoi"
 )
 
-// BenchSchemaVersion identifies the artifact layout for downstream diff
-// tooling; bump it when field meanings change.
-const BenchSchemaVersion = "uoivar/bench/v1"
-
-// Result is one benchmark's measurement.
-type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-}
-
-// Report is the serialized artifact.
-type Report struct {
-	Schema     string   `json:"schema"`
-	GoVersion  string   `json:"go_version"`
-	GoMaxProcs int      `json:"gomaxprocs"`
-	Benchmarks []Result `json:"benchmarks"`
-}
-
 // bench runs fn under testing.Benchmark and records the result.
 func (r *Report) bench(name string, fn func(b *testing.B)) {
 	res := testing.Benchmark(fn)
@@ -218,6 +197,13 @@ func main() {
 			}
 		}
 	})
+
+	// ---- serve: closed-loop inference load at 1/8/64 clients ----
+
+	if err := benchServing(report, *short); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

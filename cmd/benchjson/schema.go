@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Bench artifact schema versions. v2 added the Serving section (QPS,
+// latency percentiles, and batch-coalescing factor of the inference
+// server); v1 artifacts still parse — they simply carry no serving rows.
+const (
+	BenchSchemaV1      = "uoivar/bench/v1"
+	BenchSchemaVersion = "uoivar/bench/v2"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// ServingResult is one inference-serving measurement: a closed-loop load
+// run at fixed client concurrency against a uoiserve-equivalent in-process
+// server.
+type ServingResult struct {
+	Name        string `json:"name"`
+	Concurrency int    `json:"concurrency"`
+	Requests    int    `json:"requests"`
+	// QPS is completed requests per wall second.
+	QPS float64 `json:"qps"`
+	// P50Ms/P99Ms are request-latency percentiles in milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// Coalescing is requests per forecast batch (1.0 = no coalescing).
+	Coalescing float64 `json:"coalescing_factor"`
+}
+
+// Report is the serialized artifact.
+type Report struct {
+	Schema     string   `json:"schema"`
+	GoVersion  string   `json:"go_version"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Benchmarks []Result `json:"benchmarks"`
+	// Serving is present from schema v2 on.
+	Serving []ServingResult `json:"serving,omitempty"`
+}
+
+// ParseBenchReport decodes and schema-checks a bench artifact. Both the
+// current v2 layout and legacy v1 files parse; unknown schemas are refused
+// so downstream diff tooling never misreads a future layout.
+func ParseBenchReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench report: %w", err)
+	}
+	switch r.Schema {
+	case BenchSchemaVersion:
+	case BenchSchemaV1:
+		if len(r.Serving) != 0 {
+			return nil, fmt.Errorf("bench report: schema %s cannot carry serving rows", BenchSchemaV1)
+		}
+	default:
+		return nil, fmt.Errorf("bench report: unknown schema %q (understood: %s, %s)",
+			r.Schema, BenchSchemaVersion, BenchSchemaV1)
+	}
+	if len(r.Benchmarks) == 0 {
+		return nil, fmt.Errorf("bench report: no benchmarks")
+	}
+	for i, b := range r.Benchmarks {
+		if b.Name == "" || b.Iterations <= 0 || b.NsPerOp <= 0 {
+			return nil, fmt.Errorf("bench report: benchmark %d is malformed: %+v", i, b)
+		}
+	}
+	for i, s := range r.Serving {
+		if s.Name == "" || s.Concurrency <= 0 || s.Requests <= 0 || s.QPS <= 0 ||
+			s.P50Ms <= 0 || s.P99Ms < s.P50Ms || s.Coalescing < 1 {
+			return nil, fmt.Errorf("bench report: serving row %d is malformed: %+v", i, s)
+		}
+	}
+	return &r, nil
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func validReport() *Report {
+	return &Report{
+		Schema:     BenchSchemaVersion,
+		GoVersion:  "go1.22",
+		GoMaxProcs: 4,
+		Benchmarks: []Result{
+			{Name: "mat/gemm", Iterations: 100, NsPerOp: 1234.5, AllocsPerOp: 2, BytesPerOp: 64},
+		},
+		Serving: []ServingResult{
+			{Name: "serve/forecast-c8", Concurrency: 8, Requests: 480,
+				QPS: 2500, P50Ms: 3.1, P99Ms: 4.9, Coalescing: 7.5},
+		},
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestParseBenchReportV2(t *testing.T) {
+	r, err := ParseBenchReport(mustJSON(t, validReport()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema != BenchSchemaVersion || len(r.Benchmarks) != 1 || len(r.Serving) != 1 {
+		t.Fatalf("round trip mangled report: %+v", r)
+	}
+	if r.Serving[0].Coalescing != 7.5 {
+		t.Fatalf("coalescing = %v, want 7.5", r.Serving[0].Coalescing)
+	}
+}
+
+func TestParseBenchReportV1Legacy(t *testing.T) {
+	rep := validReport()
+	rep.Schema = BenchSchemaV1
+	rep.Serving = nil
+	r, err := ParseBenchReport(mustJSON(t, rep))
+	if err != nil {
+		t.Fatalf("legacy v1 should parse: %v", err)
+	}
+	if r.Schema != BenchSchemaV1 {
+		t.Fatalf("schema = %q", r.Schema)
+	}
+}
+
+func TestParseBenchReportV1WithServingRefused(t *testing.T) {
+	rep := validReport()
+	rep.Schema = BenchSchemaV1 // v1 predates the serving section
+	_, err := ParseBenchReport(mustJSON(t, rep))
+	if err == nil || !strings.Contains(err.Error(), "serving rows") {
+		t.Fatalf("err = %v, want serving-rows refusal", err)
+	}
+}
+
+func TestParseBenchReportUnknownSchema(t *testing.T) {
+	rep := validReport()
+	rep.Schema = "uoivar/bench/v99"
+	_, err := ParseBenchReport(mustJSON(t, rep))
+	if err == nil || !strings.Contains(err.Error(), "unknown schema") {
+		t.Fatalf("err = %v, want unknown-schema refusal", err)
+	}
+}
+
+func TestParseBenchReportMalformed(t *testing.T) {
+	cases := map[string]func(*Report){
+		"no benchmarks":       func(r *Report) { r.Benchmarks = nil },
+		"unnamed benchmark":   func(r *Report) { r.Benchmarks[0].Name = "" },
+		"zero iterations":     func(r *Report) { r.Benchmarks[0].Iterations = 0 },
+		"negative ns/op":      func(r *Report) { r.Benchmarks[0].NsPerOp = -1 },
+		"zero concurrency":    func(r *Report) { r.Serving[0].Concurrency = 0 },
+		"zero requests":       func(r *Report) { r.Serving[0].Requests = 0 },
+		"zero qps":            func(r *Report) { r.Serving[0].QPS = 0 },
+		"p99 below p50":       func(r *Report) { r.Serving[0].P99Ms = r.Serving[0].P50Ms / 2 },
+		"coalescing below 1":  func(r *Report) { r.Serving[0].Coalescing = 0.5 },
+		"unnamed serving row": func(r *Report) { r.Serving[0].Name = "" },
+	}
+	for name, mutate := range cases {
+		rep := validReport()
+		mutate(rep)
+		if _, err := ParseBenchReport(mustJSON(t, rep)); err == nil {
+			t.Errorf("%s: accepted malformed report", name)
+		}
+	}
+	if _, err := ParseBenchReport([]byte("{not json")); err == nil {
+		t.Error("accepted garbage bytes")
+	}
+}
+
+// The committed artifact must always satisfy its own parser.
+func TestCommittedArtifactParses(t *testing.T) {
+	// The artifact lives at the repo root; tests run in cmd/benchjson.
+	data, err := readRepoFile(t, "BENCH_PR2.json")
+	if err != nil {
+		t.Skipf("no committed artifact: %v", err)
+	}
+	r, err := ParseBenchReport(data)
+	if err != nil {
+		t.Fatalf("committed BENCH_PR2.json does not parse: %v", err)
+	}
+	if r.Schema == BenchSchemaVersion && len(r.Serving) == 0 {
+		t.Fatal("v2 artifact carries no serving rows")
+	}
+}
+
+func readRepoFile(t *testing.T, name string) ([]byte, error) {
+	t.Helper()
+	return os.ReadFile(filepath.Join("..", "..", name))
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"uoivar/internal/mat"
+	"uoivar/internal/model"
+	"uoivar/internal/resample"
+	"uoivar/internal/serve"
+	"uoivar/internal/trace"
+)
+
+// benchArtifact builds a synthetic sparse order-2 VAR artifact directly —
+// the serving path does not care how the coefficients were obtained, so no
+// fit is needed.
+func benchArtifact(p int) *model.Artifact {
+	rng := resample.NewRNG(99)
+	const order = 2
+	art := &model.Artifact{
+		Meta: model.Meta{Schema: model.Schema, Kind: model.KindVAR, P: p, Order: order, Intercept: true},
+		Mu:   make([]float64, p),
+	}
+	for i := range art.Mu {
+		art.Mu[i] = 0.1 * rng.NormFloat64()
+	}
+	for j := 0; j < order; j++ {
+		aj := mat.NewDense(p, p)
+		for i := 0; i < p; i++ {
+			aj.Set(i, i, 0.2)
+			aj.Set(i, (i+j+1)%p, 0.3*rng.NormFloat64())
+			aj.Set(i, (i+3*j+5)%p, 0.2*rng.NormFloat64())
+		}
+		art.A = append(art.A, aj)
+	}
+	return art
+}
+
+// benchServing measures the inference server under closed-loop load at
+// 1, 8, and 64 concurrent clients: QPS, latency percentiles, and the
+// batch-coalescing factor (requests per ForecastBatch call, read off the
+// server's trace counters). Each concurrency level gets a fresh server so
+// the counters isolate that run. The cache is disabled — this measures the
+// batched forecast path, not memoization.
+func benchServing(report *Report, short bool) error {
+	const p = 16
+	art := benchArtifact(p)
+	total := 480
+	if short {
+		total = 120
+	}
+
+	// Pre-marshal distinct request bodies (distinct histories defeat any
+	// accidental memoization and vary the work realistically).
+	rng := resample.NewRNG(7)
+	bodies := make([][]byte, total)
+	for i := range bodies {
+		hist := make([][]float64, 2+i%3)
+		for r := range hist {
+			hist[r] = make([]float64, p)
+			for c := range hist[r] {
+				hist[r][c] = rng.NormFloat64()
+			}
+		}
+		b, err := json.Marshal(serve.ForecastRequest{Model: "bench", History: hist, Horizon: 1 + i%4})
+		if err != nil {
+			return err
+		}
+		bodies[i] = b
+	}
+
+	for _, conc := range []int{1, 8, 64} {
+		reg := serve.NewRegistry()
+		if _, err := reg.Set("bench", art, ""); err != nil {
+			return err
+		}
+		tr := trace.New()
+		s := serve.New(serve.Config{
+			Registry:     reg,
+			Tracer:       tr,
+			BatchWindow:  2 * time.Millisecond,
+			CacheEntries: -1,
+			MaxInflight:  2 * conc,
+		})
+		addr, err := s.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		url := "http://" + addr + "/v1/forecast"
+		client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: conc + 8}}
+
+		var next atomic.Int64
+		latencies := make([]float64, total)
+		var wg sync.WaitGroup
+		var firstErr atomic.Value
+		start := time.Now()
+		for w := 0; w < conc; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= total {
+						return
+					}
+					t0 := time.Now()
+					resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[i]))
+					if err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck // drained for keep-alive
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						firstErr.CompareAndSwap(nil, fmt.Errorf("serve bench: status %d", resp.StatusCode))
+						return
+					}
+					latencies[i] = time.Since(t0).Seconds() * 1e3
+				}
+			}()
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		s.Close()
+		if err, _ := firstErr.Load().(error); err != nil {
+			return err
+		}
+
+		sort.Float64s(latencies)
+		batches := tr.Counter("serve/forecast_batches")
+		reqs := tr.Counter("serve/forecast_requests_batched")
+		coalescing := 1.0
+		if batches > 0 {
+			coalescing = float64(reqs) / float64(batches)
+		}
+		row := ServingResult{
+			Name:        fmt.Sprintf("serve/forecast-c%d", conc),
+			Concurrency: conc,
+			Requests:    total,
+			QPS:         float64(total) / wall.Seconds(),
+			P50Ms:       latencies[total/2],
+			P99Ms:       latencies[total*99/100],
+			Coalescing:  coalescing,
+		}
+		report.Serving = append(report.Serving, row)
+		fmt.Fprintf(os.Stderr, "%-40s %10.0f qps  p50 %6.2fms  p99 %6.2fms  coalescing %.2f\n",
+			row.Name, row.QPS, row.P50Ms, row.P99Ms, row.Coalescing)
+	}
+	return nil
+}

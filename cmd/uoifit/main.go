@@ -11,6 +11,14 @@
 //
 // Baselines: -algo lasso-cv | lasso-bic | var-cv.
 //
+// Saving fitted models:
+//
+//	uoifit -algo var -data series.hbf -ranks 4 -model-out market.uoim
+//
+// writes rank 0's fitted model as a versioned .uoim artifact (sparse
+// coefficients, fit config, seed, selection stats) that uoiserve loads and
+// serves without refitting.
+//
 // Performance observability:
 //
 //	uoifit -algo lasso -data data.hbf -ranks 4 -perf-report perf.json
@@ -54,6 +62,7 @@ import (
 	"uoivar/internal/distio"
 	"uoivar/internal/hbf"
 	"uoivar/internal/mat"
+	"uoivar/internal/model"
 	"uoivar/internal/monitor"
 	"uoivar/internal/mpi"
 	"uoivar/internal/trace"
@@ -99,6 +108,9 @@ type options struct {
 	// KernelWorkers overrides the per-kernel-call worker budget (0 = derive
 	// from rank count, <0 = full machine per call).
 	KernelWorkers int
+	// ModelOut, when non-empty, saves the fitted model (rank 0's result) as
+	// a .uoim artifact servable by uoiserve.
+	ModelOut string
 }
 
 func main() {
@@ -128,6 +140,7 @@ func main() {
 	flag.BoolVar(&o.TraceSummary, "trace-summary", false, "print the merged timeline analysis (imbalance, critical path, waits)")
 	flag.StringVar(&o.DebugAddr, "debug-addr", "", "serve the live /healthz and /debug/uoivar endpoint on this address")
 	flag.IntVar(&o.KernelWorkers, "kernel-workers", 0, "per-kernel-call worker budget (0 = GOMAXPROCS/ranks, <0 = full machine)")
+	flag.StringVar(&o.ModelOut, "model-out", "", "save the fitted model as a .uoim artifact to this path")
 	flag.Parse()
 	if o.Data == "" {
 		fmt.Fprintln(os.Stderr, "missing -data")
@@ -392,7 +405,25 @@ func runLasso(o *options) error {
 	for _, j := range result.SelectedSupport {
 		fmt.Printf("beta[%d] = %.6f\n", j, result.Beta[j])
 	}
+	if err := saveModel(o.ModelOut, model.FromLasso(result, &uoi.LassoConfig{
+		B1: o.B1, B2: o.B2, Q: o.Q, LambdaRatio: o.Ratio, Seed: o.Seed,
+	})); err != nil {
+		return err
+	}
 	return perf.write()
+}
+
+// saveModel writes rank 0's fitted model as a servable artifact when
+// -model-out is set.
+func saveModel(path string, art *model.Artifact) error {
+	if path == "" {
+		return nil
+	}
+	if err := model.Save(path, art); err != nil {
+		return err
+	}
+	fmt.Println("model artifact written to", path)
+	return nil
 }
 
 func readSeries(data string) (*mat.Dense, error) {
@@ -451,6 +482,11 @@ func runVAR(o *options) error {
 			result.Diag.SelectionTime.Seconds(), result.Diag.EstimationTime.Seconds())); err != nil {
 		return err
 	}
+	if err := saveModel(o.ModelOut, model.FromVAR(result, &uoi.VARConfig{
+		Order: o.Order, B1: o.B1, B2: o.B2, Q: o.Q, LambdaRatio: o.Ratio, Seed: o.Seed,
+	})); err != nil {
+		return err
+	}
 	return perf.write()
 }
 
@@ -486,7 +522,7 @@ func runLassoBaseline(o *options) error {
 	for _, j := range sup {
 		fmt.Printf("beta[%d] = %.6f\n", j, res.Beta[j])
 	}
-	return nil
+	return saveModel(o.ModelOut, model.FromLasso(&uoi.Result{Beta: res.Beta, SelectedSupport: sup}, nil))
 }
 
 func runVARBaseline(o *options) error {
@@ -498,8 +534,12 @@ func runVARBaseline(o *options) error {
 	if err != nil {
 		return err
 	}
-	return reportVAR(a, mu, series.Cols, o.Edges, o.Dot,
-		fmt.Sprintf("var-cv baseline: p=%d order=%d λ=%.6f", series.Cols, o.Order, res.Lambda))
+	if err := reportVAR(a, mu, series.Cols, o.Edges, o.Dot,
+		fmt.Sprintf("var-cv baseline: p=%d order=%d λ=%.6f", series.Cols, o.Order, res.Lambda)); err != nil {
+		return err
+	}
+	return saveModel(o.ModelOut, model.FromVAR(&uoi.VARResult{A: a, Mu: mu},
+		&uoi.VARConfig{Order: o.Order, Q: o.Q, Seed: o.Seed}))
 }
 
 func reportVAR(a []*mat.Dense, mu []float64, p int, edgesPath, dotPath, header string) error {

@@ -7,6 +7,7 @@ import (
 
 	"uoivar/internal/datagen"
 	"uoivar/internal/hbf"
+	"uoivar/internal/model"
 	"uoivar/internal/trace"
 )
 
@@ -209,5 +210,74 @@ func TestRunUnknownAlgo(t *testing.T) {
 func TestRunMissingFile(t *testing.T) {
 	if err := run(&options{Algo: "lasso", Data: "/nonexistent.hbf", Ranks: 2, B1: 2, B2: 2, Q: 3, Ratio: 1e-3, Seed: 1, Order: 1, MaxOrder: 4, PB: 1, PL: 1, Readers: 1}); err == nil {
 		t.Fatal("missing file must fail")
+	}
+}
+
+// TestRunVARModelOut: a distributed UoI_VAR fit with -model-out writes a
+// loadable artifact whose predictor forecasts.
+func TestRunVARModelOut(t *testing.T) {
+	path := writeTestSeries(t)
+	out := filepath.Join(t.TempDir(), "var"+model.Ext)
+	if err := run(&options{Algo: "var", Data: path, Ranks: 2, B1: 4, B2: 2, Q: 5, Ratio: 1e-2, Seed: 1, Order: 1, MaxOrder: 4, PB: 1, PL: 1, Readers: 2, ModelOut: out}); err != nil {
+		t.Fatal(err)
+	}
+	art, err := model.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Meta.Kind != model.KindVAR || art.Meta.P != 8 || art.Meta.Order != 1 {
+		t.Fatalf("artifact meta: %+v", art.Meta)
+	}
+	if art.Meta.Config.B1 != 4 || art.Meta.Seed != 1 {
+		t.Fatalf("fit config not recorded: %+v", art.Meta)
+	}
+	pred, err := model.NewPredictor(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := readSeries(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := pred.Forecast(series, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Rows != 5 || fc.Cols != 8 {
+		t.Fatalf("forecast shape %dx%d", fc.Rows, fc.Cols)
+	}
+}
+
+// TestRunLassoModelOut covers the lasso fit and baseline artifact paths.
+func TestRunLassoModelOut(t *testing.T) {
+	path := writeTestRegression(t)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "lasso"+model.Ext)
+	if err := run(&options{Algo: "lasso", Data: path, Ranks: 2, B1: 4, B2: 2, Q: 5, Ratio: 1e-2, Seed: 1, Order: 1, MaxOrder: 4, PB: 1, PL: 1, Readers: 2, ModelOut: out}); err != nil {
+		t.Fatal(err)
+	}
+	art, err := model.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Meta.Kind != model.KindLasso || art.Meta.P != 12 {
+		t.Fatalf("artifact meta: %+v", art.Meta)
+	}
+
+	base := filepath.Join(dir, "cv"+model.Ext)
+	if err := run(&options{Algo: "lasso-cv", Data: path, Ranks: 1, Q: 6, Ratio: 1e-3, Seed: 1, Order: 1, MaxOrder: 4, PB: 1, PL: 1, Readers: 1, ModelOut: base}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.Load(base); err != nil {
+		t.Fatal(err)
+	}
+
+	vbase := filepath.Join(dir, "varcv"+model.Ext)
+	spath := writeTestSeries(t)
+	if err := run(&options{Algo: "var-cv", Data: spath, Ranks: 1, Q: 5, Ratio: 1e-3, Seed: 1, Order: 1, MaxOrder: 4, PB: 1, PL: 1, Readers: 1, ModelOut: vbase}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.Load(vbase); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,139 @@
+// Command uoiserve serves saved UoI model artifacts (.uoim, written by
+// uoifit -model-out or uoivar.SaveModel) over HTTP — the inference half of
+// the training/inference split.
+//
+//	uoiserve -models ./models -addr localhost:8080
+//
+// loads every *.uoim under -models (each served under its base name) and
+// answers:
+//
+//	GET  /v1/models    — the registry listing (name, version, kind, p, order)
+//	POST /v1/forecast  — {"model","history":[[...]],"horizon"} → conditional means
+//	POST /v1/granger   — {"model","tol","self_loops"} → the Granger edge list
+//	POST /v1/reload    — re-read artifacts from disk, hot-swapping new versions
+//	GET  /healthz      — 200 while serving, 503 while empty or draining
+//	GET  /debug/uoivar — live counters (batches, cache hits, inflight limits)
+//
+// Concurrent forecasts against one model coalesce into batched GEMMs
+// (-batch-window, -batch-max); responses are bit-identical to unbatched
+// evaluation. Repeated requests are answered from an LRU cache
+// (-cache-entries, X-Cache header). Per-endpoint concurrency is capped at
+// -max-inflight (429 beyond it) and every request gets a -timeout deadline
+// (504 past it). SIGINT/SIGTERM drain gracefully: health goes 503, in-flight
+// requests finish, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"uoivar/internal/model"
+	"uoivar/internal/monitor"
+	"uoivar/internal/serve"
+	"uoivar/internal/trace"
+)
+
+// options carries every run parameter plus the test seams (bound-address
+// notification and the shutdown-signal source).
+type options struct {
+	Models       string
+	Addr         string
+	BatchWindow  time.Duration
+	BatchMax     int
+	CacheEntries int
+	MaxInflight  int
+	Timeout      time.Duration
+	DrainWait    time.Duration
+
+	// bound, when non-nil, receives the listener's address once serving.
+	bound chan<- string
+	// signals overrides the OS signal source in tests.
+	signals <-chan os.Signal
+}
+
+func main() {
+	o := &options{}
+	flag.StringVar(&o.Models, "models", "", "directory of *.uoim artifacts to serve (required)")
+	flag.StringVar(&o.Addr, "addr", "localhost:8080", "listen address")
+	flag.DurationVar(&o.BatchWindow, "batch-window", 2*time.Millisecond, "how long the first request of a batch waits for companions")
+	flag.IntVar(&o.BatchMax, "batch-max", 64, "max coalesced forecast batch size")
+	flag.IntVar(&o.CacheEntries, "cache-entries", 256, "LRU response-cache capacity (negative disables)")
+	flag.IntVar(&o.MaxInflight, "max-inflight", 256, "per-endpoint concurrency limit (429 beyond it)")
+	flag.DurationVar(&o.Timeout, "timeout", 30*time.Second, "per-request deadline (504 past it)")
+	flag.DurationVar(&o.DrainWait, "drain-wait", 30*time.Second, "max graceful-shutdown wait on SIGINT/SIGTERM")
+	flag.Parse()
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "uoiserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o *options) error {
+	if o.Models == "" {
+		return fmt.Errorf("-models is required")
+	}
+	reg := serve.NewRegistry()
+	entries, err := reg.LoadDir(o.Models)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no %s artifacts under %s", model.Ext, o.Models)
+	}
+	for _, e := range entries {
+		fmt.Printf("loaded %s@%d (%s, p=%d", e.Name, e.Version, e.Artifact.Meta.Kind, e.Artifact.Meta.P)
+		if e.Artifact.Meta.Order > 0 {
+			fmt.Printf(", order=%d", e.Artifact.Meta.Order)
+		}
+		fmt.Printf(", support=%d) from %s\n", e.Artifact.Meta.Stats.SupportSize, e.Path)
+	}
+
+	tr := trace.New()
+	mon := monitor.New("uoiserve")
+	mon.SetState(func() map[string]any {
+		st := map[string]any{"models": reg.Len()}
+		for k, v := range tr.Counters() {
+			st[k] = v
+		}
+		return st
+	})
+	s := serve.New(serve.Config{
+		Registry:     reg,
+		BatchWindow:  o.BatchWindow,
+		BatchMax:     o.BatchMax,
+		CacheEntries: o.CacheEntries,
+		MaxInflight:  o.MaxInflight,
+		Timeout:      o.Timeout,
+		Tracer:       tr,
+		Monitor:      mon,
+	})
+	bound, err := s.ListenAndServe(o.Addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %d model(s) on http://%s\n", len(entries), bound)
+	if o.bound != nil {
+		o.bound <- bound
+	}
+
+	sigs := o.signals
+	if sigs == nil {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		sigs = ch
+	}
+	sig := <-sigs
+	fmt.Printf("%s: draining (up to %s)...\n", sig, o.DrainWait)
+	ctx, cancel := context.WithTimeout(context.Background(), o.DrainWait)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Println("drained cleanly")
+	return nil
+}

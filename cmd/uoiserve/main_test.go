@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"uoivar/internal/mat"
+	"uoivar/internal/model"
+	"uoivar/internal/serve"
+)
+
+// writeToyModel saves a tiny hand-built order-2 VAR artifact.
+func writeToyModel(t *testing.T, path string) *model.Artifact {
+	t.Helper()
+	art := &model.Artifact{
+		Meta: model.Meta{Schema: model.Schema, Kind: model.KindVAR, P: 3, Order: 2, Intercept: true},
+		A:    []*mat.Dense{mat.NewDense(3, 3), mat.NewDense(3, 3)},
+		Mu:   []float64{0.1, 0, -0.2},
+	}
+	art.A[0].Set(0, 0, 0.5)
+	art.A[0].Set(1, 2, -0.3)
+	art.A[1].Set(2, 1, 0.25)
+	if err := model.Save(path, art); err != nil {
+		t.Fatal(err)
+	}
+	return art
+}
+
+func TestRunRequiresModels(t *testing.T) {
+	if err := run(&options{}); err == nil {
+		t.Fatal("missing -models accepted")
+	}
+	if err := run(&options{Models: filepath.Join(t.TempDir(), "nope")}); err == nil {
+		t.Fatal("missing directory accepted")
+	}
+	if err := run(&options{Models: t.TempDir()}); err == nil {
+		t.Fatal("empty directory accepted")
+	}
+}
+
+// TestRunServesAndDrains drives the command end to end: load a model
+// directory, answer a forecast, then drain on a (test-injected) signal.
+func TestRunServesAndDrains(t *testing.T) {
+	dir := t.TempDir()
+	art := writeToyModel(t, filepath.Join(dir, "toy"+model.Ext))
+	bound := make(chan string, 1)
+	sigs := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(&options{
+			Models: dir, Addr: "127.0.0.1:0",
+			DrainWait: 5 * time.Second,
+			bound:     bound, signals: sigs,
+		})
+	}()
+	var addr string
+	select {
+	case addr = <-bound:
+	case err := <-done:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never came up")
+	}
+	url := "http://" + addr
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	body, err := json.Marshal(serve.ForecastRequest{
+		Model:   "toy",
+		History: [][]float64{{1, 2, 3}, {0.5, -1, 0.25}},
+		Horizon: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(url+"/v1/forecast", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forecast: %d %s", resp.StatusCode, out)
+	}
+	var fc serve.ForecastResponse
+	if err := json.Unmarshal(out, &fc); err != nil {
+		t.Fatal(err)
+	}
+	if fc.Model != "toy" || fc.Version != 1 || len(fc.Forecast) != 4 {
+		t.Fatalf("forecast response: %+v", fc)
+	}
+	pred, err := model.NewPredictor(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := mat.NewDenseData(2, 3, []float64{1, 2, 3, 0.5, -1, 0.25})
+	want, err := pred.Forecast(hist, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fc.Forecast {
+		for j, v := range fc.Forecast[i] {
+			if v != want.At(i, j) {
+				t.Fatalf("served forecast (%d,%d) %v != %v", i, j, v, want.At(i, j))
+			}
+		}
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain hung")
+	}
+}

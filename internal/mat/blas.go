@@ -265,6 +265,43 @@ func AtAWorkers(a *Dense, workers int) *Dense {
 	return c
 }
 
+// MulABt computes A·Bᵀ with the default worker budget.
+func MulABt(a, b *Dense) *Dense { return MulABtWorkers(a, b, 0) }
+
+// MulABtWorkers computes A·Bᵀ without materializing the transpose: both
+// operands are walked row-major (out[i][j] = ⟨a_i, b_j⟩), which is the
+// cache-friendly layout for the inference server's batched forecast GEMM
+// (request rows × coefficient rows). Each output row is a pure function of
+// its own input row — independent of the worker count and of how many other
+// rows share the call — so a batch-of-N product is bit-identical, row for
+// row, to N batch-of-1 products.
+func MulABtWorkers(a, b *Dense, workers int) *Dense {
+	if a.Cols != b.Cols {
+		panic(ErrShape)
+	}
+	tr := tracer()
+	sp := tr.Start("mat/gemm_abt")
+	w := clampWorkers(workers)
+	c := NewDense(a.Rows, b.Rows)
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			crow := c.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				crow[j] = Dot(arow, b.Row(j))
+			}
+		}
+	}
+	if a.Rows >= 2 && a.Rows*b.Rows*a.Cols >= gemmParallelFlops && w > 1 {
+		tr.SetMax("mat/workers", int64(w))
+		parallelFor(a.Rows, w, body)
+	} else {
+		body(0, a.Rows)
+	}
+	sp.End()
+	return c
+}
+
 // AtB computes AᵀB with the default worker budget.
 func AtB(a, b *Dense) *Dense { return AtBWorkers(a, b, 0) }
 

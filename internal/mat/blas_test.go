@@ -43,6 +43,46 @@ func TestMulMatchesNaive(t *testing.T) {
 	}
 }
 
+func TestMulABtMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dims := range [][3]int{{1, 1, 1}, {2, 4, 3}, {9, 5, 7}, {64, 33, 64}, {130, 128, 40}} {
+		a := randomDense(rng, dims[0], dims[1])
+		b := randomDense(rng, dims[2], dims[1])
+		got := MulABt(a, b)
+		want := naiveMul(a, b.T())
+		if !got.Equal(want, 1e-10) {
+			t.Fatalf("MulABt mismatch for dims %v", dims)
+		}
+	}
+}
+
+// TestMulABtBatchInvariant asserts the property the inference server's
+// request coalescing depends on: stacking request rows into one product
+// yields bit-identical rows to issuing each row alone, at any worker count.
+func TestMulABtBatchInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	b := randomDense(rng, 48, 96)
+	batch := randomDense(rng, 37, 96)
+	full := MulABtWorkers(batch, b, 4)
+	for i := 0; i < batch.Rows; i++ {
+		one := MulABtWorkers(NewDenseData(1, batch.Cols, batch.Row(i)), b, 1)
+		for j := 0; j < b.Rows; j++ {
+			if full.At(i, j) != one.At(0, j) {
+				t.Fatalf("row %d col %d: batch %v != solo %v", i, j, full.At(i, j), one.At(0, j))
+			}
+		}
+	}
+}
+
+func TestMulABtShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	MulABt(NewDense(2, 3), NewDense(2, 4))
+}
+
 func TestMulShapePanic(t *testing.T) {
 	defer func() {
 		if recover() == nil {

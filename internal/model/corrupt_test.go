@@ -1,0 +1,196 @@
+package model
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+// encodeTestArtifact builds a small valid VAR artifact's bytes.
+func encodeTestArtifact(t *testing.T) []byte {
+	t.Helper()
+	_, cfg, res := fitVAR(t)
+	data, err := FromVAR(res, cfg).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// typedOrNil asserts the decode outcome is a typed error (never a panic,
+// never an untyped error). Decode of mutated input may legitimately still
+// succeed only when the mutation misses every validated byte — impossible
+// here since CRCs cover both payloads and everything else is framing.
+func mustBeTyped(t *testing.T, err error, what string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("%s: decode succeeded on damaged input", what)
+	}
+	if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrSchema) {
+		t.Fatalf("%s: err %v is neither ErrCorrupt nor ErrSchema", what, err)
+	}
+}
+
+// TestTruncationAtEveryLength mirrors hbf's truncated-segment tests: every
+// proper prefix of a valid artifact must decode to a typed error, never a
+// panic or a silent success.
+func TestTruncationAtEveryLength(t *testing.T) {
+	data := encodeTestArtifact(t)
+	step := 1
+	if len(data) > 4096 {
+		step = 7
+	}
+	for n := 0; n < len(data); n += step {
+		_, err := Decode(data[:n])
+		mustBeTyped(t, err, "truncation")
+	}
+}
+
+// TestFlippedByteEverywhere mirrors hbf's bit-flip fault tests: flipping any
+// single byte of the artifact — magic, version, section lengths, payloads,
+// or the checksum bytes themselves — must yield a typed error.
+func TestFlippedByteEverywhere(t *testing.T) {
+	data := encodeTestArtifact(t)
+	step := 1
+	if len(data) > 4096 {
+		step = 5
+	}
+	for i := 0; i < len(data); i += step {
+		mut := make([]byte, len(data))
+		copy(mut, data)
+		mut[i] ^= 0xA5
+		_, err := Decode(mut)
+		mustBeTyped(t, err, "byte flip")
+	}
+}
+
+// TestFlippedChecksumBytes targets the CRC trailers specifically: the meta
+// CRC sits right after the meta payload, the coefficient CRC at EOF.
+func TestFlippedChecksumBytes(t *testing.T) {
+	data := encodeTestArtifact(t)
+	metaLen := binary.LittleEndian.Uint64(data[12:])
+	crcOffsets := []int{12 + 8 + int(metaLen), len(data) - 4}
+	for _, off := range crcOffsets {
+		for b := 0; b < 4; b++ {
+			mut := make([]byte, len(data))
+			copy(mut, data)
+			mut[off+b] ^= 0x01
+			if _, err := Decode(mut); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("flipped checksum byte %d+%d: err %v, want ErrCorrupt", off, b, err)
+			}
+		}
+	}
+}
+
+// TestFutureFormatVersionIsSchemaError: a structurally valid file from a
+// newer writer must be refused as ErrSchema, not misparsed.
+func TestFutureFormatVersionIsSchemaError(t *testing.T) {
+	data := encodeTestArtifact(t)
+	mut := make([]byte, len(data))
+	copy(mut, data)
+	binary.LittleEndian.PutUint32(mut[8:], formatVersion+1)
+	if _, err := Decode(mut); !errors.Is(err, ErrSchema) {
+		t.Fatalf("future version: err %v, want ErrSchema", err)
+	}
+	binary.LittleEndian.PutUint32(mut[8:], 0)
+	if _, err := Decode(mut); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("version 0: err %v, want ErrCorrupt", err)
+	}
+}
+
+// rebuildWithMeta swaps a valid artifact's meta section for the given JSON
+// document, recomputing length and CRC so only the schema check can object.
+func rebuildWithMeta(t *testing.T, data []byte, meta map[string]any) []byte {
+	t.Helper()
+	metaLen := binary.LittleEndian.Uint64(data[12:])
+	coef := data[12+8+int(metaLen)+4:]
+	newMeta, err := json.Marshal(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 0, len(data))
+	out = append(out, data[:12]...)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(newMeta)))
+	out = append(out, newMeta...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(newMeta))
+	out = append(out, coef...)
+	return out
+}
+
+func TestUnknownSchemaAndKindAreSchemaErrors(t *testing.T) {
+	data := encodeTestArtifact(t)
+	var meta map[string]any
+	metaLen := binary.LittleEndian.Uint64(data[12:])
+	if err := json.Unmarshal(data[20:20+int(metaLen)], &meta); err != nil {
+		t.Fatal(err)
+	}
+
+	future := map[string]any{}
+	for k, v := range meta {
+		future[k] = v
+	}
+	future["schema"] = "uoivar/model/v99"
+	if _, err := Decode(rebuildWithMeta(t, data, future)); !errors.Is(err, ErrSchema) {
+		t.Fatalf("future schema string: err %v, want ErrSchema", err)
+	}
+
+	alien := map[string]any{}
+	for k, v := range meta {
+		alien[k] = v
+	}
+	alien["kind"] = "transformer"
+	if _, err := Decode(rebuildWithMeta(t, data, alien)); !errors.Is(err, ErrSchema) {
+		t.Fatalf("unknown kind: err %v, want ErrSchema", err)
+	}
+}
+
+// TestInconsistentCoefCountsAreCorrupt hand-crafts coefficient sections with
+// hostile counts (nnz larger than the section, out-of-range indices) behind
+// valid CRCs, so only the structural validation can catch them.
+func TestInconsistentCoefCountsAreCorrupt(t *testing.T) {
+	data := encodeTestArtifact(t)
+	metaLen := binary.LittleEndian.Uint64(data[12:])
+	metaEnd := 12 + 8 + int(metaLen) + 4
+
+	build := func(coef []byte) []byte {
+		out := make([]byte, 0, metaEnd+8+len(coef)+4)
+		out = append(out, data[:metaEnd]...)
+		out = binary.LittleEndian.AppendUint64(out, uint64(len(coef)))
+		out = append(out, coef...)
+		out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(coef))
+		return out
+	}
+
+	// Huge claimed nonzero count with no entries behind it.
+	var coef []byte
+	coef = binary.LittleEndian.AppendUint32(coef, 1) // d
+	coef = binary.LittleEndian.AppendUint32(coef, 8) // p
+	coef = binary.LittleEndian.AppendUint64(coef, 1<<60)
+	if _, err := Decode(build(coef)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("huge nnz: err %v, want ErrCorrupt", err)
+	}
+
+	// Out-of-range entry coordinates.
+	coef = coef[:8]
+	coef = binary.LittleEndian.AppendUint64(coef, 1)
+	coef = binary.LittleEndian.AppendUint32(coef, 200) // row ≥ p
+	coef = binary.LittleEndian.AppendUint32(coef, 0)
+	coef = binary.LittleEndian.AppendUint64(coef, 0x3FF0000000000000)
+	coef = append(coef, 1)
+	for i := 0; i < 8; i++ {
+		coef = binary.LittleEndian.AppendUint64(coef, 0)
+	}
+	if _, err := Decode(build(coef)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("out-of-range entry: err %v, want ErrCorrupt", err)
+	}
+
+	// Mismatched d/p header vs meta.
+	coef = nil
+	coef = binary.LittleEndian.AppendUint32(coef, 3) // meta says 1
+	coef = binary.LittleEndian.AppendUint32(coef, 8)
+	if _, err := Decode(build(coef)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("header/meta mismatch: err %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,63 @@
+package model
+
+import (
+	"bytes"
+	"testing"
+
+	"uoivar/internal/mat"
+)
+
+// FuzzDecode drives the artifact parser with arbitrary bytes: it must never
+// panic, and anything it accepts must re-encode and re-decode to the same
+// bytes (the parser and printer agree on the format).
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: a valid VAR artifact, a valid lasso artifact, their
+	// prefixes, and a few plainly hostile inputs.
+	varArt := &Artifact{
+		Meta: Meta{Schema: Schema, Kind: KindVAR, P: 3, Order: 2, Intercept: true, Seed: 1},
+		A:    []*mat.Dense{mat.NewDense(3, 3), mat.NewDense(3, 3)},
+		Mu:   []float64{0.1, -0.2, 0},
+	}
+	varArt.A[0].Set(0, 1, 0.5)
+	varArt.A[1].Set(2, 2, -0.25)
+	varBytes, err := varArt.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	lassoArt := &Artifact{
+		Meta: Meta{Schema: Schema, Kind: KindLasso, P: 4},
+		Beta: []float64{0, 1.5, 0, -2},
+	}
+	lassoBytes, err := lassoArt.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(varBytes)
+	f.Add(lassoBytes)
+	f.Add(varBytes[:len(varBytes)/2])
+	f.Add([]byte{})
+	f.Add(magic[:])
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := a.Encode()
+		if err != nil {
+			t.Fatalf("accepted artifact failed to re-encode: %v", err)
+		}
+		b, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded artifact failed to decode: %v", err)
+		}
+		re2, err := b.Encode()
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatal("re-encoding is not a fixed point")
+		}
+	})
+}

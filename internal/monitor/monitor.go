@@ -70,11 +70,12 @@ type Server struct {
 	name  string
 	start time.Time
 
-	mu     sync.Mutex
-	recs   []*trace.Recorder
-	health func() []mpi.RankState
-	stats  func() []mpi.Stats
-	state  func() map[string]any
+	mu        sync.Mutex
+	recs      []*trace.Recorder
+	health    func() []mpi.RankState
+	stats     func() []mpi.Stats
+	state     func() map[string]any
+	readiness func() error
 
 	srv *http.Server
 	ln  net.Listener
@@ -114,6 +115,16 @@ func (s *Server) SetStats(fn func() []mpi.Stats) {
 func (s *Server) SetState(fn func() map[string]any) {
 	s.mu.Lock()
 	s.state = fn
+	s.mu.Unlock()
+}
+
+// SetReadiness registers an application-level readiness probe: when it
+// returns a non-nil error, /healthz reports 503 with the error text. The
+// serving layer uses this to fail health checks while draining or before
+// any model is loaded; a fit monitor typically leaves it unset.
+func (s *Server) SetReadiness(fn func() error) {
+	s.mu.Lock()
+	s.readiness = fn
 	s.mu.Unlock()
 }
 
@@ -198,6 +209,16 @@ func publishExpvar(s *Server) {
 	})
 }
 
+// Register mounts the monitor's handlers — /healthz, /debug/uoivar,
+// /debug/vars — onto an existing mux, for callers that run their own HTTP
+// server (the inference server mounts them next to its /v1 endpoints).
+func (s *Server) Register(mux *http.ServeMux) {
+	publishExpvar(s)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/uoivar", s.handleSnapshot)
+	mux.Handle("/debug/vars", expvar.Handler())
+}
+
 // Serve starts the HTTP endpoint on addr (host:port; ":0" picks a free
 // port) and returns the bound address. The server runs until Close.
 func (s *Server) Serve(addr string) (string, error) {
@@ -205,11 +226,8 @@ func (s *Server) Serve(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("monitor: listen %s: %w", addr, err)
 	}
-	publishExpvar(s)
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/debug/uoivar", s.handleSnapshot)
-	mux.Handle("/debug/vars", expvar.Handler())
+	s.Register(mux)
 	s.mu.Lock()
 	s.ln = ln
 	s.srv = &http.Server{Handler: mux}
@@ -238,6 +256,16 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	ready := s.readiness
+	s.mu.Unlock()
+	if ready != nil {
+		if err := ready(); err != nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "unavailable: %v\n", err)
+			return
+		}
+	}
 	snap := s.Snapshot()
 	var failed []int
 	for _, r := range snap.Ranks {

@@ -2,8 +2,10 @@ package monitor
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -149,5 +151,61 @@ func TestMonitorCloseIdempotent(t *testing.T) {
 	}
 	if err := s.Close(); err != nil && err != http.ErrServerClosed {
 		t.Fatalf("second close: %v", err)
+	}
+}
+
+// TestReadinessGatesHealthz: an application readiness probe (the inference
+// server's drain / no-models state) flips /healthz to 503 with the reason.
+func TestReadinessGatesHealthz(t *testing.T) {
+	s := New("ready")
+	addr, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if code, _ := get(t, addr, "/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz before probe = %d", code)
+	}
+	var ok bool
+	s.SetReadiness(func() error {
+		if !ok {
+			return errors.New("draining")
+		}
+		return nil
+	})
+	code, body := get(t, addr, "/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("healthz while draining = %d %q", code, body)
+	}
+	ok = true
+	if code, _ := get(t, addr, "/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz after recovery = %d", code)
+	}
+}
+
+// TestRegisterOnForeignMux: the handlers mount onto a caller-owned mux (the
+// serving layer's pattern) without starting the monitor's own listener.
+func TestRegisterOnForeignMux(t *testing.T) {
+	s := New("mounted")
+	s.SetState(func() map[string]any { return map[string]any{"mounted": true} })
+	mux := http.NewServeMux()
+	s.Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/uoivar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "mounted") {
+		t.Fatalf("mounted snapshot = %d %q", resp.StatusCode, body)
+	}
+	if resp, err = http.Get(srv.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mounted healthz = %d", resp.StatusCode)
 	}
 }

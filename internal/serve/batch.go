@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"uoivar/internal/mat"
+	"uoivar/internal/model"
+	"uoivar/internal/trace"
+)
+
+// errBatcherClosed reports a submit against a draining server.
+var errBatcherClosed = errors.New("serve: shutting down")
+
+// forecastReq is one queued forecast awaiting a batch slot. The response
+// channel is buffered (capacity 1) so the batcher never blocks on a handler
+// that already gave up on its deadline.
+type forecastReq struct {
+	ctx     context.Context
+	history *mat.Dense
+	horizon int
+	resp    chan forecastResp
+}
+
+type forecastResp struct {
+	entry    *Entry
+	forecast *mat.Dense
+	err      error
+}
+
+// batcher coalesces forecast requests against one model name. A single
+// goroutine drains the bounded queue: the first arrival opens a collection
+// window; everything that lands within the window (up to maxBatch) runs as
+// one Predictor.ForecastBatch call at the batch's common max horizon, and
+// each member is answered with its own prefix. Correctness does not depend
+// on the window — the batched kernel's rows are bit-identical to solo
+// evaluation — so the window trades only latency against GEMM efficiency.
+type batcher struct {
+	name     string
+	registry *Registry
+	window   time.Duration
+	maxBatch int
+	tracer   *trace.Tracer
+
+	// ch is the bounded queue (backpressure, not drops). It is never
+	// closed; shutdown is signalled on stop, and the loop drains any
+	// stragglers before exiting so accepted requests are always answered.
+	ch       chan *forecastReq
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+func newBatcher(name string, reg *Registry, window time.Duration, maxBatch, queueDepth int, tr *trace.Tracer) *batcher {
+	if maxBatch <= 0 {
+		maxBatch = 64
+	}
+	if queueDepth < maxBatch {
+		queueDepth = maxBatch
+	}
+	b := &batcher{
+		name: name, registry: reg, window: window, maxBatch: maxBatch,
+		tracer: tr, ch: make(chan *forecastReq, queueDepth),
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// submit enqueues a request and waits for its response, the context
+// deadline, or shutdown — whichever comes first.
+func (b *batcher) submit(ctx context.Context, history *mat.Dense, horizon int) (*Entry, *mat.Dense, error) {
+	req := &forecastReq{ctx: ctx, history: history, horizon: horizon, resp: make(chan forecastResp, 1)}
+	select {
+	case b.ch <- req:
+	case <-ctx.Done():
+		return nil, nil, ctx.Err()
+	case <-b.stop:
+		return nil, nil, errBatcherClosed
+	}
+	select {
+	case r := <-req.resp:
+		return r.entry, r.forecast, r.err
+	case <-ctx.Done():
+		// The batcher will still compute and drop the answer into the
+		// buffered channel; nobody reads it.
+		return nil, nil, ctx.Err()
+	}
+}
+
+// close stops the batcher. Requests already accepted into the queue are
+// still answered (the drain half of graceful shutdown); new submits are
+// refused with errBatcherClosed.
+func (b *batcher) close() {
+	b.stopOnce.Do(func() { close(b.stop) })
+	<-b.done
+}
+
+func (b *batcher) loop() {
+	defer close(b.done)
+	for {
+		var req *forecastReq
+		select {
+		case req = <-b.ch:
+		case <-b.stop:
+			b.drainQueue()
+			return
+		}
+		batch := []*forecastReq{req}
+		timer := time.NewTimer(b.window)
+	collect:
+		for len(batch) < b.maxBatch {
+			select {
+			case r := <-b.ch:
+				batch = append(batch, r)
+			case <-timer.C:
+				break collect
+			case <-b.stop:
+				// Shutting down: run what we have without waiting out
+				// the window; drainQueue picks up anything later.
+				break collect
+			}
+		}
+		timer.Stop()
+		b.run(batch)
+	}
+}
+
+// drainQueue answers everything that made it into the queue before stop.
+func (b *batcher) drainQueue() {
+	for {
+		select {
+		case req := <-b.ch:
+			b.run([]*forecastReq{req})
+		default:
+			return
+		}
+	}
+}
+
+// run answers one coalesced batch. The registry entry is snapshotted once,
+// so every member sees the same model version even across a concurrent
+// hot-swap; requests whose context already expired or whose history does not
+// fit the snapshot are answered individually without poisoning the batch.
+func (b *batcher) run(batch []*forecastReq) {
+	sp := b.tracer.Start("serve/batch")
+	defer sp.End()
+	b.tracer.Add("serve/forecast_batches", 1)
+	b.tracer.Add("serve/forecast_requests_batched", int64(len(batch)))
+	b.tracer.SetMax("serve/max_batch", int64(len(batch)))
+
+	entry := b.registry.Get(b.name)
+	live := batch[:0]
+	for _, r := range batch {
+		if r.ctx.Err() != nil {
+			r.resp <- forecastResp{err: r.ctx.Err()}
+			continue
+		}
+		if entry == nil {
+			r.resp <- forecastResp{err: fmt.Errorf("serve: model %q not found", b.name)}
+			continue
+		}
+		if err := checkHistory(entry.Pred, r.history); err != nil {
+			r.resp <- forecastResp{entry: entry, err: err}
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	maxH := 0
+	histories := make([]*mat.Dense, len(live))
+	for i, r := range live {
+		histories[i] = r.history
+		if r.horizon > maxH {
+			maxH = r.horizon
+		}
+	}
+	out, err := entry.Pred.ForecastBatch(histories, maxH)
+	if err != nil {
+		for _, r := range live {
+			r.resp <- forecastResp{entry: entry, err: err}
+		}
+		return
+	}
+	for i, r := range live {
+		// A forecast at horizon h is the h-row prefix of the horizon-maxH
+		// forecast (row t depends only on rows before it), so truncation
+		// preserves the bit-identity guarantee.
+		r.resp <- forecastResp{entry: entry, forecast: out[i].SubRows(0, r.horizon)}
+	}
+}
+
+// checkHistory validates a history against a predictor before batching, so
+// one malformed request cannot fail its batch-mates. Lasso models pass here
+// (Order 0) and fail in ForecastBatch with ErrKind for the whole batch —
+// acceptable because a lasso batcher only ever sees lasso requests.
+func checkHistory(p *model.Predictor, h *mat.Dense) error {
+	if h == nil || h.Cols != p.P() {
+		cols := 0
+		if h != nil {
+			cols = h.Cols
+		}
+		return fmt.Errorf("serve: history has %d columns, model has %d", cols, p.P())
+	}
+	if h.Rows < p.Order() {
+		return fmt.Errorf("serve: history has %d rows, order-%d model needs at least %d", h.Rows, p.Order(), p.Order())
+	}
+	return nil
+}

@@ -1,0 +1,533 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"uoivar/internal/mat"
+	"uoivar/internal/model"
+	"uoivar/internal/monitor"
+	"uoivar/internal/trace"
+	"uoivar/internal/varsim"
+)
+
+// Config configures a Server. The zero value of every field selects a sane
+// default; only Registry is required.
+type Config struct {
+	// Registry holds the served models.
+	Registry *Registry
+	// BatchWindow is how long the first request of a batch waits for
+	// companions (default 2ms; 0 keeps coalescing of already-queued
+	// requests without adding latency).
+	BatchWindow time.Duration
+	// BatchMax caps the coalesced batch size (default 64).
+	BatchMax int
+	// QueueDepth bounds each model's pending-forecast queue (default
+	// 4×BatchMax); a full queue applies backpressure, not drops.
+	QueueDepth int
+	// CacheEntries sizes the LRU response cache (default 256; negative
+	// disables caching).
+	CacheEntries int
+	// MaxInflight caps concurrently-served requests per endpoint; excess
+	// requests get 429 (default 256).
+	MaxInflight int
+	// Timeout is the per-request deadline; exceeding it returns 504
+	// (default 30s).
+	Timeout time.Duration
+	// MaxHorizon caps requested forecast horizons (default 4096).
+	MaxHorizon int
+	// MaxBodyBytes caps request bodies (default 64 MiB).
+	MaxBodyBytes int64
+	// Tracer, when non-nil, receives serving spans and counters
+	// (serve/requests, serve/forecast_batches, serve/cache_hits, ...).
+	Tracer *trace.Tracer
+	// Monitor, when non-nil, has its /healthz, /debug/uoivar and
+	// /debug/vars mounted on the server's mux, with readiness wired to the
+	// registry and drain state.
+	Monitor *monitor.Server
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.BatchWindow < 0 {
+		out.BatchWindow = 0
+	}
+	if out.BatchMax <= 0 {
+		out.BatchMax = 64
+	}
+	if out.QueueDepth <= 0 {
+		out.QueueDepth = 4 * out.BatchMax
+	}
+	if out.CacheEntries == 0 {
+		out.CacheEntries = 256
+	}
+	if out.MaxInflight <= 0 {
+		out.MaxInflight = 256
+	}
+	if out.Timeout <= 0 {
+		out.Timeout = 30 * time.Second
+	}
+	if out.MaxHorizon <= 0 {
+		out.MaxHorizon = 4096
+	}
+	if out.MaxBodyBytes <= 0 {
+		out.MaxBodyBytes = 64 << 20
+	}
+	return out
+}
+
+// ---- Wire types ----
+
+// ForecastRequest is the /v1/forecast body.
+type ForecastRequest struct {
+	Model string `json:"model"`
+	// History is the recent observed series, one row per time step, newest
+	// last; at least d (the model's order) rows.
+	History [][]float64 `json:"history"`
+	Horizon int         `json:"horizon"`
+}
+
+// ForecastResponse is the /v1/forecast reply.
+type ForecastResponse struct {
+	Model   string `json:"model"`
+	Version int    `json:"version"`
+	Horizon int    `json:"horizon"`
+	// Forecast has Horizon rows of the model's conditional means.
+	Forecast [][]float64 `json:"forecast"`
+}
+
+// GrangerRequest is the /v1/granger body.
+type GrangerRequest struct {
+	Model     string  `json:"model"`
+	Tol       float64 `json:"tol"`
+	SelfLoops bool    `json:"self_loops"`
+}
+
+// Edge is one directed Granger edge on the wire.
+type Edge struct {
+	Source int     `json:"source"`
+	Target int     `json:"target"`
+	Weight float64 `json:"weight"`
+}
+
+// GrangerResponse is the /v1/granger reply.
+type GrangerResponse struct {
+	Model   string `json:"model"`
+	Version int    `json:"version"`
+	Edges   []Edge `json:"edges"`
+}
+
+// ModelInfo is one row of the /v1/models listing.
+type ModelInfo struct {
+	Name        string    `json:"name"`
+	Version     int       `json:"version"`
+	Kind        string    `json:"kind"`
+	P           int       `json:"p"`
+	Order       int       `json:"order,omitempty"`
+	SupportSize int       `json:"support_size"`
+	LoadedAt    time.Time `json:"loaded_at"`
+	Path        string    `json:"path,omitempty"`
+}
+
+// ModelsResponse is the /v1/models (and /v1/reload) reply.
+type ModelsResponse struct {
+	Models []ModelInfo `json:"models"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---- Server ----
+
+// Server is the batched inference server. Create with New, mount via
+// Handler or run with ListenAndServe, stop with Shutdown (graceful) or
+// Close (abrupt).
+type Server struct {
+	cfg    Config
+	reg    *Registry
+	cache  *lruCache
+	tracer *trace.Tracer
+
+	mu       sync.Mutex
+	batchers map[string]*batcher
+	sems     map[string]chan struct{}
+	httpSrv  *http.Server
+	ln       net.Listener
+
+	draining atomic.Bool
+}
+
+// New builds a server over cfg.Registry.
+func New(cfg Config) *Server {
+	c := cfg.withDefaults()
+	s := &Server{
+		cfg:      c,
+		reg:      c.Registry,
+		cache:    newLRUCache(c.CacheEntries),
+		tracer:   c.Tracer,
+		batchers: make(map[string]*batcher),
+		sems:     make(map[string]chan struct{}),
+	}
+	if c.Monitor != nil {
+		c.Monitor.SetReadiness(s.readiness)
+	}
+	return s
+}
+
+// readiness is the monitor's /healthz gate: failing while draining (so load
+// balancers stop routing during shutdown) or while no model is loaded.
+func (s *Server) readiness() error {
+	if s.draining.Load() {
+		return errors.New("draining")
+	}
+	if s.reg.Len() == 0 {
+		return errors.New("no models loaded")
+	}
+	return nil
+}
+
+// Handler returns the server's mux: /v1/models, /v1/forecast, /v1/granger,
+// /v1/reload, plus the monitor endpoints when configured.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/v1/forecast", s.handleForecast)
+	mux.HandleFunc("/v1/granger", s.handleGranger)
+	mux.HandleFunc("/v1/reload", s.handleReload)
+	if s.cfg.Monitor != nil {
+		s.cfg.Monitor.Register(mux)
+	}
+	return mux
+}
+
+// ListenAndServe binds addr (":0" picks a free port), serves in the
+// background, and returns the bound address.
+func (s *Server) ListenAndServe(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	s.mu.Lock()
+	s.ln = ln
+	s.httpSrv = srv
+	s.mu.Unlock()
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Shutdown/Close
+	return ln.Addr().String(), nil
+}
+
+// Shutdown drains gracefully: readiness starts failing, the listener stops
+// accepting, every in-flight request completes (including queued batch
+// members), and only then do the batchers stop. No accepted request is
+// dropped.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.mu.Unlock()
+	var err error
+	if srv != nil {
+		err = srv.Shutdown(ctx)
+	}
+	s.closeBatchers()
+	return err
+}
+
+// Close stops the server abruptly (in-flight requests are abandoned).
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.mu.Unlock()
+	var err error
+	if srv != nil {
+		err = srv.Close()
+	}
+	s.closeBatchers()
+	return err
+}
+
+func (s *Server) closeBatchers() {
+	s.mu.Lock()
+	bs := make([]*batcher, 0, len(s.batchers))
+	for _, b := range s.batchers {
+		bs = append(bs, b)
+	}
+	s.mu.Unlock()
+	for _, b := range bs {
+		b.close()
+	}
+}
+
+// batcherFor returns (lazily creating) the micro-batcher for a model name.
+func (s *Server) batcherFor(name string) *batcher {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.batchers[name]
+	if b == nil {
+		b = newBatcher(name, s.reg, s.cfg.BatchWindow, s.cfg.BatchMax, s.cfg.QueueDepth, s.tracer)
+		s.batchers[name] = b
+	}
+	return b
+}
+
+// acquire takes an inflight slot for endpoint, or reports saturation.
+func (s *Server) acquire(endpoint string) (release func(), ok bool) {
+	s.mu.Lock()
+	sem := s.sems[endpoint]
+	if sem == nil {
+		sem = make(chan struct{}, s.cfg.MaxInflight)
+		s.sems[endpoint] = sem
+	}
+	s.mu.Unlock()
+	select {
+	case sem <- struct{}{}:
+		return func() { <-sem }, true
+	default:
+		return nil, false
+	}
+}
+
+// ---- Handlers ----
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.writeBody(w, status, body)
+}
+
+func (s *Server) writeBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body) //nolint:errcheck // client hangup
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.tracer.Add("serve/http_errors", 1)
+	s.writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// limited wraps the pre-handler bookkeeping every /v1 endpoint shares:
+// method check, inflight limit, request deadline, and the request counter.
+func (s *Server) limited(endpoint, method string, h func(ctx context.Context, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			s.writeError(w, http.StatusMethodNotAllowed, "%s requires %s", endpoint, method)
+			return
+		}
+		release, ok := s.acquire(endpoint)
+		if !ok {
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusTooManyRequests, "%s: concurrency limit (%d) reached", endpoint, s.cfg.MaxInflight)
+			return
+		}
+		defer release()
+		s.tracer.Add("serve/requests", 1)
+		sp := s.tracer.Start("serve" + endpoint)
+		defer sp.End()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+		defer cancel()
+		h(ctx, w, r.WithContext(ctx))
+	}
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	s.limited("/v1/models", http.MethodGet, func(_ context.Context, w http.ResponseWriter, _ *http.Request) {
+		s.writeJSON(w, http.StatusOK, modelsResponse(s.reg.List()))
+	})(w, r)
+}
+
+func modelsResponse(entries []*Entry) ModelsResponse {
+	resp := ModelsResponse{Models: []ModelInfo{}}
+	for _, e := range entries {
+		resp.Models = append(resp.Models, ModelInfo{
+			Name: e.Name, Version: e.Version, Kind: e.Artifact.Meta.Kind,
+			P: e.Artifact.Meta.P, Order: e.Artifact.Meta.Order,
+			SupportSize: e.Artifact.Meta.Stats.SupportSize,
+			LoadedAt:    e.LoadedAt, Path: e.Path,
+		})
+	}
+	return resp
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	s.limited("/v1/reload", http.MethodPost, func(_ context.Context, w http.ResponseWriter, _ *http.Request) {
+		entries, err := s.reg.Reload()
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, "reload: %v", err)
+			return
+		}
+		s.tracer.Add("serve/reloads", 1)
+		s.writeJSON(w, http.StatusOK, modelsResponse(entries))
+	})(w, r)
+}
+
+// readBody slurps the (size-capped) request body.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	defer r.Body.Close()
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+}
+
+// cacheKey digests a request against the model version that would answer
+// it; a hot-swap changes the version and thus silently invalidates.
+func cacheKey(endpoint string, entry *Entry, body []byte) string {
+	sum := sha256.Sum256(body)
+	return fmt.Sprintf("%s|%s@%d|%x", endpoint, entry.Name, entry.Version, sum)
+}
+
+func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
+	s.limited("/v1/forecast", http.MethodPost, func(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+		body, err := s.readBody(w, r)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "read body: %v", err)
+			return
+		}
+		var req ForecastRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			s.writeError(w, http.StatusBadRequest, "parse request: %v", err)
+			return
+		}
+		entry := s.reg.Get(req.Model)
+		if entry == nil {
+			s.writeError(w, http.StatusNotFound, "model %q not found", req.Model)
+			return
+		}
+		if req.Horizon < 0 || req.Horizon > s.cfg.MaxHorizon {
+			s.writeError(w, http.StatusBadRequest, "horizon %d outside [0, %d]", req.Horizon, s.cfg.MaxHorizon)
+			return
+		}
+		key := cacheKey("forecast", entry, body)
+		if cached, ok := s.cache.Get(key); ok {
+			s.tracer.Add("serve/cache_hits", 1)
+			w.Header().Set("X-Cache", "hit")
+			s.writeBody(w, http.StatusOK, cached)
+			return
+		}
+		s.tracer.Add("serve/cache_misses", 1)
+		history, err := denseFromRows(req.History)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "history: %v", err)
+			return
+		}
+		answered, fc, err := s.batcherFor(req.Model).submit(ctx, history, req.Horizon)
+		if err != nil {
+			switch {
+			case errors.Is(err, context.DeadlineExceeded):
+				s.writeError(w, http.StatusGatewayTimeout, "forecast deadline (%s) exceeded", s.cfg.Timeout)
+			case errors.Is(err, errBatcherClosed):
+				s.writeError(w, http.StatusServiceUnavailable, "draining")
+			case errors.Is(err, context.Canceled):
+				s.writeError(w, http.StatusServiceUnavailable, "canceled")
+			case errors.Is(err, model.ErrKind):
+				s.writeError(w, http.StatusBadRequest, "%v", err)
+			default:
+				s.writeError(w, http.StatusBadRequest, "%v", err)
+			}
+			return
+		}
+		resp := ForecastResponse{
+			Model: answered.Name, Version: answered.Version,
+			Horizon: req.Horizon, Forecast: rowsFromDense(fc),
+		}
+		out, err := json.Marshal(resp)
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, "encode: %v", err)
+			return
+		}
+		// Key the stored bytes under the version that actually answered, so
+		// a hit never serves bytes across a hot-swap boundary.
+		s.cache.Put(cacheKey("forecast", answered, body), out)
+		w.Header().Set("X-Cache", "miss")
+		s.writeBody(w, http.StatusOK, out)
+	})(w, r)
+}
+
+func (s *Server) handleGranger(w http.ResponseWriter, r *http.Request) {
+	s.limited("/v1/granger", http.MethodPost, func(_ context.Context, w http.ResponseWriter, r *http.Request) {
+		body, err := s.readBody(w, r)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "read body: %v", err)
+			return
+		}
+		var req GrangerRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			s.writeError(w, http.StatusBadRequest, "parse request: %v", err)
+			return
+		}
+		entry := s.reg.Get(req.Model)
+		if entry == nil {
+			s.writeError(w, http.StatusNotFound, "model %q not found", req.Model)
+			return
+		}
+		key := cacheKey("granger", entry, body)
+		if cached, ok := s.cache.Get(key); ok {
+			s.tracer.Add("serve/cache_hits", 1)
+			w.Header().Set("X-Cache", "hit")
+			s.writeBody(w, http.StatusOK, cached)
+			return
+		}
+		s.tracer.Add("serve/cache_misses", 1)
+		edges, err := entry.Pred.Edges(req.Tol, req.SelfLoops)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		resp := GrangerResponse{Model: entry.Name, Version: entry.Version, Edges: edgesToWire(edges)}
+		out, err := json.Marshal(resp)
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, "encode: %v", err)
+			return
+		}
+		s.cache.Put(key, out)
+		w.Header().Set("X-Cache", "miss")
+		s.writeBody(w, http.StatusOK, out)
+	})(w, r)
+}
+
+func edgesToWire(edges []varsim.GrangerEdge) []Edge {
+	out := make([]Edge, len(edges))
+	for i, e := range edges {
+		out[i] = Edge{Source: e.Source, Target: e.Target, Weight: e.Weight}
+	}
+	return out
+}
+
+// denseFromRows validates and packs a JSON row list into a matrix.
+func denseFromRows(rows [][]float64) (*mat.Dense, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("empty")
+	}
+	cols := len(rows[0])
+	if cols == 0 {
+		return nil, errors.New("empty rows")
+	}
+	m := mat.NewDense(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("row %d has %d values, row 0 has %d", i, len(r), cols)
+		}
+		copy(m.Row(i), r)
+	}
+	return m, nil
+}
+
+func rowsFromDense(m *mat.Dense) [][]float64 {
+	out := make([][]float64, m.Rows)
+	for i := range out {
+		out[i] = m.Row(i)
+	}
+	return out
+}

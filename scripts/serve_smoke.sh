@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the model-artifact + inference-server path:
+# generate a dataset, fit a UoI_VAR model with -model-out, serve the
+# artifact with uoiserve, and hit /healthz and /v1/forecast over HTTP.
+# Exits nonzero if any step fails or a response is not 200 + JSON.
+set -euo pipefail
+
+GO=${GO:-go}
+ADDR=${ADDR:-127.0.0.1:8691}
+WORK=$(mktemp -d)
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+echo "== build uoiserve =="
+"$GO" build -o "$WORK/uoiserve" ./cmd/uoiserve
+
+echo "== generate + fit =="
+"$GO" run ./cmd/uoigen -kind var -n 400 -p 8 -order 1 -seed 7 -o "$WORK/series.hbf"
+mkdir -p "$WORK/models"
+"$GO" run ./cmd/uoifit -algo var -data "$WORK/series.hbf" -order 1 \
+  -b1 4 -b2 3 -q 4 -ranks 2 -model-out "$WORK/models/smoke.uoim"
+
+echo "== start server =="
+"$WORK/uoiserve" -models "$WORK/models" -addr "$ADDR" &
+SERVER_PID=$!
+
+# Wait for readiness (healthz turns 200 once models are loaded).
+for i in $(seq 1 50); do
+  if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "server exited early" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+echo "== /healthz =="
+HEALTH_CODE=$(curl -sS -o "$WORK/health.json" -w '%{http_code}' "http://$ADDR/healthz")
+cat "$WORK/health.json"
+[ "$HEALTH_CODE" = "200" ] || { echo "healthz: HTTP $HEALTH_CODE" >&2; exit 1; }
+grep -q '^ok' "$WORK/health.json" || { echo "healthz: unexpected body" >&2; exit 1; }
+
+echo "== /v1/forecast =="
+BODY='{"model":"smoke","history":[[0.1,0,0,0,0,0,0,0],[0,0.2,0,0,0,0,0,0]],"horizon":3}'
+FC_CODE=$(curl -sS -o "$WORK/forecast.json" -w '%{http_code}' \
+  -H 'Content-Type: application/json' -d "$BODY" "http://$ADDR/v1/forecast")
+cat "$WORK/forecast.json"; echo
+[ "$FC_CODE" = "200" ] || { echo "forecast: HTTP $FC_CODE" >&2; exit 1; }
+
+# The forecast response must be well-formed JSON carrying 3 rows.
+python3 - "$WORK/forecast.json" <<'PY'
+import json, sys
+fc = json.load(open(sys.argv[1]))
+assert fc["model"] == "smoke", fc
+assert len(fc["forecast"]) == 3, fc
+print("smoke ok: model %s v%d, %d forecast rows" % (fc["model"], fc["version"], len(fc["forecast"])))
+PY
+
+echo "== drain =="
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+echo "serve smoke passed"

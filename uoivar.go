@@ -44,6 +44,7 @@ import (
 	"uoivar/internal/hbf"
 	"uoivar/internal/mat"
 	"uoivar/internal/metrics"
+	"uoivar/internal/model"
 	"uoivar/internal/mpi"
 	"uoivar/internal/perfmodel"
 	"uoivar/internal/preprocess"
@@ -256,6 +257,46 @@ type (
 	LassoScale = perfmodel.LassoScale
 	VARScale   = perfmodel.VARScale
 )
+
+// ---- Model artifacts and inference (DESIGN.md §10) ----
+
+// ModelArtifact is a fitted model snapshot in the versioned .uoim format
+// (schema uoivar/model/v1): sparse coefficient matrices with exact float64
+// bits, the fit configuration and seed, and selection statistics.
+type ModelArtifact = model.Artifact
+
+// ModelMeta is the artifact's JSON metadata section.
+type ModelMeta = model.Meta
+
+// Predictor answers forecasts and Granger edge queries from an artifact
+// without refitting; it is safe for concurrent use and its batched forecast
+// kernel is bit-identical across batch compositions.
+type Predictor = model.Predictor
+
+// Model-artifact error taxonomy: damaged files are ErrModelCorrupt, files
+// from a future writer (or unknown model kind) are ErrModelSchema.
+var (
+	ErrModelCorrupt = model.ErrCorrupt
+	ErrModelSchema  = model.ErrSchema
+)
+
+// VARArtifact snapshots a fitted UoI_VAR model as a savable artifact.
+func VARArtifact(res *VARResult, cfg *VARConfig) *ModelArtifact { return model.FromVAR(res, cfg) }
+
+// LassoArtifact snapshots a fitted UoI_LASSO model as a savable artifact.
+func LassoArtifact(res *LassoResult, cfg *LassoConfig) *ModelArtifact {
+	return model.FromLasso(res, cfg)
+}
+
+// SaveModel writes an artifact to path atomically (temp file + rename).
+// Conventionally path ends in ".uoim" so uoiserve's directory scan finds it.
+func SaveModel(path string, art *ModelArtifact) error { return model.Save(path, art) }
+
+// LoadModel reads and fully validates an artifact.
+func LoadModel(path string) (*ModelArtifact, error) { return model.Load(path) }
+
+// NewPredictor derives a concurrent-safe predictor from an artifact.
+func NewPredictor(art *ModelArtifact) (*Predictor, error) { return model.NewPredictor(art) }
 
 // ---- Performance observability (DESIGN.md §8) ----
 
