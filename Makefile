@@ -2,7 +2,10 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-full vet fmt experiments csv examples trace serve-smoke clean
+.PHONY: build test test-short test-race bench bench-full vet fmt doccheck experiments csv examples trace serve-smoke clean
+
+# Packages whose exported surface must be fully documented (CI gate).
+DOCCHECK_PKGS = ./internal/checkpoint ./internal/model ./internal/serve .
 
 build:
 	$(GO) build ./...
@@ -12,6 +15,11 @@ vet:
 
 fmt:
 	gofmt -l -w .
+
+# Godoc-coverage gate: every exported identifier in DOCCHECK_PKGS must carry
+# a doc comment; failures list file:line.
+doccheck:
+	$(GO) run ./scripts/doccheck $(DOCCHECK_PKGS)
 
 test:
 	$(GO) test ./...

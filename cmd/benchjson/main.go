@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
@@ -195,6 +196,32 @@ func main() {
 			if err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+
+	// Checkpointed engine (DESIGN.md §11): replicated data, durable cells,
+	// a fresh checkpoint file per iteration. The delta vs lasso-serial is
+	// the whole-fit cost of durability at the default save cadence.
+	ckptDir, err := os.MkdirTemp("", "benchjson-ckpt")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(ckptDir)
+	report.bench("uoi/lasso-checkpointed-4ranks", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			path := filepath.Join(ckptDir, fmt.Sprintf("b%d.uoickpt", i))
+			err := mpi.Run(ranks, func(c *mpi.Comm) error {
+				ccfg := cfg(nil)
+				ccfg.Checkpoint = &uoi.CheckpointConfig{Path: path}
+				_, err := uoi.LassoCheckpointedDistributed(c, reg.X, reg.Y, ccfg)
+				return err
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			os.Remove(path)
 		}
 	})
 

@@ -19,6 +19,18 @@
 // coefficients, fit config, seed, selection stats) that uoiserve loads and
 // serves without refitting.
 //
+// Checkpoint/restart for long fits:
+//
+//	uoifit -algo var -data series.hbf -ranks 8 -checkpoint fit.uoickpt
+//	uoifit -algo var -data series.hbf -ranks 2 -checkpoint fit.uoickpt -resume
+//
+// the first run writes every completed bootstrap cell durably (rank 0,
+// atomic rename, cadence -ckpt-every); after a crash the second run skips
+// the recorded cells, re-shards the rest across the new — here smaller —
+// rank count, and produces coefficients bit-identical to an uninterrupted
+// run. A missing, corrupt, or foreign checkpoint fails -resume with a typed
+// error.
+//
 // Performance observability:
 //
 //	uoifit -algo lasso -data data.hbf -ranks 4 -perf-report perf.json
@@ -111,6 +123,28 @@ type options struct {
 	// ModelOut, when non-empty, saves the fitted model (rank 0's result) as
 	// a .uoim artifact servable by uoiserve.
 	ModelOut string
+	// Checkpoint, when non-empty, runs the fit in checkpointed mode:
+	// completed bootstrap cells are written durably to this path (rank 0,
+	// atomic) so a killed fit can restart with -resume. Checkpointed fits
+	// replicate the full dataset on every rank and shard bootstraps, so the
+	// result is bit-identical to a serial fit at any -ranks.
+	Checkpoint string
+	// Resume loads -checkpoint before fitting and skips recorded cells; the
+	// resumed run may use a different (e.g. smaller) -ranks than the
+	// original. A missing, corrupt, or foreign checkpoint fails with a
+	// typed error.
+	Resume bool
+	// CkptEvery is the checkpoint save cadence in completed cells.
+	CkptEvery int
+}
+
+// ckpt builds the uoi checkpoint config from the flags (nil when
+// checkpointing is off).
+func (o *options) ckpt() *uoi.CheckpointConfig {
+	if o.Checkpoint == "" {
+		return nil
+	}
+	return &uoi.CheckpointConfig{Path: o.Checkpoint, Every: o.CkptEvery, Resume: o.Resume}
 }
 
 func main() {
@@ -141,9 +175,20 @@ func main() {
 	flag.StringVar(&o.DebugAddr, "debug-addr", "", "serve the live /healthz and /debug/uoivar endpoint on this address")
 	flag.IntVar(&o.KernelWorkers, "kernel-workers", 0, "per-kernel-call worker budget (0 = GOMAXPROCS/ranks, <0 = full machine)")
 	flag.StringVar(&o.ModelOut, "model-out", "", "save the fitted model as a .uoim artifact to this path")
+	flag.StringVar(&o.Checkpoint, "checkpoint", "", "checkpoint the fit to this file (lasso | var); restart with -resume")
+	flag.BoolVar(&o.Resume, "resume", false, "resume the fit from -checkpoint, skipping completed cells")
+	flag.IntVar(&o.CkptEvery, "ckpt-every", 1, "checkpoint save cadence in completed bootstrap cells")
 	flag.Parse()
 	if o.Data == "" {
 		fmt.Fprintln(os.Stderr, "missing -data")
+		os.Exit(2)
+	}
+	if o.Resume && o.Checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint")
+		os.Exit(2)
+	}
+	if o.Checkpoint != "" && o.Algo != "lasso" && o.Algo != "var" {
+		fmt.Fprintf(os.Stderr, "-checkpoint supports -algo lasso | var, not %q\n", o.Algo)
 		os.Exit(2)
 	}
 	if *pprofAddr != "" {
@@ -364,27 +409,47 @@ func runLasso(o *options) error {
 	if err := perf.serve(); err != nil {
 		return err
 	}
-	err := mpi.RunWithOptions(o.Ranks, perf.runOpts(), func(c *mpi.Comm) error {
-		perf.register(c)
-		var block *distio.Block
+	// Checkpointed fits replicate the full dataset on every rank (the P_B
+	// bootstrap-sharding axis) so every cell is rank-independent; the usual
+	// path shards rows with distio and runs consensus ADMM.
+	var xFull *mat.Dense
+	var yFull []float64
+	if o.Checkpoint != "" {
 		var err error
-		switch o.Dist {
-		case "", "randomized":
-			block, err = distio.RandomizedDistribute(c, o.Data, o.Seed)
-		case "conventional":
-			block, err = distio.ConventionalDistribute(c, o.Data)
-		default:
-			return fmt.Errorf("unknown -dist %q (randomized | conventional)", o.Dist)
-		}
+		xFull, yFull, err = readRegression(o.Data)
 		if err != nil {
 			return err
 		}
-		x, y := block.XY()
+	}
+	err := mpi.RunWithOptions(o.Ranks, perf.runOpts(), func(c *mpi.Comm) error {
+		perf.register(c)
 		tr := perf.tracer(c.Rank())
-		res, err := uoi.LassoDistributed(c, x, y, &uoi.LassoConfig{
-			B1: o.B1, B2: o.B2, Q: o.Q, LambdaRatio: o.Ratio, Seed: o.Seed,
-			KernelWorkers: o.KernelWorkers, Trace: tr,
-		}, uoi.Grid{PB: o.PB, PLambda: o.PL})
+		var res *uoi.Result
+		var err error
+		if o.Checkpoint != "" {
+			res, err = uoi.LassoCheckpointedDistributed(c, xFull, yFull, &uoi.LassoConfig{
+				B1: o.B1, B2: o.B2, Q: o.Q, LambdaRatio: o.Ratio, Seed: o.Seed,
+				KernelWorkers: o.KernelWorkers, Trace: tr, Checkpoint: o.ckpt(),
+			})
+		} else {
+			var block *distio.Block
+			switch o.Dist {
+			case "", "randomized":
+				block, err = distio.RandomizedDistribute(c, o.Data, o.Seed)
+			case "conventional":
+				block, err = distio.ConventionalDistribute(c, o.Data)
+			default:
+				return fmt.Errorf("unknown -dist %q (randomized | conventional)", o.Dist)
+			}
+			if err != nil {
+				return err
+			}
+			x, y := block.XY()
+			res, err = uoi.LassoDistributed(c, x, y, &uoi.LassoConfig{
+				B1: o.B1, B2: o.B2, Q: o.Q, LambdaRatio: o.Ratio, Seed: o.Seed,
+				KernelWorkers: o.KernelWorkers, Trace: tr,
+			}, uoi.Grid{PB: o.PB, PLambda: o.PL})
+		}
 		if err != nil {
 			return err
 		}
@@ -397,6 +462,9 @@ func runLasso(o *options) error {
 	})
 	if err != nil {
 		return err
+	}
+	if o.Checkpoint != "" {
+		fmt.Println("checkpoint at", o.Checkpoint)
 	}
 	fmt.Printf("UoI_LASSO: p=%d, |support|=%d, lasso fits=%d, OLS fits=%d\n",
 		len(result.Beta), len(result.SelectedSupport), result.Diag.LassoFits, result.Diag.OLSFits)
@@ -424,6 +492,28 @@ func saveModel(path string, art *model.Artifact) error {
 	}
 	fmt.Println("model artifact written to", path)
 	return nil
+}
+
+// readRegression reads a full [X|y] HBF file (response = last column) into
+// memory — the replicated-data path used by checkpointed fits and the
+// serial baselines.
+func readRegression(data string) (*mat.Dense, []float64, error) {
+	f, err := hbf.Open(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	all, err := f.ReadAll()
+	f.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	full := mat.NewDenseData(f.Meta.Rows, f.Meta.Cols, all)
+	p := full.Cols - 1
+	idx := make([]int, p)
+	for i := range idx {
+		idx[i] = i
+	}
+	return full.SelectCols(idx), full.Col(p, nil), nil
 }
 
 func readSeries(data string) (*mat.Dense, error) {
@@ -455,15 +545,26 @@ func runVAR(o *options) error {
 	}
 	err = mpi.RunWithOptions(o.Ranks, perf.runOpts(), func(c *mpi.Comm) error {
 		perf.register(c)
-		var s *mat.Dense
-		if c.Rank() < readers {
-			s = series
-		}
 		tr := perf.tracer(c.Rank())
-		res, err := uoi.VARDistributed(c, s, &uoi.VARConfig{
-			Order: o.Order, B1: o.B1, B2: o.B2, Q: o.Q, LambdaRatio: o.Ratio, Seed: o.Seed,
-			KernelWorkers: o.KernelWorkers, Trace: tr,
-		}, &uoi.VARDistOptions{NReaders: readers})
+		var res *uoi.VARResult
+		var err error
+		if o.Checkpoint != "" {
+			// Checkpointed VAR replicates the series on every rank and shards
+			// bootstraps (bit-identical to the serial fit at any rank count).
+			res, err = uoi.VARCheckpointedDistributed(c, series, &uoi.VARConfig{
+				Order: o.Order, B1: o.B1, B2: o.B2, Q: o.Q, LambdaRatio: o.Ratio, Seed: o.Seed,
+				KernelWorkers: o.KernelWorkers, Trace: tr, Checkpoint: o.ckpt(),
+			})
+		} else {
+			var s *mat.Dense
+			if c.Rank() < readers {
+				s = series
+			}
+			res, err = uoi.VARDistributed(c, s, &uoi.VARConfig{
+				Order: o.Order, B1: o.B1, B2: o.B2, Q: o.Q, LambdaRatio: o.Ratio, Seed: o.Seed,
+				KernelWorkers: o.KernelWorkers, Trace: tr,
+			}, &uoi.VARDistOptions{NReaders: readers})
+		}
 		if err != nil {
 			return err
 		}
@@ -475,6 +576,9 @@ func runVAR(o *options) error {
 	})
 	if err != nil {
 		return err
+	}
+	if o.Checkpoint != "" {
+		fmt.Println("checkpoint at", o.Checkpoint)
 	}
 	if err := reportVAR(result.A, result.Mu, series.Cols, o.Edges, o.Dot,
 		fmt.Sprintf("UoI_VAR: p=%d order=%d, Kron %.3fs, selection %.3fs, estimation %.3fs",
@@ -491,23 +595,10 @@ func runVAR(o *options) error {
 }
 
 func runLassoBaseline(o *options) error {
-	f, err := hbf.Open(o.Data)
+	x, y, err := readRegression(o.Data)
 	if err != nil {
 		return err
 	}
-	all, err := f.ReadAll()
-	f.Close()
-	if err != nil {
-		return err
-	}
-	full := mat.NewDenseData(f.Meta.Rows, f.Meta.Cols, all)
-	p := full.Cols - 1
-	idx := make([]int, p)
-	for i := range idx {
-		idx[i] = i
-	}
-	x := full.SelectCols(idx)
-	y := full.Col(p, nil)
 	var res *uoi.BaselineResult
 	if o.Algo == "lasso-cv" {
 		res, err = uoi.LassoCV(x, y, 5, o.Q, o.Seed)

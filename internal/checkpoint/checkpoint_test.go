@@ -1,0 +1,211 @@
+package checkpoint
+
+import (
+	"errors"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testMeta() Meta {
+	return Meta{
+		Kind: KindLasso, Seed: 7, B1: 4, B2: 3, P: 5, Q: 2, Fingerprint: 0xdead,
+	}
+}
+
+func testState(t *testing.T) *State {
+	t.Helper()
+	st := New(testMeta(), []float64{0.5, 0.0625})
+	sup := make([]bool, 2*5)
+	sup[0], sup[7] = true, true
+	st.AddSelection(0, sup)
+	st.DropSelection(2)
+	beta := []float64{0, 1.25, 0, -3.5e-9, 0}
+	st.AddEstimation(1, beta)
+	st.DropEstimation(2)
+	return st
+}
+
+func TestRoundTrip(t *testing.T) {
+	st := testState(t)
+	data, err := st.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta() != st.Meta() {
+		t.Fatalf("meta round-trip: %+v vs %+v", got.Meta(), st.Meta())
+	}
+	if err := got.Matches(st.Meta(), st.Lambdas()); err != nil {
+		t.Fatal(err)
+	}
+	sup, dropped, ok := got.Selection(0)
+	if !ok || dropped {
+		t.Fatalf("selection 0: ok=%v dropped=%v", ok, dropped)
+	}
+	wantSup, _, _ := st.Selection(0)
+	for i := range wantSup {
+		if sup[i] != wantSup[i] {
+			t.Fatalf("selection 0 bit %d differs", i)
+		}
+	}
+	if _, dropped, ok := got.Selection(2); !ok || !dropped {
+		t.Fatal("selection 2 must round-trip as dropped")
+	}
+	if _, _, ok := got.Selection(1); ok {
+		t.Fatal("selection 1 was never recorded")
+	}
+	beta, dropped, ok := got.Estimation(1)
+	if !ok || dropped {
+		t.Fatalf("estimation 1: ok=%v dropped=%v", ok, dropped)
+	}
+	wantBeta, _, _ := st.Estimation(1)
+	for i := range wantBeta {
+		if math.Float64bits(beta[i]) != math.Float64bits(wantBeta[i]) {
+			t.Fatalf("estimation 1 coefficient %d not bit-identical", i)
+		}
+	}
+	if _, dropped, ok := got.Estimation(2); !ok || !dropped {
+		t.Fatal("estimation 2 must round-trip as dropped")
+	}
+	if got.SelectionRecorded() != 2 || got.EstimationRecorded() != 2 {
+		t.Fatalf("recorded counts: sel=%d est=%d", got.SelectionRecorded(), got.EstimationRecorded())
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	// Identical states encode to identical bytes regardless of insertion
+	// order — rank 0's periodic writes must be reproducible.
+	a := New(testMeta(), []float64{0.5, 0.0625})
+	b := New(testMeta(), []float64{0.5, 0.0625})
+	sup := make([]bool, 10)
+	sup[3] = true
+	a.AddSelection(0, sup)
+	a.AddSelection(3, sup)
+	b.AddSelection(3, sup)
+	b.AddSelection(0, sup)
+	da, _ := a.Encode()
+	db, _ := b.Encode()
+	if string(da) != string(db) {
+		t.Fatal("encoding depends on insertion order")
+	}
+}
+
+func TestSaveLoadAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fit.uoickpt")
+	st := testState(t)
+	if err := Save(path, st); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a grown state; the rename must replace, and no temp
+	// files may linger.
+	st.AddSelection(1, make([]bool, 10))
+	if err := Save(path, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SelectionRecorded() != 3 {
+		t.Fatalf("loaded %d selection cells, want 3", got.SelectionRecorded())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d entries in checkpoint dir, want 1 (no temp litter)", len(entries))
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	_, err := Load(filepath.Join(t.TempDir(), "absent.uoickpt"))
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("err = %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestMatchesRejectsOtherFits(t *testing.T) {
+	st := testState(t)
+	// Different seed.
+	m := testMeta()
+	m.Seed = 8
+	if err := st.Matches(m, st.Lambdas()); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("seed mismatch: err = %v", err)
+	}
+	// Different fingerprint (other data).
+	m = testMeta()
+	m.Fingerprint = 1
+	if err := st.Matches(m, st.Lambdas()); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("fingerprint mismatch: err = %v", err)
+	}
+	// λ grid off by one ulp.
+	l := append([]float64(nil), st.Lambdas()...)
+	l[0] = math.Nextafter(l[0], 1)
+	if err := st.Matches(testMeta(), l); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("λ mismatch: err = %v", err)
+	}
+	if err := st.Matches(testMeta(), st.Lambdas()); err != nil {
+		t.Fatalf("identical fit rejected: %v", err)
+	}
+}
+
+func TestCorruptionTaxonomy(t *testing.T) {
+	st := testState(t)
+	good, err := st.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want error
+	}{
+		{"empty", func(b []byte) []byte { return nil }, ErrCorrupt},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }, ErrCorrupt},
+		{"future version", func(b []byte) []byte { b[8] = 99; return b }, ErrSchema},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-3] }, ErrCorrupt},
+		{"flipped payload bit", func(b []byte) []byte { b[40] ^= 1; return b }, ErrCorrupt},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 0xAB) }, ErrCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.mut(append([]byte(nil), good...))
+			_, err := Decode(data)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestHasherSensitivity(t *testing.T) {
+	base := func() uint64 {
+		h := NewHasher()
+		h.AddUint64(3)
+		h.AddFloats([]float64{1, 2, 3})
+		return h.Sum()
+	}
+	if base() != base() {
+		t.Fatal("hash not deterministic")
+	}
+	h := NewHasher()
+	h.AddUint64(3)
+	h.AddFloats([]float64{1, 2, 3.0000000001})
+	if h.Sum() == base() {
+		t.Fatal("hash insensitive to a data perturbation")
+	}
+	h = NewHasher()
+	h.AddUint64(4)
+	h.AddFloats([]float64{1, 2, 3})
+	if h.Sum() == base() {
+		t.Fatal("hash insensitive to a config scalar")
+	}
+}

@@ -1,0 +1,43 @@
+package checkpoint
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzDecode asserts the parser's only failure modes on arbitrary input are
+// the typed taxonomy — ErrCorrupt or ErrSchema — never a panic, and that
+// anything it accepts re-encodes and re-decodes cleanly (a parsed checkpoint
+// is always a saveable checkpoint).
+func FuzzDecode(f *testing.F) {
+	st := New(Meta{Kind: KindVAR, Seed: 3, B1: 3, B2: 2, P: 6, Q: 2, Order: 1, Intercept: true, Fingerprint: 42},
+		[]float64{0.25, 0.125})
+	sup := make([]bool, 12)
+	sup[1], sup[11] = true, true
+	st.AddSelection(0, sup)
+	st.DropSelection(1)
+	st.AddEstimation(0, []float64{0, -1, 0, 2.5, 0, 0})
+	seed, err := st.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:13])
+	f.Add([]byte("UOICKPT"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrSchema) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		re, err := got.Encode()
+		if err != nil {
+			t.Fatalf("accepted checkpoint fails to re-encode: %v", err)
+		}
+		if _, err := Decode(re); err != nil {
+			t.Fatalf("re-encoded checkpoint fails to decode: %v", err)
+		}
+	})
+}

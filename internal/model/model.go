@@ -70,29 +70,30 @@ const (
 // enough to rerun or audit the fit, without the non-serializable fields
 // (tracers, fault hooks) of the live configs.
 type FitConfig struct {
-	B1            int     `json:"b1,omitempty"`
-	B2            int     `json:"b2,omitempty"`
-	Q             int     `json:"q,omitempty"`
-	LambdaRatio   float64 `json:"lambda_ratio,omitempty"`
-	TrainFrac     float64 `json:"train_frac,omitempty"`
-	SupportTol    float64 `json:"support_tol,omitempty"`
-	SelectionFrac float64 `json:"selection_frac,omitempty"`
-	L2            float64 `json:"l2,omitempty"`
-	MedianUnion   bool    `json:"median_union,omitempty"`
+	B1            int     `json:"b1,omitempty"`             // selection bootstraps
+	B2            int     `json:"b2,omitempty"`             // estimation bootstraps
+	Q             int     `json:"q,omitempty"`              // λ-grid size
+	LambdaRatio   float64 `json:"lambda_ratio,omitempty"`   // λ_min/λ_max for the log grid
+	TrainFrac     float64 `json:"train_frac,omitempty"`     // estimation train/eval split
+	SupportTol    float64 `json:"support_tol,omitempty"`    // |β| threshold for support membership
+	SelectionFrac float64 `json:"selection_frac,omitempty"` // soft-intersection fraction (1 = strict)
+	L2            float64 `json:"l2,omitempty"`             // elastic-net ℓ2 weight (0 = pure lasso)
+	MedianUnion   bool    `json:"median_union,omitempty"`   // robust median union instead of mean
 }
 
 // SelectionStats summarizes the fit the artifact came from.
 type SelectionStats struct {
-	SupportSize int `json:"support_size"`
-	Lambdas     int `json:"lambdas,omitempty"`
-	B1Completed int `json:"b1_completed,omitempty"`
-	B1Failed    int `json:"b1_failed,omitempty"`
-	B2Completed int `json:"b2_completed,omitempty"`
-	B2Failed    int `json:"b2_failed,omitempty"`
+	SupportSize int `json:"support_size"`           // nonzero coefficients in the final model
+	Lambdas     int `json:"lambdas,omitempty"`      // λ-grid size actually used
+	B1Completed int `json:"b1_completed,omitempty"` // selection bootstraps that completed
+	B1Failed    int `json:"b1_failed,omitempty"`    // selection bootstraps dropped under quorum mode
+	B2Completed int `json:"b2_completed,omitempty"` // estimation bootstraps that completed
+	B2Failed    int `json:"b2_failed,omitempty"`    // estimation bootstraps dropped under quorum mode
 }
 
 // Meta is the JSON metadata section of an artifact.
 type Meta struct {
+	// Schema is always the package Schema constant.
 	Schema string `json:"schema"`
 	Kind   string `json:"kind"` // "var" | "lasso"
 	// P is the series dimension (VAR) or feature count (lasso).
@@ -100,16 +101,20 @@ type Meta struct {
 	// Order is the VAR lag order d (0 for lasso artifacts).
 	Order int `json:"order,omitempty"`
 	// Intercept records whether the model carries an intercept term.
-	Intercept bool           `json:"intercept,omitempty"`
-	Seed      uint64         `json:"seed,omitempty"`
-	Config    FitConfig      `json:"config"`
-	Stats     SelectionStats `json:"stats"`
+	Intercept bool `json:"intercept,omitempty"`
+	// Seed is the root RNG seed the fit ran with.
+	Seed uint64 `json:"seed,omitempty"`
+	// Config snapshots the fit configuration (see FitConfig).
+	Config FitConfig `json:"config"`
+	// Stats summarizes the fit outcome (see SelectionStats).
+	Stats SelectionStats `json:"stats"`
 }
 
 // Artifact is an in-memory model artifact: metadata plus exact (bit-level)
 // coefficient matrices. VAR artifacts carry A/Mu; lasso artifacts carry
 // Beta/Intercept.
 type Artifact struct {
+	// Meta is the artifact's JSON metadata section.
 	Meta Meta
 	// A holds the VAR lag matrices A_1..A_d (each p×p).
 	A []*mat.Dense

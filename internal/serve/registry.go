@@ -36,13 +36,16 @@ import (
 // valid (and keeps answering with its own version) for as long as anyone
 // holds it.
 type Entry struct {
+	// Name is the registry key this entry is published under.
 	Name string
 	// Version counts loads of this name, starting at 1.
 	Version  int
-	Path     string // source file ("" for programmatic Set)
-	LoadedAt time.Time
+	Path     string    // source file ("" for programmatic Set)
+	LoadedAt time.Time // when this version was registered
+	// Artifact is the decoded model artifact backing this entry.
 	Artifact *model.Artifact
-	Pred     *model.Predictor
+	// Pred is the predictor compiled from Artifact, shared by requests.
+	Pred *model.Predictor
 }
 
 // Registry maps model names to their current Entry.

@@ -89,57 +89,60 @@ func (c *Config) withDefaults() Config {
 
 // ForecastRequest is the /v1/forecast body.
 type ForecastRequest struct {
+	// Model names the registered model to forecast with.
 	Model string `json:"model"`
 	// History is the recent observed series, one row per time step, newest
 	// last; at least d (the model's order) rows.
 	History [][]float64 `json:"history"`
-	Horizon int         `json:"horizon"`
+	// Horizon is the number of steps ahead to forecast.
+	Horizon int `json:"horizon"`
 }
 
 // ForecastResponse is the /v1/forecast reply.
 type ForecastResponse struct {
-	Model   string `json:"model"`
-	Version int    `json:"version"`
-	Horizon int    `json:"horizon"`
+	Model   string `json:"model"`   // echoed model name
+	Version int    `json:"version"` // registry version that answered
+	Horizon int    `json:"horizon"` // echoed horizon
 	// Forecast has Horizon rows of the model's conditional means.
 	Forecast [][]float64 `json:"forecast"`
 }
 
 // GrangerRequest is the /v1/granger body.
 type GrangerRequest struct {
-	Model     string  `json:"model"`
-	Tol       float64 `json:"tol"`
-	SelfLoops bool    `json:"self_loops"`
+	Model     string  `json:"model"`      // registered model to read edges from
+	Tol       float64 `json:"tol"`        // |coefficient| threshold for an edge
+	SelfLoops bool    `json:"self_loops"` // include i→i edges
 }
 
 // Edge is one directed Granger edge on the wire.
 type Edge struct {
-	Source int     `json:"source"`
-	Target int     `json:"target"`
-	Weight float64 `json:"weight"`
+	Source int     `json:"source"` // causing series index
+	Target int     `json:"target"` // caused series index
+	Weight float64 `json:"weight"` // largest-magnitude coefficient across lags
 }
 
 // GrangerResponse is the /v1/granger reply.
 type GrangerResponse struct {
-	Model   string `json:"model"`
-	Version int    `json:"version"`
-	Edges   []Edge `json:"edges"`
+	Model   string `json:"model"`   // echoed model name
+	Version int    `json:"version"` // registry version that answered
+	Edges   []Edge `json:"edges"`   // directed Granger edges above Tol
 }
 
 // ModelInfo is one row of the /v1/models listing.
 type ModelInfo struct {
-	Name        string    `json:"name"`
-	Version     int       `json:"version"`
-	Kind        string    `json:"kind"`
-	P           int       `json:"p"`
-	Order       int       `json:"order,omitempty"`
-	SupportSize int       `json:"support_size"`
-	LoadedAt    time.Time `json:"loaded_at"`
-	Path        string    `json:"path,omitempty"`
+	Name        string    `json:"name"`            // registry name
+	Version     int       `json:"version"`         // load count for this name
+	Kind        string    `json:"kind"`            // "var" | "lasso"
+	P           int       `json:"p"`               // series dimension / feature count
+	Order       int       `json:"order,omitempty"` // VAR lag order
+	SupportSize int       `json:"support_size"`    // nonzero coefficients
+	LoadedAt    time.Time `json:"loaded_at"`       // when this version was registered
+	Path        string    `json:"path,omitempty"`  // source artifact file
 }
 
 // ModelsResponse is the /v1/models (and /v1/reload) reply.
 type ModelsResponse struct {
+	// Models lists every registered model, sorted by name.
 	Models []ModelInfo `json:"models"`
 }
 

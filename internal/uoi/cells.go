@@ -1,0 +1,212 @@
+package uoi
+
+import (
+	"fmt"
+	"time"
+
+	"uoivar/internal/admm"
+	"uoivar/internal/mat"
+	"uoivar/internal/metrics"
+	"uoivar/internal/resample"
+	"uoivar/internal/trace"
+	"uoivar/internal/varsim"
+)
+
+// This file holds the per-bootstrap *cell* computations of UoI_LASSO and
+// UoI_VAR: the bodies of one selection bootstrap (fit the λ path, report
+// per-(λ, coefficient) support indicators) and one estimation bootstrap
+// (fit OLS on every candidate support, report the held-out winner). Each
+// cell is a pure function of (data, root seed, cell index) — independent of
+// worker counts, rank counts, and every other cell — which is what makes
+// UoI embarrassingly parallel and, in checkpointed execution, independently
+// resumable: a checkpoint is just the union of completed cells.
+//
+// The serial algorithms (uoi.go, var.go) and the checkpointed engine
+// (checkpointed.go) share these bodies, so a resumed cell reproduces the
+// original bit for bit.
+
+// lassoSelCell runs selection bootstrap k of UoI_LASSO: resample, factorize
+// once, sweep the λ path with warm starts, and return the support
+// indicators flattened as sup[j·p+i] for λ index j and feature i.
+func lassoSelCell(x *mat.Dense, y []float64, root *resample.RNG, k int, lambdas []float64, c *LassoConfig, kw int, tr *trace.Tracer) (sup []bool, fits, iters int, err error) {
+	n, p := x.Rows, x.Cols
+	rng := root.Derive(uint64(k) + 1)
+	idx := resample.Bootstrap(rng, n)
+	xb := x.SelectRows(idx)
+	yb := selectVec(y, idx)
+	var f *admm.Factorization
+	if c.L2 > 0 {
+		f, err = admm.NewFactorizationElasticWorkers(mat.AtAWorkers(xb, kw), c.ADMM.Rho, c.L2, kw)
+		if err == nil {
+			f.SetRHS(mat.AtVecWorkers(xb, yb, kw))
+		}
+	} else {
+		f, err = admm.NewFactorizationWorkers(xb, yb, c.ADMM.Rho, kw)
+	}
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("uoi: selection bootstrap %d: %w", k, err)
+	}
+	tr.Add("admm/factorizations", 1)
+	sup = make([]bool, len(lambdas)*p)
+	var warmZ []float64
+	for j, lam := range lambdas {
+		opts := c.ADMM
+		opts.WarmZ = warmZ
+		r := f.Solve(lam, &opts)
+		warmZ = r.Beta
+		fits++
+		iters += r.Iters
+		row := sup[j*p : (j+1)*p]
+		for i, v := range r.Beta {
+			if v > c.SupportTol || v < -c.SupportTol {
+				row[i] = true
+			}
+		}
+	}
+	return sup, fits, iters, nil
+}
+
+// lassoEstCell runs estimation bootstrap k of UoI_LASSO: resample a
+// train/evaluation split, fit OLS on every distinct candidate support, and
+// return the estimate minimizing held-out loss (all zeros when the
+// candidate family is empty).
+func lassoEstCell(x *mat.Dense, y []float64, root *resample.RNG, k int, distinct [][]int, c *LassoConfig, kw int) (beta []float64, fits int) {
+	n, p := x.Rows, x.Cols
+	rng := root.Derive(1_000_000 + uint64(k))
+	trainIdx, evalIdx := resample.TrainEvalSplit(rng, n, c.TrainFrac)
+	xt := x.SelectRows(trainIdx)
+	yt := selectVec(y, trainIdx)
+	xe := x.SelectRows(evalIdx)
+	ye := selectVec(y, evalIdx)
+
+	bestLoss := 0.0
+	var bestBeta []float64
+	first := true
+	for _, s := range distinct {
+		b := admm.OLSOnSupportWorkers(xt, yt, s, kw)
+		fits++
+		loss := metrics.PredictionLoss(xe, ye, b)
+		if first || loss < bestLoss {
+			bestLoss = loss
+			bestBeta = b
+			first = false
+		}
+	}
+	if bestBeta == nil {
+		bestBeta = make([]float64, p)
+	}
+	return bestBeta, fits
+}
+
+// addSupportCounts folds one selection cell's support indicators
+// (flattened as sup[j·p+i]) into the per-(λ, feature) tally. Integer
+// addition is exactly order-independent, so the intersection is identical
+// at any worker or rank count and regardless of resume order.
+func addSupportCounts(counts [][]int, sup []bool, p int) {
+	for j := range counts {
+		row := sup[j*p : (j+1)*p]
+		for i, v := range row {
+			if v {
+				counts[j][i]++
+			}
+		}
+	}
+}
+
+// varSelCell runs selection bootstrap k of UoI_VAR: block-bootstrap target
+// rows, assemble the design, factorize once (shared across equations and
+// the λ path), and return the support indicators flattened as
+// sup[j·betaLen + eq·rowsB + i]. spPhase receives the kron_assembly child
+// span, mirroring the serial algorithm's trace shape.
+func varSelCell(series *mat.Dense, root *resample.RNG, k, m, blockLen int, lambdas []float64, c *VARConfig, kw int, tr *trace.Tracer, spPhase trace.Span) (sup []bool, fits, iters int, kron time.Duration, err error) {
+	d := c.Order
+	p := series.Cols
+	rng := root.Derive(uint64(k) + 1)
+	idx := resample.MovingBlockBootstrap(rng, m, blockLen)
+	targets := make([]int, len(idx))
+	for i, v := range idx {
+		targets[i] = d + v
+	}
+	t0 := time.Now()
+	spK := spPhase.Child("kron_assembly")
+	des := varsim.NewDesignFromRows(series, d, !c.NoIntercept, targets)
+	spK.End()
+	kron = time.Since(t0)
+	rowsB := des.X.Cols
+
+	// One factorization shared across all p equations and the λ path — the
+	// block-diagonal Gram of (I ⊗ X_T) is I ⊗ (X_TᵀX_T).
+	var f *admm.Factorization
+	if c.L2 > 0 {
+		f, err = admm.NewFactorizationElasticWorkers(mat.AtAWorkers(des.X, kw), c.ADMM.Rho, c.L2, kw)
+	} else {
+		f, err = admm.NewFactorizationGramWorkers(mat.AtAWorkers(des.X, kw), c.ADMM.Rho, kw)
+	}
+	if err != nil {
+		return nil, 0, 0, kron, fmt.Errorf("uoi: VAR selection bootstrap %d: %w", k, err)
+	}
+	tr.Add("admm/factorizations", 1)
+	betaLen := rowsB * p
+	sup = make([]bool, len(lambdas)*betaLen)
+	yCol := make([]float64, des.X.Rows)
+	for eq := 0; eq < p; eq++ {
+		des.Y.Col(eq, yCol)
+		aty := mat.AtVecWorkers(des.X, yCol, kw)
+		var warmZ []float64
+		for j, lam := range lambdas {
+			opts := c.ADMM
+			opts.WarmZ = warmZ
+			r := f.SolveRHS(aty, lam, &opts)
+			warmZ = r.Beta
+			fits++
+			iters += r.Iters
+			row := sup[j*betaLen+eq*rowsB : j*betaLen+(eq+1)*rowsB]
+			for i, v := range r.Beta {
+				if v > c.SupportTol || v < -c.SupportTol {
+					row[i] = true
+				}
+			}
+		}
+	}
+	return sup, fits, iters, kron, nil
+}
+
+// varEstCell runs estimation bootstrap k of UoI_VAR: block train/eval
+// split, per-equation OLS on every distinct vec support, and the held-out
+// winner (all zeros when the candidate family is empty).
+func varEstCell(series *mat.Dense, root *resample.RNG, k, m, blockLen, betaLen int, distinct [][]int, c *VARConfig, kw int, spPhase trace.Span) (beta []float64, fits int, kron time.Duration) {
+	d := c.Order
+	rng := root.Derive(1_000_000 + uint64(k))
+	trainIdx, evalIdx := resample.BlockTrainEvalSplit(rng, m, blockLen, c.TrainFrac)
+	toTargets := func(idx []int) []int {
+		out := make([]int, len(idx))
+		for i, v := range idx {
+			out[i] = d + v
+		}
+		return out
+	}
+	t0 := time.Now()
+	spK := spPhase.Child("kron_assembly")
+	trainDes := varsim.NewDesignFromRows(series, d, !c.NoIntercept, toTargets(trainIdx))
+	evalDes := varsim.NewDesignFromRows(series, d, !c.NoIntercept, toTargets(evalIdx))
+	spK.End()
+	kron = time.Since(t0)
+
+	bestLoss := 0.0
+	var bestBeta []float64
+	first := true
+	for _, s := range distinct {
+		b := olsOnVecSupport(trainDes, s, kw)
+		fits++
+		loss := vecLoss(evalDes, b)
+		if first || loss < bestLoss {
+			bestLoss = loss
+			bestBeta = b
+			first = false
+		}
+	}
+	if bestBeta == nil {
+		bestBeta = make([]float64, betaLen)
+	}
+	return bestBeta, fits, kron
+}

@@ -25,7 +25,6 @@ import (
 
 	"uoivar/internal/admm"
 	"uoivar/internal/mat"
-	"uoivar/internal/metrics"
 	"uoivar/internal/preprocess"
 	"uoivar/internal/resample"
 	"uoivar/internal/trace"
@@ -104,6 +103,10 @@ type LassoConfig struct {
 	// solver counters for this fit. In the distributed algorithms each rank
 	// passes its own tracer. nil disables tracing at nil-check cost.
 	Trace *trace.Tracer
+	// Checkpoint, when non-nil, runs the fit in checkpointed mode: completed
+	// bootstrap cells are written durably to Checkpoint.Path and a crashed
+	// fit resumes bit-identically, skipping them (see CheckpointConfig).
+	Checkpoint *CheckpointConfig
 	// ADMM carries solver options.
 	ADMM admm.Options
 }
@@ -290,6 +293,9 @@ type Result struct {
 // Lasso runs serial UoI_LASSO on design x and response y.
 func Lasso(x *mat.Dense, y []float64, cfg *LassoConfig) (*Result, error) {
 	c := cfg.defaults()
+	if c.Checkpoint != nil {
+		return lassoCheckpointed(nil, x, y, &c)
+	}
 	if c.Standardize {
 		return lassoStandardized(x, y, &c)
 	}
@@ -331,50 +337,14 @@ func Lasso(x *mat.Dense, y []float64, cfg *LassoConfig) (*Result, error) {
 		}
 		spBoot := spSel.Child("bootstrap")
 		defer spBoot.End()
-		rng := root.Derive(uint64(k) + 1)
-		idx := resample.Bootstrap(rng, n)
-		xb := x.SelectRows(idx)
-		yb := selectVec(y, idx)
-		var f *admm.Factorization
-		var err error
-		if c.L2 > 0 {
-			f, err = admm.NewFactorizationElasticWorkers(mat.AtAWorkers(xb, kw), c.ADMM.Rho, c.L2, kw)
-			if err == nil {
-				f.SetRHS(mat.AtVecWorkers(xb, yb, kw))
-			}
-		} else {
-			f, err = admm.NewFactorizationWorkers(xb, yb, c.ADMM.Rho, kw)
-		}
+		sup, fits, iters, err := lassoSelCell(x, y, root, k, lambdas, &c, kw, tr)
 		if err != nil {
-			return fmt.Errorf("uoi: selection bootstrap %d: %w", k, err)
-		}
-		tr.Add("admm/factorizations", 1)
-		localCounts := make([][]int, len(lambdas))
-		var warmZ []float64
-		fits, iters := 0, 0
-		for j, lam := range lambdas {
-			opts := c.ADMM
-			opts.WarmZ = warmZ
-			r := f.Solve(lam, &opts)
-			warmZ = r.Beta
-			fits++
-			iters += r.Iters
-			lc := make([]int, p)
-			for i, v := range r.Beta {
-				if v > c.SupportTol || v < -c.SupportTol {
-					lc[i] = 1
-				}
-			}
-			localCounts[j] = lc
+			return err
 		}
 		selMu.Lock()
 		res.Diag.LassoFits += fits
 		res.Diag.ADMMIters += iters
-		for j := range counts {
-			for i, v := range localCounts[j] {
-				counts[j][i] += v
-			}
-		}
+		addSupportCounts(counts, sup, p)
 		selMu.Unlock()
 		return nil
 	}
@@ -424,34 +394,11 @@ func Lasso(x *mat.Dense, y []float64, cfg *LassoConfig) (*Result, error) {
 		}
 		spBoot := spEst.Child("bootstrap")
 		defer spBoot.End()
-		rng := root.Derive(1_000_000 + uint64(k))
-		trainIdx, evalIdx := resample.TrainEvalSplit(rng, n, c.TrainFrac)
-		xt := x.SelectRows(trainIdx)
-		yt := selectVec(y, trainIdx)
-		xe := x.SelectRows(evalIdx)
-		ye := selectVec(y, evalIdx)
-
-		bestLoss := 0.0
-		var bestBeta []float64
-		first := true
-		fits := 0
-		for _, s := range distinct {
-			beta := admm.OLSOnSupportWorkers(xt, yt, s, kw)
-			fits++
-			loss := metrics.PredictionLoss(xe, ye, beta)
-			if first || loss < bestLoss {
-				bestLoss = loss
-				bestBeta = beta
-				first = false
-			}
-		}
-		if bestBeta == nil {
-			bestBeta = make([]float64, p)
-		}
+		beta, fits := lassoEstCell(x, y, root, k, distinct, &c, kw)
 		estMu.Lock()
 		res.Diag.OLSFits += fits
 		estMu.Unlock()
-		winners[k] = bestBeta
+		winners[k] = beta
 		return nil
 	}
 	if c.MinBootstrapFrac > 0 {

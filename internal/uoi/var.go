@@ -50,7 +50,11 @@ type VARConfig struct {
 	// this fit (see LassoConfig.Trace). VAR adds kron_assembly spans for the
 	// design-construction work.
 	Trace *trace.Tracer
-	ADMM  admm.Options
+	// Checkpoint, when non-nil, runs the fit in checkpointed mode (see
+	// CheckpointConfig): completed cells are durable and a crashed fit
+	// resumes bit-identically.
+	Checkpoint *CheckpointConfig
+	ADMM       admm.Options
 }
 
 func (c *VARConfig) defaults() VARConfig {
@@ -111,6 +115,9 @@ type VARResult struct {
 // VAR runs serial UoI_VAR on an N×p series.
 func VAR(series *mat.Dense, cfg *VARConfig) (*VARResult, error) {
 	c := cfg.defaults()
+	if c.Checkpoint != nil {
+		return varCheckpointed(nil, series, &c)
+	}
 	nTotal, p := series.Rows, series.Cols
 	d := c.Order
 	if nTotal <= d+4 {
@@ -154,65 +161,15 @@ func VAR(series *mat.Dense, cfg *VARConfig) (*VARResult, error) {
 	err := forEachBootstrap(c.Workers, c.B1, func(k int) error {
 		spBoot := spSel.Child("bootstrap")
 		defer spBoot.End()
-		rng := root.Derive(uint64(k) + 1)
-		idx := resample.MovingBlockBootstrap(rng, m, blockLen)
-		targets := make([]int, len(idx))
-		for i, v := range idx {
-			targets[i] = d + v
-		}
-		t0 := time.Now()
-		spK := spSel.Child("kron_assembly")
-		des := varsim.NewDesignFromRows(series, d, !c.NoIntercept, targets)
-		spK.End()
-		kTime := time.Since(t0)
-
-		// One factorization shared across all p equations and the λ path —
-		// the block-diagonal Gram of (I ⊗ X_T) is I ⊗ (X_TᵀX_T).
-		var f *admm.Factorization
-		var err error
-		if c.L2 > 0 {
-			f, err = admm.NewFactorizationElasticWorkers(mat.AtAWorkers(des.X, kw), c.ADMM.Rho, c.L2, kw)
-		} else {
-			f, err = admm.NewFactorizationGramWorkers(mat.AtAWorkers(des.X, kw), c.ADMM.Rho, kw)
-		}
+		sup, fits, iters, kTime, err := varSelCell(series, root, k, m, blockLen, lambdas, &c, kw, tr, spSel)
 		if err != nil {
-			return fmt.Errorf("uoi: VAR selection bootstrap %d: %w", k, err)
-		}
-		tr.Add("admm/factorizations", 1)
-		local := make([][]int, len(lambdas))
-		for j := range local {
-			local[j] = make([]int, betaLen)
-		}
-		fits, iters := 0, 0
-		yCol := make([]float64, des.X.Rows)
-		for eq := 0; eq < p; eq++ {
-			des.Y.Col(eq, yCol)
-			aty := mat.AtVecWorkers(des.X, yCol, kw)
-			var warmZ []float64
-			for j, lam := range lambdas {
-				opts := c.ADMM
-				opts.WarmZ = warmZ
-				r := f.SolveRHS(aty, lam, &opts)
-				warmZ = r.Beta
-				fits++
-				iters += r.Iters
-				ct := local[j][eq*rowsB : (eq+1)*rowsB]
-				for i, v := range r.Beta {
-					if v > c.SupportTol || v < -c.SupportTol {
-						ct[i] = 1
-					}
-				}
-			}
+			return err
 		}
 		selMu.Lock()
 		kronTime += kTime
 		res.Diag.LassoFits += fits
 		res.Diag.ADMMIters += iters
-		for j := range counts {
-			for i, v := range local[j] {
-				counts[j][i] += v
-			}
-		}
+		addSupportCounts(counts, sup, betaLen)
 		selMu.Unlock()
 		return nil
 	})
@@ -243,44 +200,12 @@ func VAR(series *mat.Dense, cfg *VARConfig) (*VARResult, error) {
 	err = forEachBootstrap(c.Workers, c.B2, func(k int) error {
 		spBoot := spEst.Child("bootstrap")
 		defer spBoot.End()
-		rng := root.Derive(1_000_000 + uint64(k))
-		trainIdx, evalIdx := resample.BlockTrainEvalSplit(rng, m, blockLen, c.TrainFrac)
-		toTargets := func(idx []int) []int {
-			out := make([]int, len(idx))
-			for i, v := range idx {
-				out[i] = d + v
-			}
-			return out
-		}
-		t0 := time.Now()
-		spK := spEst.Child("kron_assembly")
-		trainDes := varsim.NewDesignFromRows(series, d, !c.NoIntercept, toTargets(trainIdx))
-		evalDes := varsim.NewDesignFromRows(series, d, !c.NoIntercept, toTargets(evalIdx))
-		spK.End()
-		kTime := time.Since(t0)
-
-		bestLoss := 0.0
-		var bestBeta []float64
-		first := true
-		fits := 0
-		for _, s := range distinct {
-			beta := olsOnVecSupport(trainDes, s, kw)
-			fits++
-			loss := vecLoss(evalDes, beta)
-			if first || loss < bestLoss {
-				bestLoss = loss
-				bestBeta = beta
-				first = false
-			}
-		}
-		if bestBeta == nil {
-			bestBeta = make([]float64, betaLen)
-		}
+		beta, fits, kTime := varEstCell(series, root, k, m, blockLen, betaLen, distinct, &c, kw, spEst)
 		estMu.Lock()
 		kronTime += kTime
 		res.Diag.OLSFits += fits
 		estMu.Unlock()
-		winners[k] = bestBeta
+		winners[k] = beta
 		return nil
 	})
 	if err != nil {

@@ -38,8 +38,10 @@ import (
 	"io"
 
 	"uoivar/internal/admm"
+	"uoivar/internal/checkpoint"
 	"uoivar/internal/datagen"
 	"uoivar/internal/distio"
+	"uoivar/internal/fault"
 	"uoivar/internal/graph"
 	"uoivar/internal/hbf"
 	"uoivar/internal/mat"
@@ -139,6 +141,27 @@ func RunWithOptions(size int, opts RunOptions, body func(c *Comm) error) error {
 // (Comm.CommMatrix): all src→dst traffic in one category with both
 // endpoints' accounting.
 type CommMatrixFlow = mpi.PairFlow
+
+// FaultEvent is one scheduled fault: a crash, delay, straggle, I/O error,
+// or bootstrap failure pinned to a rank and (for comm faults) a 0-based
+// per-rank communication-op index.
+type FaultEvent = fault.Event
+
+// FaultKind labels a FaultEvent (FaultCrash, delays, I/O faults, ...).
+type FaultKind = fault.Kind
+
+// FaultCrash kills the target rank at its Op-th communication call — the
+// seeded stand-in for a job-queue kill in the chaos and checkpoint tests.
+const FaultCrash = fault.Crash
+
+// FaultPlan is a deterministic schedule of fault events for one world,
+// passed via RunOptions.Fault.
+type FaultPlan = fault.Plan
+
+// NewFaultPlan builds a fault plan for a size-rank world.
+func NewFaultPlan(size int, events ...FaultEvent) *FaultPlan {
+	return fault.NewPlan(size, events...)
+}
 
 // ---- Data distribution and storage ----
 
@@ -276,8 +299,10 @@ type Predictor = model.Predictor
 // Model-artifact error taxonomy: damaged files are ErrModelCorrupt, files
 // from a future writer (or unknown model kind) are ErrModelSchema.
 var (
+	// ErrModelCorrupt reports a structurally damaged artifact file.
 	ErrModelCorrupt = model.ErrCorrupt
-	ErrModelSchema  = model.ErrSchema
+	// ErrModelSchema reports an artifact this reader does not understand.
+	ErrModelSchema = model.ErrSchema
 )
 
 // VARArtifact snapshots a fitted UoI_VAR model as a savable artifact.
@@ -297,6 +322,41 @@ func LoadModel(path string) (*ModelArtifact, error) { return model.Load(path) }
 
 // NewPredictor derives a concurrent-safe predictor from an artifact.
 func NewPredictor(art *ModelArtifact) (*Predictor, error) { return model.NewPredictor(art) }
+
+// ---- Checkpoint/restart (DESIGN.md §11) ----
+
+// CheckpointConfig enables checkpointed execution of a UoI fit: completed
+// bootstrap cells are durable in a versioned on-disk file, and a crashed
+// fit resumes bit-identically — including on a different rank count. Set it
+// on LassoConfig/VARConfig.Checkpoint.
+type CheckpointConfig = uoi.CheckpointConfig
+
+// Checkpoint error taxonomy: damaged files are ErrCheckpointCorrupt, files
+// from a future writer are ErrCheckpointSchema, and a valid checkpoint
+// belonging to a different fit (other data, seed, λ grid, or configuration)
+// is ErrCheckpointMismatch.
+var (
+	// ErrCheckpointCorrupt reports a structurally damaged checkpoint file.
+	ErrCheckpointCorrupt = checkpoint.ErrCorrupt
+	// ErrCheckpointSchema reports a checkpoint this reader does not understand.
+	ErrCheckpointSchema = checkpoint.ErrSchema
+	// ErrCheckpointMismatch reports a checkpoint from a different fit.
+	ErrCheckpointMismatch = checkpoint.ErrMismatch
+)
+
+// FitLassoCheckpointed runs checkpointed UoI_LASSO across the ranks of
+// comm. Unlike FitLassoDistributed, every rank passes the FULL dataset
+// (replicated-data bootstrap-sharded mode); cfg.Checkpoint must be set.
+func FitLassoCheckpointed(comm *Comm, x *Dense, y []float64, cfg *LassoConfig) (*LassoResult, error) {
+	return uoi.LassoCheckpointedDistributed(comm, x, y, cfg)
+}
+
+// FitVARCheckpointed runs checkpointed UoI_VAR across the ranks of comm;
+// every rank passes the full series and cfg.Checkpoint must be set. For a
+// serial checkpointed fit, set VARConfig.Checkpoint and call FitVAR.
+func FitVARCheckpointed(comm *Comm, series *Dense, cfg *VARConfig) (*VARResult, error) {
+	return uoi.VARCheckpointedDistributed(comm, series, cfg)
+}
 
 // ---- Performance observability (DESIGN.md §8) ----
 
