@@ -2,10 +2,10 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-full vet fmt doccheck experiments csv examples trace serve-smoke clean
+.PHONY: build test test-short test-race bench bench-full vet fmt doccheck experiments csv examples trace serve-smoke fleet-smoke clean
 
 # Packages whose exported surface must be fully documented (CI gate).
-DOCCHECK_PKGS = ./internal/checkpoint ./internal/model ./internal/serve .
+DOCCHECK_PKGS = ./internal/checkpoint ./internal/fleet ./internal/model ./internal/serve .
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,12 @@ trace:
 # uoiserve → curl /healthz and /v1/forecast, then graceful drain.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# Replicated-fleet smoke test: 3 replicas behind the consistent-hash
+# router, deterministic kill of the model's primary mid-traffic, zero
+# failed requests, probe-driven rejoin, graceful drain.
+fleet-smoke:
+	bash scripts/fleet_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

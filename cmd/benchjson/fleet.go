@@ -1,0 +1,228 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"uoivar/internal/fault"
+	"uoivar/internal/fleet"
+	"uoivar/internal/model"
+	"uoivar/internal/resample"
+	"uoivar/internal/serve"
+	"uoivar/internal/trace"
+)
+
+// fleetModels is how many distinct model names the fleet bench serves —
+// enough that the consistent-hash ring actually spreads primaries across
+// replicas (a single name would pin all steady-state traffic to one owner
+// and the scaling rows would only measure failover capacity).
+const fleetModels = 8
+
+// benchFleet measures the replicated fleet under closed-loop load at 64
+// concurrent clients: QPS and latency percentiles at 1, 2, and 4 replicas,
+// plus a kill-and-recover row where the primary for one model is killed
+// mid-run and the window's p99 absorbs the failover + probe-readmission
+// penalty. Every request must succeed — a failed request fails the bench,
+// so the rows double as a zero-loss assertion.
+func benchFleet(report *Report, short bool) error {
+	const p = 16
+	const conc = 64
+	art := benchArtifact(p)
+	models := make(map[string]*model.Artifact, fleetModels)
+	names := make([]string, fleetModels)
+	for i := range names {
+		names[i] = fmt.Sprintf("bench%d", i)
+		models[names[i]] = art
+	}
+	total := 960
+	if short {
+		total = 240
+	}
+
+	// Distinct bodies across models and histories, as in benchServing.
+	rng := resample.NewRNG(7)
+	bodies := make([][]byte, total)
+	for i := range bodies {
+		hist := make([][]float64, 2+i%3)
+		for r := range hist {
+			hist[r] = make([]float64, p)
+			for c := range hist[r] {
+				hist[r][c] = rng.NormFloat64()
+			}
+		}
+		b, err := json.Marshal(serve.ForecastRequest{
+			Model: names[i%fleetModels], History: hist, Horizon: 1 + i%4,
+		})
+		if err != nil {
+			return err
+		}
+		bodies[i] = b
+	}
+
+	// chaos, when non-nil, builds the fault plan and kill callback once the
+	// replicas exist; it returns an extra cleanup run before shutdown.
+	run := func(rowName string, replicas int, probe time.Duration,
+		chaos func(reps []*fleet.Replica) (*fault.Plan, func(int), func())) error {
+		reps := make([]*fleet.Replica, replicas)
+		backends := make([]fleet.Backend, replicas)
+		for i := range reps {
+			reps[i] = fleet.NewReplica(fleet.ReplicaConfig{
+				ID:        i,
+				Artifacts: models,
+				Serve: serve.Config{
+					BatchWindow:  2 * time.Millisecond,
+					CacheEntries: -1,
+					MaxInflight:  2 * conc,
+				},
+			})
+			backends[i] = reps[i]
+		}
+		stopAll := func() {
+			for _, r := range reps {
+				r.Shutdown()
+			}
+		}
+		for i, r := range reps {
+			if err := r.Start(); err != nil {
+				stopAll()
+				return fmt.Errorf("fleet bench: replica %d: %w", i, err)
+			}
+		}
+		var plan *fault.Plan
+		var kill func(int)
+		cleanup := func() {}
+		if chaos != nil {
+			plan, kill, cleanup = chaos(reps)
+		}
+		rt, err := fleet.NewRouter(fleet.Config{
+			Backends:          backends,
+			ReplicationFactor: 2,
+			ProbeInterval:     probe,
+			FaultPlan:         plan,
+			Kill:              kill,
+			Tracer:            trace.New(),
+		})
+		if err != nil {
+			cleanup()
+			stopAll()
+			return err
+		}
+		addr, err := rt.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			cleanup()
+			stopAll()
+			return err
+		}
+		url := "http://" + addr + "/v1/forecast"
+		client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: conc + 8}}
+
+		var next atomic.Int64
+		latencies := make([]float64, total)
+		var wg sync.WaitGroup
+		var firstErr atomic.Value
+		start := time.Now()
+		for w := 0; w < conc; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= total {
+						return
+					}
+					t0 := time.Now()
+					resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[i]))
+					if err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck // drained for keep-alive
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						firstErr.CompareAndSwap(nil, fmt.Errorf("fleet bench: status %d", resp.StatusCode))
+						return
+					}
+					latencies[i] = time.Since(t0).Seconds() * 1e3
+				}
+			}()
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		cleanup()
+		rt.Close()
+		stopAll()
+		if err, _ := firstErr.Load().(error); err != nil {
+			return err
+		}
+
+		sort.Float64s(latencies)
+		row := ServingResult{
+			Name:        rowName,
+			Concurrency: conc,
+			Requests:    total,
+			Replicas:    replicas,
+			QPS:         float64(total) / wall.Seconds(),
+			P50Ms:       latencies[total/2],
+			P99Ms:       latencies[total*99/100],
+			Coalescing:  1, // per-replica coalescing is not surfaced here
+		}
+		report.Serving = append(report.Serving, row)
+		fmt.Fprintf(os.Stderr, "%-40s %10.0f qps  p50 %6.2fms  p99 %6.2fms  replicas %d\n",
+			row.Name, row.QPS, row.P50Ms, row.P99Ms, row.Replicas)
+		return nil
+	}
+
+	for _, replicas := range []int{1, 2, 4} {
+		name := fmt.Sprintf("fleet/forecast-c%d-r%d", conc, replicas)
+		if err := run(name, replicas, -1, nil); err != nil {
+			return err
+		}
+	}
+
+	// Kill-and-recover: kill the ring primary for the first model a few ops
+	// into the run, restart it shortly after, and let a fast prober re-admit
+	// it — the row's p99 is the price of the whole arc.
+	const killReplicas = 4
+	ring := fleet.NewRing(0)
+	for id := 0; id < killReplicas; id++ {
+		ring.Add(id)
+	}
+	victim := ring.Lookup(names[0], 1)[0]
+	chaos := func(reps []*fleet.Replica) (*fault.Plan, func(int), func()) {
+		plan := fault.NewPlan(killReplicas,
+			fault.Event{Kind: fault.ReplicaKill, Rank: victim, Op: 10})
+		restartDone := make(chan struct{})
+		var timer *time.Timer
+		var timerMu sync.Mutex
+		kill := func(id int) {
+			reps[id].Kill()
+			timerMu.Lock()
+			timer = time.AfterFunc(100*time.Millisecond, func() {
+				defer close(restartDone)
+				reps[id].Restart() //nolint:errcheck // rejoin is best-effort here
+			})
+			timerMu.Unlock()
+		}
+		cleanup := func() {
+			// If the restart timer is pending, either stop it or wait for it,
+			// so a late Restart can never race the replica shutdowns below.
+			timerMu.Lock()
+			t := timer
+			timerMu.Unlock()
+			if t != nil && !t.Stop() {
+				<-restartDone
+			}
+		}
+		return plan, kill, cleanup
+	}
+	return run(fmt.Sprintf("fleet/forecast-c%d-kill-recover", conc), killReplicas,
+		25*time.Millisecond, chaos)
+}

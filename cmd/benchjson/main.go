@@ -232,6 +232,13 @@ func main() {
 		os.Exit(1)
 	}
 
+	// ---- fleet: replicated serving at 1/2/4 replicas + kill-and-recover ----
+
+	if err := benchFleet(report, *short); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

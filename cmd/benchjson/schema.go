@@ -36,6 +36,10 @@ type ServingResult struct {
 	P99Ms float64 `json:"p99_ms"`
 	// Coalescing is requests per forecast batch (1.0 = no coalescing).
 	Coalescing float64 `json:"coalescing_factor"`
+	// Replicas is the fleet size behind the consistent-hash router for
+	// fleet/* rows; 0 (omitted) for single-server serve/* rows, keeping
+	// pre-fleet v2 artifacts parseable unchanged.
+	Replicas int `json:"replicas,omitempty"`
 }
 
 // Report is the serialized artifact.
@@ -76,7 +80,7 @@ func ParseBenchReport(data []byte) (*Report, error) {
 	}
 	for i, s := range r.Serving {
 		if s.Name == "" || s.Concurrency <= 0 || s.Requests <= 0 || s.QPS <= 0 ||
-			s.P50Ms <= 0 || s.P99Ms < s.P50Ms || s.Coalescing < 1 {
+			s.P50Ms <= 0 || s.P99Ms < s.P50Ms || s.Coalescing < 1 || s.Replicas < 0 {
 			return nil, fmt.Errorf("bench report: serving row %d is malformed: %+v", i, s)
 		}
 	}

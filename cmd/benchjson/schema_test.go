@@ -19,6 +19,8 @@ func validReport() *Report {
 		Serving: []ServingResult{
 			{Name: "serve/forecast-c8", Concurrency: 8, Requests: 480,
 				QPS: 2500, P50Ms: 3.1, P99Ms: 4.9, Coalescing: 7.5},
+			{Name: "fleet/forecast-c64-r4", Concurrency: 64, Requests: 960,
+				QPS: 9000, P50Ms: 4.2, P99Ms: 11.5, Coalescing: 1, Replicas: 4},
 		},
 	}
 }
@@ -37,11 +39,19 @@ func TestParseBenchReportV2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Schema != BenchSchemaVersion || len(r.Benchmarks) != 1 || len(r.Serving) != 1 {
+	if r.Schema != BenchSchemaVersion || len(r.Benchmarks) != 1 || len(r.Serving) != 2 {
 		t.Fatalf("round trip mangled report: %+v", r)
 	}
 	if r.Serving[0].Coalescing != 7.5 {
 		t.Fatalf("coalescing = %v, want 7.5", r.Serving[0].Coalescing)
+	}
+	// Replicas is additive: absent on single-server rows, carried on fleet
+	// rows, and absent from the single-server row's JSON entirely.
+	if r.Serving[0].Replicas != 0 || r.Serving[1].Replicas != 4 {
+		t.Fatalf("replicas = %d, %d; want 0, 4", r.Serving[0].Replicas, r.Serving[1].Replicas)
+	}
+	if raw := mustJSON(t, r.Serving[0]); strings.Contains(string(raw), "replicas") {
+		t.Fatalf("single-server row leaked a replicas field: %s", raw)
 	}
 }
 
@@ -88,6 +98,7 @@ func TestParseBenchReportMalformed(t *testing.T) {
 		"p99 below p50":       func(r *Report) { r.Serving[0].P99Ms = r.Serving[0].P50Ms / 2 },
 		"coalescing below 1":  func(r *Report) { r.Serving[0].Coalescing = 0.5 },
 		"unnamed serving row": func(r *Report) { r.Serving[0].Name = "" },
+		"negative replicas":   func(r *Report) { r.Serving[1].Replicas = -2 },
 	}
 	for name, mutate := range cases {
 		rep := validReport()

@@ -21,6 +21,17 @@
 // -max-inflight (429 beyond it) and every request gets a -timeout deadline
 // (504 past it). SIGINT/SIGTERM drain gracefully: health goes 503, in-flight
 // requests finish, then the process exits.
+//
+// With -replicas N (N > 1) the command instead runs a replicated fleet in
+// one process: N share-nothing serving replicas, each warmed from -models,
+// behind a consistent-hash router on -addr. The router ring-hashes model
+// names onto -replication-factor preferred owners, fails over on replica
+// death with capped-jitter backoff, optionally hedges slow idempotent
+// reads (-hedge), and evicts/re-admits replicas by probing their /healthz.
+// /healthz on the router reports "degraded: replica N evicted" while any
+// member is down. The -chaos-kill R@OP flag (smoke tests) deterministically
+// kills replica R at its OP-th routed request; -chaos-restart brings it
+// back after a delay so the probe-driven rejoin can be observed end to end.
 package main
 
 import (
@@ -29,9 +40,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"uoivar/internal/fault"
+	"uoivar/internal/fleet"
 	"uoivar/internal/model"
 	"uoivar/internal/monitor"
 	"uoivar/internal/serve"
@@ -50,6 +65,13 @@ type options struct {
 	Timeout      time.Duration
 	DrainWait    time.Duration
 
+	// Fleet mode (Replicas > 1).
+	Replicas          int
+	ReplicationFactor int
+	Hedge             time.Duration
+	ChaosKill         string
+	ChaosRestart      time.Duration
+
 	// bound, when non-nil, receives the listener's address once serving.
 	bound chan<- string
 	// signals overrides the OS signal source in tests.
@@ -66,6 +88,11 @@ func main() {
 	flag.IntVar(&o.MaxInflight, "max-inflight", 256, "per-endpoint concurrency limit (429 beyond it)")
 	flag.DurationVar(&o.Timeout, "timeout", 30*time.Second, "per-request deadline (504 past it)")
 	flag.DurationVar(&o.DrainWait, "drain-wait", 30*time.Second, "max graceful-shutdown wait on SIGINT/SIGTERM")
+	flag.IntVar(&o.Replicas, "replicas", 1, "serving replicas behind the consistent-hash router (>1 enables fleet mode)")
+	flag.IntVar(&o.ReplicationFactor, "replication-factor", 2, "preferred ring owners per model name (fleet mode)")
+	flag.DurationVar(&o.Hedge, "hedge", 0, "hedged-send delay for idempotent reads (0 disables; fleet mode)")
+	flag.StringVar(&o.ChaosKill, "chaos-kill", "", "kill a replica at its OP-th routed request, format R@OP or MODEL@OP (fleet smoke tests)")
+	flag.DurationVar(&o.ChaosRestart, "chaos-restart", 0, "restart a chaos-killed replica after this delay (0 leaves it dead)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "uoiserve:", err)
@@ -76,6 +103,9 @@ func main() {
 func run(o *options) error {
 	if o.Models == "" {
 		return fmt.Errorf("-models is required")
+	}
+	if o.Replicas > 1 {
+		return runFleet(o)
 	}
 	reg := serve.NewRegistry()
 	entries, err := reg.LoadDir(o.Models)
@@ -135,5 +165,145 @@ func run(o *options) error {
 		return fmt.Errorf("drain: %w", err)
 	}
 	fmt.Println("drained cleanly")
+	return nil
+}
+
+// chaosPlan translates the -chaos-kill/-chaos-restart flags into a seeded
+// fault plan plus the router's kill callback. An empty spec returns nils
+// (no injection). The victim may be a replica index or a model name — a
+// name resolves to that model's primary ring owner, which is the replica
+// actually taking the model's traffic.
+func chaosPlan(o *options, reps []*fleet.Replica) (*fault.Plan, func(id int), error) {
+	if o.ChaosKill == "" {
+		return nil, nil, nil
+	}
+	at := strings.LastIndex(o.ChaosKill, "@")
+	if at <= 0 {
+		return nil, nil, fmt.Errorf("-chaos-kill %q: want R@OP or MODEL@OP (e.g. 1@20)", o.ChaosKill)
+	}
+	op, err := strconv.Atoi(o.ChaosKill[at+1:])
+	if err != nil || op < 0 {
+		return nil, nil, fmt.Errorf("-chaos-kill %q: bad op index", o.ChaosKill)
+	}
+	who := o.ChaosKill[:at]
+	victim, err := strconv.Atoi(who)
+	if err != nil {
+		ring := fleet.NewRing(0)
+		for i := range reps {
+			ring.Add(i)
+		}
+		victim = ring.Lookup(who, 1)[0]
+		fmt.Printf("chaos: model %q is primary on replica %d\n", who, victim)
+	}
+	if victim < 0 || victim >= len(reps) {
+		return nil, nil, fmt.Errorf("-chaos-kill %q: replica out of range (fleet has %d)", o.ChaosKill, len(reps))
+	}
+	plan := fault.NewPlan(len(reps), fault.Event{Kind: fault.ReplicaKill, Rank: victim, Op: op})
+	kill := func(id int) {
+		rep := reps[id]
+		rep.Kill()
+		fmt.Printf("chaos: killed replica %d\n", id)
+		if o.ChaosRestart > 0 {
+			time.AfterFunc(o.ChaosRestart, func() {
+				if err := rep.Restart(); err != nil {
+					fmt.Fprintf(os.Stderr, "chaos: restart replica %d: %v\n", id, err)
+					return
+				}
+				fmt.Printf("chaos: restarted replica %d on %s\n", id, rep.Addr())
+			})
+		}
+	}
+	return plan, kill, nil
+}
+
+// runFleet starts o.Replicas share-nothing serving replicas plus the
+// consistent-hash router that fronts them, then serves until a shutdown
+// signal drains the router and stops the fleet.
+func runFleet(o *options) error {
+	reps := make([]*fleet.Replica, o.Replicas)
+	backends := make([]fleet.Backend, o.Replicas)
+	for i := range reps {
+		reps[i] = fleet.NewReplica(fleet.ReplicaConfig{
+			ID:        i,
+			ModelsDir: o.Models,
+			Serve: serve.Config{
+				BatchWindow:  o.BatchWindow,
+				BatchMax:     o.BatchMax,
+				CacheEntries: o.CacheEntries,
+				MaxInflight:  o.MaxInflight,
+				Timeout:      o.Timeout,
+			},
+		})
+		backends[i] = reps[i]
+	}
+	stopAll := func() {
+		for _, r := range reps {
+			r.Shutdown()
+		}
+	}
+	for i, r := range reps {
+		if err := r.Start(); err != nil {
+			stopAll()
+			return fmt.Errorf("replica %d: %w", i, err)
+		}
+		fmt.Printf("replica %d warmed from %s on http://%s\n", i, o.Models, r.Addr())
+	}
+
+	plan, kill, err := chaosPlan(o, reps)
+	if err != nil {
+		stopAll()
+		return err
+	}
+
+	tr := trace.New()
+	mon := monitor.New("uoiserve-fleet")
+	rt, err := fleet.NewRouter(fleet.Config{
+		Backends:          backends,
+		ReplicationFactor: o.ReplicationFactor,
+		Timeout:           o.Timeout,
+		HedgeDelay:        o.Hedge,
+		FaultPlan:         plan,
+		Kill:              kill,
+		Tracer:            tr,
+		Monitor:           mon,
+	})
+	if err != nil {
+		stopAll()
+		return err
+	}
+	mon.SetState(func() map[string]any {
+		st := rt.State()
+		for k, v := range tr.Counters() {
+			st[k] = v
+		}
+		return st
+	})
+	bound, err := rt.ListenAndServe(o.Addr)
+	if err != nil {
+		stopAll()
+		return err
+	}
+	fmt.Printf("routing %d replica(s) (replication factor %d) on http://%s\n",
+		o.Replicas, o.ReplicationFactor, bound)
+	if o.bound != nil {
+		o.bound <- bound
+	}
+
+	sigs := o.signals
+	if sigs == nil {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		sigs = ch
+	}
+	sig := <-sigs
+	fmt.Printf("%s: draining fleet (up to %s)...\n", sig, o.DrainWait)
+	ctx, cancel := context.WithTimeout(context.Background(), o.DrainWait)
+	defer cancel()
+	err = rt.Shutdown(ctx)
+	stopAll()
+	if err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Println("fleet drained cleanly")
 	return nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -11,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"uoivar/internal/fleet"
 	"uoivar/internal/mat"
 	"uoivar/internal/model"
 	"uoivar/internal/serve"
@@ -116,6 +118,93 @@ func TestRunServesAndDrains(t *testing.T) {
 		for j, v := range fc.Forecast[i] {
 			if v != want.At(i, j) {
 				t.Fatalf("served forecast (%d,%d) %v != %v", i, j, v, want.At(i, j))
+			}
+		}
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain hung")
+	}
+}
+
+// TestRunFleetServesAndSurvivesKill drives fleet mode end to end: three
+// replicas behind the router, a deterministic chaos kill of replica 0 at
+// its 3rd routed request, and every request still answered — then a clean
+// drain.
+func TestRunFleetServesAndSurvivesKill(t *testing.T) {
+	dir := t.TempDir()
+	art := writeToyModel(t, filepath.Join(dir, "toy"+model.Ext))
+	// Kill the replica that actually owns "toy" on the ring, so the injected
+	// death lands on the primary serving path rather than an idle member.
+	ring := fleet.NewRing(0)
+	ring.Add(0)
+	ring.Add(1)
+	ring.Add(2)
+	victim := ring.Lookup("toy", 1)[0]
+	bound := make(chan string, 1)
+	sigs := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(&options{
+			Models: dir, Addr: "127.0.0.1:0",
+			BatchMax: 64, MaxInflight: 64,
+			Timeout: 10 * time.Second, DrainWait: 5 * time.Second,
+			Replicas: 3, ReplicationFactor: 2,
+			ChaosKill: fmt.Sprintf("%d@3", victim),
+			bound:     bound, signals: sigs,
+		})
+	}()
+	var addr string
+	select {
+	case addr = <-bound:
+	case err := <-done:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(20 * time.Second):
+		t.Fatal("fleet never came up")
+	}
+	url := "http://" + addr
+
+	pred, err := model.NewPredictor(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := mat.NewDenseData(2, 3, []float64{1, 2, 3, 0.5, -1, 0.25})
+	want, err := pred.Forecast(hist, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(serve.ForecastRequest{
+		Model:   "toy",
+		History: [][]float64{{1, 2, 3}, {0.5, -1, 0.25}},
+		Horizon: 2,
+	})
+	// Enough requests to walk past the injected kill at op 3, every one of
+	// which must succeed bit-identically despite the mid-traffic death.
+	for i := 0; i < 12; i++ {
+		resp, err := http.Post(url+"/v1/forecast", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: %d %s", i, resp.StatusCode, out)
+		}
+		var fc serve.ForecastResponse
+		if err := json.Unmarshal(out, &fc); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		for r := range fc.Forecast {
+			for c, v := range fc.Forecast[r] {
+				if v != want.At(r, c) {
+					t.Fatalf("request %d: forecast (%d,%d) %v != %v", i, r, c, v, want.At(r, c))
+				}
 			}
 		}
 	}

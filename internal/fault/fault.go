@@ -2,9 +2,11 @@
 // testing the distributed UoI pipeline. A Plan is a reproducible schedule of
 // injected failures — rank crashes at the Nth communication operation,
 // straggler slowdowns, one-shot message delays, transient I/O read errors,
-// and per-bootstrap solve failures — that plugs into the hooks exposed by
-// internal/mpi (RunOptions.Fault), internal/hbf (File.SetFault) and
-// internal/uoi (LassoConfig.BootstrapFault).
+// per-bootstrap solve failures, and HTTP-level serving faults (replica
+// kills, refused connections) — that plugs into the hooks exposed by
+// internal/mpi (RunOptions.Fault), internal/hbf (File.SetFault),
+// internal/uoi (LassoConfig.BootstrapFault) and internal/fleet
+// (Config.FaultPlan).
 //
 // Determinism is the point: the paper's runs on up to 278,528 Cori KNL
 // cores meet stragglers, dead ranks and flaky I/O nondeterministically; the
@@ -44,6 +46,16 @@ const (
 	// Bootstrap fails one (phase, index) bootstrap solve; with a quorum
 	// configured the fit degrades instead of aborting.
 	Bootstrap
+	// ReplicaKill kills serving replica Rank at its Op-th routed HTTP
+	// request — mid-request, after the router has committed the attempt —
+	// so failover to the next ring replica is exercised, not just cold
+	// routing around a dead member.
+	ReplicaKill
+	// ConnRefused makes HTTP request-operations Op..Op+Count-1 routed to
+	// replica Rank fail as if the connection were refused, without the
+	// request reaching the replica (the transport-level analog of IORead's
+	// transient read faults).
+	ConnRefused
 )
 
 // String returns the kind name.
@@ -59,6 +71,10 @@ func (k Kind) String() string {
 		return "io-read"
 	case Bootstrap:
 		return "bootstrap"
+	case ReplicaKill:
+		return "replica-kill"
+	case ConnRefused:
+		return "conn-refused"
 	}
 	return "unknown"
 }
@@ -100,6 +116,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("io-read{chunk %d, %d attempts}", e.Chunk, e.Count)
 	case Bootstrap:
 		return fmt.Sprintf("bootstrap{%s %d}", e.Phase, e.K)
+	case ReplicaKill:
+		return fmt.Sprintf("replica-kill{replica %d, req %d}", e.Rank, e.Op)
+	case ConnRefused:
+		return fmt.Sprintf("conn-refused{replica %d, req %d, %d attempts}", e.Rank, e.Op, e.Count)
 	}
 	return "event{?}"
 }
@@ -108,14 +128,17 @@ func (e Event) String() string {
 // zero-event plan injects nothing. Plans are safe for concurrent use by all
 // rank goroutines.
 type Plan struct {
-	seed   uint64
-	events []Event
-	ops    []atomic.Int64 // per-rank communication-op counters
+	seed    uint64
+	events  []Event
+	ops     []atomic.Int64 // per-rank communication-op counters
+	httpOps []atomic.Int64 // per-replica HTTP request-op counters
 }
 
 // NewPlan builds a plan over the given events for a world of size ranks.
+// The same size bounds the serving-replica index space of ReplicaKill and
+// ConnRefused events.
 func NewPlan(size int, events ...Event) *Plan {
-	return &Plan{events: events, ops: make([]atomic.Int64, size)}
+	return &Plan{events: events, ops: make([]atomic.Int64, size), httpOps: make([]atomic.Int64, size)}
 }
 
 // Events returns the schedule (callers must not mutate it).
@@ -126,6 +149,9 @@ func (p *Plan) Events() []Event { return p.events }
 func (p *Plan) Reset() {
 	for i := range p.ops {
 		p.ops[i].Store(0)
+	}
+	for i := range p.httpOps {
+		p.httpOps[i].Store(0)
 	}
 }
 
@@ -173,6 +199,37 @@ func (p *Plan) CommOp(worldRank int) (delay time.Duration, crash error) {
 	return delay, crash
 }
 
+// HTTPOp implements the fleet router's fault hook: it is invoked once per
+// request attempt routed to replica, advancing that replica's request-op
+// counter. It returns kill=true when the replica is scheduled to die at
+// this request (the router invokes its kill callback mid-request, after
+// the attempt is committed) and a non-nil refuse error when the attempt
+// must fail as connection-refused without reaching the replica. Like
+// CommOp, the decision sequence is a pure function of the schedule, so a
+// Reset replays it bit-identically.
+func (p *Plan) HTTPOp(replica int) (kill bool, refuse error) {
+	if replica < 0 || replica >= len(p.httpOps) {
+		return false, nil
+	}
+	op := int(p.httpOps[replica].Add(1)) - 1
+	for _, e := range p.events {
+		if e.Rank != replica {
+			continue
+		}
+		switch e.Kind {
+		case ReplicaKill:
+			if op == e.Op {
+				kill = true
+			}
+		case ConnRefused:
+			if op >= e.Op && op < e.Op+e.Count {
+				refuse = fmt.Errorf("%w: connection refused to replica %d at request op %d", ErrInjected, replica, op)
+			}
+		}
+	}
+	return kill, refuse
+}
+
 // IOFault matches hbf's read-fault hook: attempt a (0-based) of a read of
 // chunk (−1 = header) fails while a < Count for a matching IORead event.
 // Stateless, so every retry sequence replays identically.
@@ -202,9 +259,9 @@ func (p *Plan) BootstrapFault(phase string, k int) error {
 
 // GenOptions bounds Generate's seeded random schedules.
 type GenOptions struct {
-	// PCrash, PStraggle, PDelay, PIO, PBootstrap are per-category inclusion
-	// probabilities in [0,1].
-	PCrash, PStraggle, PDelay, PIO, PBootstrap float64
+	// PCrash, PStraggle, PDelay, PIO, PBootstrap, PReplicaKill,
+	// PConnRefused are per-category inclusion probabilities in [0,1].
+	PCrash, PStraggle, PDelay, PIO, PBootstrap, PReplicaKill, PConnRefused float64
 	// MaxOp bounds the operation index of Crash/Straggle/Delay events
 	// (default 40).
 	MaxOp int
@@ -279,6 +336,21 @@ func Generate(seed uint64, size int, opts GenOptions) *Plan {
 			Kind:  Bootstrap,
 			Phase: phase,
 			K:     rng.Intn(o.MaxBootstraps),
+		})
+	}
+	if rng.Float64() < o.PReplicaKill {
+		events = append(events, Event{
+			Kind: ReplicaKill,
+			Rank: rng.Intn(size),
+			Op:   rng.Intn(o.MaxOp),
+		})
+	}
+	if rng.Float64() < o.PConnRefused {
+		events = append(events, Event{
+			Kind:  ConnRefused,
+			Rank:  rng.Intn(size),
+			Op:    rng.Intn(o.MaxOp),
+			Count: 1 + rng.Intn(o.MaxIOFails),
 		})
 	}
 	// Stable order for readable String() output regardless of draw order.

@@ -101,6 +101,102 @@ func TestBootstrapFault(t *testing.T) {
 	}
 }
 
+func TestHTTPOpSchedule(t *testing.T) {
+	p := NewPlan(3,
+		Event{Kind: ReplicaKill, Rank: 1, Op: 2},
+		Event{Kind: ConnRefused, Rank: 0, Op: 1, Count: 2},
+	)
+	// Replica 0: requests 1 and 2 are refused, 0 and 3 pass.
+	if kill, refuse := p.HTTPOp(0); kill || refuse != nil {
+		t.Fatalf("replica 0 op 0: %v %v", kill, refuse)
+	}
+	for op := 1; op < 3; op++ {
+		if kill, refuse := p.HTTPOp(0); kill || !errors.Is(refuse, ErrInjected) {
+			t.Fatalf("replica 0 op %d: %v %v, want refused", op, kill, refuse)
+		}
+	}
+	if kill, refuse := p.HTTPOp(0); kill || refuse != nil {
+		t.Fatalf("replica 0 op 3: %v %v, want clean", kill, refuse)
+	}
+	// Replica 1: killed at its 2nd routed request.
+	for op := 0; op < 2; op++ {
+		if kill, _ := p.HTTPOp(1); kill {
+			t.Fatalf("replica 1 op %d killed early", op)
+		}
+	}
+	if kill, _ := p.HTTPOp(1); !kill {
+		t.Fatal("replica 1 op 2 must kill")
+	}
+	// Untouched replica and out-of-range indices are no-ops.
+	if kill, refuse := p.HTTPOp(2); kill || refuse != nil {
+		t.Fatal("replica 2 must be untouched")
+	}
+	if kill, refuse := p.HTTPOp(9); kill || refuse != nil {
+		t.Fatal("out-of-range replica must be a no-op")
+	}
+}
+
+func TestHTTPOpResetReplays(t *testing.T) {
+	p := NewPlan(1, Event{Kind: ReplicaKill, Rank: 0, Op: 1})
+	seq := func() []bool {
+		var out []bool
+		for op := 0; op < 3; op++ {
+			kill, _ := p.HTTPOp(0)
+			out = append(out, kill)
+		}
+		return out
+	}
+	a := seq()
+	p.Reset()
+	b := seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d: first run %v, replay %v", i, a[i], b[i])
+		}
+	}
+	if !a[1] || a[0] || a[2] {
+		t.Fatalf("kill sequence %v, want kill exactly at op 1", a)
+	}
+}
+
+func TestHTTPOpIndependentOfCommOps(t *testing.T) {
+	// HTTP request counters and communication-op counters must not share
+	// state: a comm op on rank 0 must not advance replica 0's request index.
+	p := NewPlan(1, Event{Kind: ReplicaKill, Rank: 0, Op: 0})
+	p.CommOp(0)
+	p.CommOp(0)
+	if kill, _ := p.HTTPOp(0); !kill {
+		t.Fatal("first HTTP op must still be index 0 after comm ops")
+	}
+}
+
+func TestGenerateHTTPKinds(t *testing.T) {
+	opts := GenOptions{PReplicaKill: 1, PConnRefused: 1}
+	a := Generate(5, 3, opts)
+	b := Generate(5, 3, opts)
+	if a.String() != b.String() {
+		t.Fatalf("same seed diverged:\n  %s\n  %s", a, b)
+	}
+	var kills, refusals int
+	for _, e := range a.Events() {
+		switch e.Kind {
+		case ReplicaKill:
+			kills++
+			if e.Rank < 0 || e.Rank >= 3 {
+				t.Fatalf("kill rank %d out of range", e.Rank)
+			}
+		case ConnRefused:
+			refusals++
+			if e.Count < 1 {
+				t.Fatalf("refusal count %d", e.Count)
+			}
+		}
+	}
+	if kills != 1 || refusals != 1 {
+		t.Fatalf("generated %d kills, %d refusals, want 1 each", kills, refusals)
+	}
+}
+
 func TestGenerateDeterministic(t *testing.T) {
 	opts := GenOptions{PCrash: 0.8, PStraggle: 0.8, PDelay: 0.8, PIO: 0.8, PBootstrap: 0.8}
 	a := Generate(17, 4, opts)
@@ -130,7 +226,8 @@ func TestGenerateZeroProbabilitiesIsEmpty(t *testing.T) {
 func TestKindAndEventStrings(t *testing.T) {
 	for k, want := range map[Kind]string{
 		Crash: "crash", Straggle: "straggle", Delay: "delay",
-		IORead: "io-read", Bootstrap: "bootstrap", Kind(99): "unknown",
+		IORead: "io-read", Bootstrap: "bootstrap",
+		ReplicaKill: "replica-kill", ConnRefused: "conn-refused", Kind(99): "unknown",
 	} {
 		if k.String() != want {
 			t.Fatalf("Kind(%d).String() = %q, want %q", k, k.String(), want)

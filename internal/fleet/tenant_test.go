@@ -1,0 +1,95 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTenantLimiterBurstThenRefill(t *testing.T) {
+	l := NewTenantLimiter(2, 3) // 3-token burst, 2 tokens/s
+	now := time.Unix(1000, 0)
+	l.now = func() time.Time { return now }
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("acme"); !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	ok, retry := l.Allow("acme")
+	if ok {
+		t.Fatal("4th request within burst must be rejected")
+	}
+	// Empty bucket at 2 tokens/s: one token in 500ms.
+	if retry <= 0 || retry > 500*time.Millisecond {
+		t.Fatalf("retryAfter %v, want (0, 500ms]", retry)
+	}
+	// After a second, two tokens refilled.
+	now = now.Add(time.Second)
+	if ok, _ := l.Allow("acme"); !ok {
+		t.Fatal("refilled token rejected")
+	}
+	if ok, _ := l.Allow("acme"); !ok {
+		t.Fatal("second refilled token rejected")
+	}
+	if ok, _ := l.Allow("acme"); ok {
+		t.Fatal("bucket must be dry again")
+	}
+}
+
+func TestTenantLimiterIsolatesTenants(t *testing.T) {
+	l := NewTenantLimiter(1, 1)
+	now := time.Unix(0, 0)
+	l.now = func() time.Time { return now }
+	if ok, _ := l.Allow("a"); !ok {
+		t.Fatal("tenant a's first request rejected")
+	}
+	if ok, _ := l.Allow("a"); ok {
+		t.Fatal("tenant a's second request admitted")
+	}
+	// Tenant b (and the anonymous tenant) have their own buckets.
+	if ok, _ := l.Allow("b"); !ok {
+		t.Fatal("tenant b throttled by tenant a")
+	}
+	if ok, _ := l.Allow(""); !ok {
+		t.Fatal("anonymous tenant throttled by others")
+	}
+	if l.Tenants() != 3 {
+		t.Fatalf("tracked tenants %d, want 3", l.Tenants())
+	}
+}
+
+func TestTenantLimiterZeroRateNeverRefills(t *testing.T) {
+	l := NewTenantLimiter(0, 2)
+	now := time.Unix(0, 0)
+	l.now = func() time.Time { return now }
+	l.Allow("x")
+	l.Allow("x")
+	ok, retry := l.Allow("x")
+	if ok || retry <= 0 {
+		t.Fatalf("zero-rate bucket: ok=%v retry=%v", ok, retry)
+	}
+}
+
+func TestNilTenantLimiterAdmitsAll(t *testing.T) {
+	var l *TenantLimiter
+	if ok, _ := l.Allow("anyone"); !ok {
+		t.Fatal("nil limiter must admit")
+	}
+	if l.Tenants() != 0 {
+		t.Fatal("nil limiter tracks nothing")
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1}, {10 * time.Millisecond, 1}, {time.Second, 1},
+		{1100 * time.Millisecond, 2}, {4500 * time.Millisecond, 5},
+	} {
+		if got := retryAfterSeconds(tc.d); got != tc.want {
+			t.Fatalf("retryAfterSeconds(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}

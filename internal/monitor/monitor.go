@@ -25,6 +25,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -76,6 +77,7 @@ type Server struct {
 	stats     func() []mpi.Stats
 	state     func() map[string]any
 	readiness func() error
+	degraded  func() []string
 
 	srv *http.Server
 	ln  net.Listener
@@ -125,6 +127,18 @@ func (s *Server) SetState(fn func() map[string]any) {
 func (s *Server) SetReadiness(fn func() error) {
 	s.mu.Lock()
 	s.readiness = fn
+	s.mu.Unlock()
+}
+
+// SetDegraded registers a degraded-components source: when it returns a
+// non-empty list (e.g. evicted serving replicas), /healthz reports 503
+// "degraded: ..." even though the system is still answering requests —
+// the same convention the fit monitor uses for failed MPI ranks. An empty
+// list restores "ok", so a probe watching /healthz sees the full
+// degraded-then-recovered arc.
+func (s *Server) SetDegraded(fn func() []string) {
+	s.mu.Lock()
+	s.degraded = fn
 	s.mu.Unlock()
 }
 
@@ -258,11 +272,19 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	ready := s.readiness
+	degraded := s.degraded
 	s.mu.Unlock()
 	if ready != nil {
 		if err := ready(); err != nil {
 			w.WriteHeader(http.StatusServiceUnavailable)
 			fmt.Fprintf(w, "unavailable: %v\n", err)
+			return
+		}
+	}
+	if degraded != nil {
+		if items := degraded(); len(items) > 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "degraded: %s\n", strings.Join(items, ", "))
 			return
 		}
 	}

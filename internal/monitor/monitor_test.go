@@ -112,6 +112,35 @@ func TestMonitorDegraded(t *testing.T) {
 	}
 }
 
+// TestSetDegraded: an application-level degraded hook (the fleet router's
+// evicted-replica list) flips /healthz to 503 naming the items, and recovery
+// restores "ok".
+func TestSetDegraded(t *testing.T) {
+	s := New("fleet")
+	var items []string
+	s.SetDegraded(func() []string { return items })
+	addr, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if code, body := get(t, addr, "/healthz"); code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("healthz with empty degraded list = %d %q", code, body)
+	}
+	items = []string{"replica 1 evicted", "replica 2 evicted"}
+	code, body := get(t, addr, "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded healthz status = %d", code)
+	}
+	if !strings.Contains(body, "degraded: replica 1 evicted, replica 2 evicted") {
+		t.Fatalf("degraded body = %q", body)
+	}
+	items = nil
+	if code, body := get(t, addr, "/healthz"); code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("healthz after recovery = %d %q", code, body)
+	}
+}
+
 // A bare monitor with no sources must still serve sane empty documents, and
 // a second Server must be able to take over the shared expvar name.
 func TestMonitorNoSources(t *testing.T) {

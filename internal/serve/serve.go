@@ -9,6 +9,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -168,6 +169,10 @@ type Server struct {
 	ln       net.Listener
 
 	draining atomic.Bool
+	// ewmaNanos tracks the observed per-request service time (EWMA,
+	// α = 1/8) so 429s can tell shed clients how long a queue slot
+	// actually takes to free up, instead of a hardcoded guess.
+	ewmaNanos atomic.Int64
 }
 
 // New builds a server over cfg.Registry.
@@ -323,6 +328,35 @@ func (s *Server) writeError(w http.ResponseWriter, status int, format string, ar
 	s.writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// retryAfterSeconds derives an honest Retry-After for a saturated
+// endpoint: one batch window (the floor any queued forecast waits) plus
+// the observed service-time EWMA, rounded up to whole header seconds.
+// Before any request completes the EWMA is zero and the answer degrades
+// to the old constant 1.
+func (s *Server) retryAfterSeconds() int {
+	wait := s.cfg.BatchWindow + time.Duration(s.ewmaNanos.Load())
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// observeService folds one completed request's wall time into the
+// service-time EWMA (α = 1/8, the classic RTT-estimator weight).
+func (s *Server) observeService(d time.Duration) {
+	for {
+		old := s.ewmaNanos.Load()
+		next := int64(d)
+		if old != 0 {
+			next = old + (int64(d)-old)/8
+		}
+		if s.ewmaNanos.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // limited wraps the pre-handler bookkeeping every /v1 endpoint shares:
 // method check, inflight limit, request deadline, and the request counter.
 func (s *Server) limited(endpoint, method string, h func(ctx context.Context, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
@@ -333,7 +367,7 @@ func (s *Server) limited(endpoint, method string, h func(ctx context.Context, w 
 		}
 		release, ok := s.acquire(endpoint)
 		if !ok {
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 			s.writeError(w, http.StatusTooManyRequests, "%s: concurrency limit (%d) reached", endpoint, s.cfg.MaxInflight)
 			return
 		}
@@ -343,7 +377,9 @@ func (s *Server) limited(endpoint, method string, h func(ctx context.Context, w 
 		defer sp.End()
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 		defer cancel()
+		start := time.Now()
 		h(ctx, w, r.WithContext(ctx))
+		s.observeService(time.Since(start))
 	}
 }
 

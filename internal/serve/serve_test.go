@@ -325,9 +325,22 @@ func TestInflightLimit(t *testing.T) {
 	if status != http.StatusTooManyRequests {
 		t.Fatalf("saturated endpoint: %d", status)
 	}
-	if hdr.Get("Retry-After") == "" {
-		t.Fatal("429 without Retry-After")
+	// With no completed requests yet, the derived Retry-After degrades to
+	// the 1-second floor.
+	if got := hdr.Get("Retry-After"); got != "1" {
+		t.Fatalf("cold Retry-After = %q, want 1", got)
 	}
+	// Once the server has observed slow requests, the header must reflect
+	// the service-time EWMA instead of a constant.
+	s.ewmaNanos.Store(int64(2500 * time.Millisecond))
+	status, hdr, _ = post(t, ts.URL+"/v1/forecast", ForecastRequest{Model: "mkt", Horizon: 1})
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("saturated endpoint: %d", status)
+	}
+	if got := hdr.Get("Retry-After"); got != "3" {
+		t.Fatalf("warm Retry-After = %q, want 3 (ceil of batch window + 2.5s EWMA)", got)
+	}
+	s.ewmaNanos.Store(0)
 	release()
 	if status, _, _ := post(t, ts.URL+"/v1/forecast", ForecastRequest{
 		Model: "mkt", History: randHistory(resample.NewRNG(1), 4, 8), Horizon: 1,

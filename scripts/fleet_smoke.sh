@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the replicated serving fleet: fit a model, start
+# uoiserve in fleet mode (3 replicas behind the consistent-hash router),
+# deterministically kill the model's primary replica mid-traffic, and assert
+# that every request still succeeds with bit-identical bodies, that /healthz
+# reports the degraded window, and that the killed replica rejoins after its
+# chaos restart. Exits nonzero on any failed request or a missed recovery.
+set -euo pipefail
+
+GO=${GO:-go}
+ADDR=${ADDR:-127.0.0.1:8692}
+WORK=$(mktemp -d)
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+echo "== build uoiserve =="
+"$GO" build -o "$WORK/uoiserve" ./cmd/uoiserve
+
+echo "== generate + fit =="
+"$GO" run ./cmd/uoigen -kind var -n 400 -p 8 -order 1 -seed 7 -o "$WORK/series.hbf"
+mkdir -p "$WORK/models"
+"$GO" run ./cmd/uoifit -algo var -data "$WORK/series.hbf" -order 1 \
+  -b1 4 -b2 3 -q 4 -ranks 2 -model-out "$WORK/models/smoke.uoim"
+
+echo "== start fleet (3 replicas, kill smoke's primary at its 5th request) =="
+"$WORK/uoiserve" -models "$WORK/models" -addr "$ADDR" \
+  -replicas 3 -replication-factor 2 \
+  -chaos-kill smoke@5 -chaos-restart 2s >"$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+
+# Wait for readiness (healthz turns 200 once every replica is warm).
+for i in $(seq 1 50); do
+  if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "fleet exited early:" >&2
+    cat "$WORK/server.log" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+BODY='{"model":"smoke","history":[[0.1,0,0,0,0,0,0,0],[0,0.2,0,0,0,0,0,0]],"horizon":3}'
+
+echo "== baseline forecast =="
+BASE_CODE=$(curl -sS -o "$WORK/base.json" -w '%{http_code}' \
+  -H 'Content-Type: application/json' -d "$BODY" "http://$ADDR/v1/forecast")
+[ "$BASE_CODE" = "200" ] || { echo "baseline forecast: HTTP $BASE_CODE" >&2; exit 1; }
+cat "$WORK/base.json"; echo
+
+echo "== 30 requests across the injected kill =="
+for i in $(seq 1 30); do
+  CODE=$(curl -sS -o "$WORK/fc.json" -w '%{http_code}' \
+    -H 'Content-Type: application/json' -d "$BODY" "http://$ADDR/v1/forecast")
+  if [ "$CODE" != "200" ]; then
+    echo "request $i failed: HTTP $CODE" >&2
+    cat "$WORK/fc.json" >&2
+    exit 1
+  fi
+  # Failover and replica identity must be invisible in the response bytes.
+  cmp -s "$WORK/base.json" "$WORK/fc.json" || {
+    echo "request $i: response differs from baseline" >&2
+    diff "$WORK/base.json" "$WORK/fc.json" >&2 || true
+    exit 1
+  }
+done
+echo "30/30 ok, bit-identical"
+
+echo "== the kill must actually have fired =="
+grep -q 'chaos: killed replica' "$WORK/server.log" || {
+  echo "no chaos kill in server log" >&2
+  cat "$WORK/server.log" >&2
+  exit 1
+}
+
+echo "== killed replica rejoins (healthz back to ok) =="
+RECOVERED=0
+for i in $(seq 1 40); do
+  if curl -fsS "http://$ADDR/healthz" 2>/dev/null | grep -q '^ok'; then
+    RECOVERED=1
+    break
+  fi
+  sleep 0.25
+done
+[ "$RECOVERED" = "1" ] || {
+  echo "fleet never recovered after the chaos restart" >&2
+  curl -sS "http://$ADDR/healthz" >&2 || true
+  cat "$WORK/server.log" >&2
+  exit 1
+}
+grep -q 'chaos: restarted replica' "$WORK/server.log" || {
+  echo "no chaos restart in server log" >&2
+  cat "$WORK/server.log" >&2
+  exit 1
+}
+
+echo "== post-recovery forecast =="
+CODE=$(curl -sS -o "$WORK/fc.json" -w '%{http_code}' \
+  -H 'Content-Type: application/json' -d "$BODY" "http://$ADDR/v1/forecast")
+[ "$CODE" = "200" ] || { echo "post-recovery forecast: HTTP $CODE" >&2; exit 1; }
+cmp -s "$WORK/base.json" "$WORK/fc.json" || {
+  echo "post-recovery response differs from baseline" >&2
+  exit 1
+}
+
+echo "== drain =="
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+grep -q 'fleet drained cleanly' "$WORK/server.log" || {
+  echo "fleet did not drain cleanly" >&2
+  cat "$WORK/server.log" >&2
+  exit 1
+}
+echo "fleet smoke passed"
