@@ -2,10 +2,10 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-full vet fmt doccheck experiments csv examples trace serve-smoke fleet-smoke clean
+.PHONY: build test test-short test-race bench bench-full vet fmt doccheck experiments csv examples trace serve-smoke fleet-smoke stream-smoke clean
 
 # Packages whose exported surface must be fully documented (CI gate).
-DOCCHECK_PKGS = ./internal/checkpoint ./internal/fleet ./internal/model ./internal/serve .
+DOCCHECK_PKGS = ./internal/checkpoint ./internal/fleet ./internal/model ./internal/serve ./internal/stream .
 
 build:
 	$(GO) build ./...
@@ -69,6 +69,12 @@ serve-smoke:
 # failed requests, probe-driven rejoin, graceful drain.
 fleet-smoke:
 	bash scripts/fleet_smoke.sh
+
+# Streaming smoke test: serve with -stream, ingest observations while
+# forecasting, assert the model's version bumps across background refits
+# and zero forecasts fail during the hot swaps.
+stream-smoke:
+	bash scripts/stream_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

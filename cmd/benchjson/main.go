@@ -239,6 +239,13 @@ func main() {
 		os.Exit(1)
 	}
 
+	// ---- stream: warm-vs-cold refit + ingest throughput ----
+
+	if err := benchStream(report, *short); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -14,6 +14,21 @@
 //	GET  /healthz      — 200 while serving, 503 while empty or draining
 //	GET  /debug/uoivar — live counters (batches, cache hits, inflight limits)
 //
+// With -stream, two more endpoints keep served VAR models fresh under
+// continuous data:
+//
+//	POST /v1/ingest        — {"model","rows":[[...]]} appends observations to
+//	                         the model's sliding window (-window rows, or the
+//	                         effective window of -forget); every -refit-every
+//	                         rows a background refit re-runs the model's
+//	                         recorded UoI-VAR recipe on the window — warm-
+//	                         started from the previous model and reusing
+//	                         unchanged bootstrap cells — and hot-swaps the
+//	                         result into the registry (version bumps, old
+//	                         model serves until the instant of the swap)
+//	GET  /v1/stream/status — per-model window fill, refit counts/latency, and
+//	                         last error
+//
 // Concurrent forecasts against one model coalesce into batched GEMMs
 // (-batch-window, -batch-max); responses are bit-identical to unbatched
 // evaluation. Repeated requests are answered from an LRU cache
@@ -50,6 +65,7 @@ import (
 	"uoivar/internal/model"
 	"uoivar/internal/monitor"
 	"uoivar/internal/serve"
+	"uoivar/internal/stream"
 	"uoivar/internal/trace"
 )
 
@@ -64,6 +80,12 @@ type options struct {
 	MaxInflight  int
 	Timeout      time.Duration
 	DrainWait    time.Duration
+
+	// Streaming mode (-stream).
+	Stream     bool
+	RefitEvery int
+	Window     int
+	Forget     float64
 
 	// Fleet mode (Replicas > 1).
 	Replicas          int
@@ -88,6 +110,10 @@ func main() {
 	flag.IntVar(&o.MaxInflight, "max-inflight", 256, "per-endpoint concurrency limit (429 beyond it)")
 	flag.DurationVar(&o.Timeout, "timeout", 30*time.Second, "per-request deadline (504 past it)")
 	flag.DurationVar(&o.DrainWait, "drain-wait", 30*time.Second, "max graceful-shutdown wait on SIGINT/SIGTERM")
+	flag.BoolVar(&o.Stream, "stream", false, "enable streaming ingest: POST /v1/ingest buffers observations and refits VAR models in the background")
+	flag.IntVar(&o.RefitEvery, "refit-every", 256, "ingested rows between background refits (0 = never; streaming mode)")
+	flag.IntVar(&o.Window, "window", 512, "sliding-window cap in rows for streaming refits")
+	flag.Float64Var(&o.Forget, "forget", 0, "forgetting factor γ in (0,1): truncate the window where weights γ^age fall below 1% (0 disables; streaming mode)")
 	flag.IntVar(&o.Replicas, "replicas", 1, "serving replicas behind the consistent-hash router (>1 enables fleet mode)")
 	flag.IntVar(&o.ReplicationFactor, "replication-factor", 2, "preferred ring owners per model name (fleet mode)")
 	flag.DurationVar(&o.Hedge, "hedge", 0, "hedged-send delay for idempotent reads (0 disables; fleet mode)")
@@ -132,7 +158,7 @@ func run(o *options) error {
 		}
 		return st
 	})
-	s := serve.New(serve.Config{
+	cfg := serve.Config{
 		Registry:     reg,
 		BatchWindow:  o.BatchWindow,
 		BatchMax:     o.BatchMax,
@@ -141,7 +167,14 @@ func run(o *options) error {
 		Timeout:      o.Timeout,
 		Tracer:       tr,
 		Monitor:      mon,
-	})
+	}
+	if o.Stream {
+		mgr := stream.NewManager(reg, *streamOptions(o, tr))
+		cfg.Streams = mgr
+		mon.SetDegraded(mgr.Degraded)
+		fmt.Printf("streaming enabled: window=%d refit-every=%d forget=%g\n", o.Window, o.RefitEvery, o.Forget)
+	}
+	s := serve.New(cfg)
 	bound, err := s.ListenAndServe(o.Addr)
 	if err != nil {
 		return err
@@ -166,6 +199,16 @@ func run(o *options) error {
 	}
 	fmt.Println("drained cleanly")
 	return nil
+}
+
+// streamOptions maps the -stream family of flags onto stream.Options.
+func streamOptions(o *options, tr *trace.Tracer) *stream.Options {
+	return &stream.Options{
+		Window:     o.Window,
+		Forget:     o.Forget,
+		RefitEvery: o.RefitEvery,
+		Tracer:     tr,
+	}
 }
 
 // chaosPlan translates the -chaos-kill/-chaos-restart flags into a seeded
@@ -222,6 +265,12 @@ func chaosPlan(o *options, reps []*fleet.Replica) (*fault.Plan, func(id int), er
 func runFleet(o *options) error {
 	reps := make([]*fleet.Replica, o.Replicas)
 	backends := make([]fleet.Backend, o.Replicas)
+	var streamOpts *stream.Options
+	if o.Stream {
+		// Each replica owns its stream state; ingest routes to a model's
+		// ring primary, so windows accumulate where the model serves.
+		streamOpts = streamOptions(o, nil)
+	}
 	for i := range reps {
 		reps[i] = fleet.NewReplica(fleet.ReplicaConfig{
 			ID:        i,
@@ -233,6 +282,7 @@ func runFleet(o *options) error {
 				MaxInflight:  o.MaxInflight,
 				Timeout:      o.Timeout,
 			},
+			Stream: streamOpts,
 		})
 		backends[i] = reps[i]
 	}

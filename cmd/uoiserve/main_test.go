@@ -15,7 +15,10 @@ import (
 	"uoivar/internal/fleet"
 	"uoivar/internal/mat"
 	"uoivar/internal/model"
+	"uoivar/internal/resample"
 	"uoivar/internal/serve"
+	"uoivar/internal/uoi"
+	"uoivar/internal/varsim"
 )
 
 // writeToyModel saves a tiny hand-built order-2 VAR artifact.
@@ -207,6 +210,117 @@ func TestRunFleetServesAndSurvivesKill(t *testing.T) {
 				}
 			}
 		}
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain hung")
+	}
+}
+
+// TestRunStreamIngest drives -stream end to end in single-server mode:
+// ingest observations over HTTP, watch the background refit publish a new
+// version, and confirm forecasts answer from the refreshed model.
+func TestRunStreamIngest(t *testing.T) {
+	rng := resample.NewRNG(4)
+	vm := varsim.GenerateStable(rng, 3, 1, nil)
+	series := vm.Simulate(rng.Derive(1), 260, 50)
+	cfg := &uoi.VARConfig{Order: 1, B1: 4, B2: 3, Q: 4, Seed: 9}
+	res, err := uoi.VAR(series.SubRows(0, 120), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := model.Save(filepath.Join(dir, "net"+model.Ext), model.FromVAR(res, cfg)); err != nil {
+		t.Fatal(err)
+	}
+
+	bound := make(chan string, 1)
+	sigs := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(&options{
+			Models: dir, Addr: "127.0.0.1:0",
+			DrainWait: 5 * time.Second,
+			Stream:    true, RefitEvery: 80, Window: 140,
+			bound: bound, signals: sigs,
+		})
+	}()
+	var addr string
+	select {
+	case addr = <-bound:
+	case err := <-done:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never came up")
+	}
+	url := "http://" + addr
+
+	rows := make([][]float64, 0, 100)
+	for i := 120; i < 220; i++ {
+		rows = append(rows, series.Row(i))
+	}
+	body, _ := json.Marshal(serve.IngestRequest{Model: "net", Rows: rows})
+	resp, err := http.Post(url+"/v1/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d %s", resp.StatusCode, out)
+	}
+
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		resp, err := http.Get(url + "/v1/stream/status?model=net")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var sr serve.StreamStatusResponse
+		if err := json.Unmarshal(out, &sr); err != nil {
+			t.Fatalf("status: %s: %v", out, err)
+		}
+		if len(sr.Streams) == 1 && sr.Streams[0].Refits >= 1 && !sr.Streams[0].RefitPending {
+			if sr.Streams[0].LastError != "" {
+				t.Fatalf("stream degraded: %s", sr.Streams[0].LastError)
+			}
+			if sr.Streams[0].Version < 2 {
+				t.Fatalf("version = %d after refit, want ≥ 2", sr.Streams[0].Version)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no refit published in time: %s", out)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	fbody, _ := json.Marshal(serve.ForecastRequest{
+		Model: "net", History: [][]float64{{0.1, 0.2, 0.3}}, Horizon: 2,
+	})
+	resp, err = http.Post(url+"/v1/forecast", "application/json", bytes.NewReader(fbody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forecast after swap: %d %s", resp.StatusCode, out)
+	}
+	var fc serve.ForecastResponse
+	if err := json.Unmarshal(out, &fc); err != nil {
+		t.Fatal(err)
+	}
+	if fc.Version < 2 {
+		t.Fatalf("forecast served version %d, want the refreshed model (≥ 2)", fc.Version)
 	}
 
 	sigs <- syscall.SIGTERM

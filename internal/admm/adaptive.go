@@ -130,7 +130,7 @@ func LassoAdaptive(x *mat.Dense, y []float64, lambda float64, opts *AdaptiveOpti
 		epsDual := sqrtP*o.AbsTol + o.RelTol*rho*mat.Norm2(u)
 		if primal <= epsPrimal && dual <= epsDual {
 			return &Result{
-				Beta: z, Iters: iter, Converged: true,
+				Beta: z, U: u, Iters: iter, Converged: true,
 				PrimalRes: primal, DualRes: dual,
 				Objective: Objective(x, y, z, lambda),
 			}, nil
@@ -160,7 +160,7 @@ func LassoAdaptive(x *mat.Dense, y []float64, lambda float64, opts *AdaptiveOpti
 		}
 	}
 	return &Result{
-		Beta: z, Iters: o.MaxIter, Converged: false,
+		Beta: z, U: u, Iters: o.MaxIter, Converged: false,
 		PrimalRes: primal, DualRes: dual,
 		Objective: Objective(x, y, z, lambda),
 	}, nil

@@ -174,6 +174,7 @@ func (s *ConsensusSolver) run(opts *Options, zUpdate func(z, sumXU []float64, nR
 	countSolve(o.Trace, iters)
 	return &Result{
 		Beta:       z,
+		U:          u,
 		Iters:      iters,
 		Converged:  converged,
 		PrimalRes:  primal,

@@ -28,8 +28,12 @@ type Options struct {
 	// AbsTol and RelTol are the standard primal/dual stopping tolerances
 	// (Boyd §3.3). Zeros select 1e-6 and 1e-4.
 	AbsTol, RelTol float64
-	// WarmStart, if non-nil, seeds z and u (both length p) — used when
-	// sweeping the λ path within a bootstrap.
+	// WarmZ and WarmU, if non-nil, seed the consensus iterate z and the
+	// scaled dual u (both length p) — used when sweeping the λ path within
+	// a bootstrap. Boyd's warm start carries both: reseeding z alone
+	// restarts the dual from zero and forfeits most of the saved
+	// iterations. The previous solve's pair is available as Result.Beta
+	// and Result.U.
 	WarmZ, WarmU []float64
 	// KernelWorkers bounds the goroutine parallelism of the dense kernels
 	// (AtA, Cholesky) run by the convenience solvers that build their own
@@ -81,6 +85,7 @@ func countSolve(tr *trace.Tracer, iters int) {
 // Result reports a solve outcome.
 type Result struct {
 	Beta       []float64 // the consensus estimate z
+	U          []float64 // the scaled dual at exit — seeds WarmU on the next λ
 	Iters      int
 	Converged  bool
 	PrimalRes  float64
@@ -265,11 +270,11 @@ func (f *Factorization) SolveRHS(aty []float64, lambda float64, opts *Options) *
 		epsDual := sqrtP*o.AbsTol + o.RelTol*f.rho*mat.Norm2(u)
 		if primal <= epsPrimal && dual <= epsDual {
 			countSolve(o.Trace, iter)
-			return &Result{Beta: z, Iters: iter, Converged: true, PrimalRes: primal, DualRes: dual}
+			return &Result{Beta: z, U: u, Iters: iter, Converged: true, PrimalRes: primal, DualRes: dual}
 		}
 	}
 	countSolve(o.Trace, o.MaxIter)
-	return &Result{Beta: z, Iters: o.MaxIter, Converged: false, PrimalRes: primal, DualRes: dual}
+	return &Result{Beta: z, U: u, Iters: o.MaxIter, Converged: false, PrimalRes: primal, DualRes: dual}
 }
 
 // OLS solves the unpenalized least-squares problem via the same machinery

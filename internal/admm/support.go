@@ -1,6 +1,8 @@
 package admm
 
 import (
+	"math"
+
 	"uoivar/internal/mat"
 	"uoivar/internal/mpi"
 )
@@ -38,7 +40,16 @@ func OLSOnSupportWorkers(x *mat.Dense, y []float64, support []int, workers int) 
 		ch, err = mat.NewCholesky(mat.AddRidge(gram, jitter))
 		if err != nil {
 			// Degenerate to a strongly regularized solve; still well defined.
-			ch, _ = mat.NewCholesky(mat.AddRidge(gram, 1.0))
+			ch, err = mat.NewCholesky(mat.AddRidge(gram, 1.0))
+		}
+		if err != nil {
+			// Unfactorable even under heavy ridge — non-finite data. Report
+			// a non-finite estimate instead of panicking, so held-out
+			// scoring discards this support.
+			for _, j := range support {
+				beta[j] = math.NaN()
+			}
+			return beta
 		}
 	}
 	sol := ch.Solve(aty)

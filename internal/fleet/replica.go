@@ -8,6 +8,7 @@ import (
 	"uoivar/internal/model"
 	"uoivar/internal/monitor"
 	"uoivar/internal/serve"
+	"uoivar/internal/stream"
 )
 
 // ReplicaConfig configures one in-process serving replica. Replicas share
@@ -25,9 +26,14 @@ type ReplicaConfig struct {
 	// instead of ModelsDir (benches and tests).
 	Artifacts map[string]*model.Artifact
 	// Serve carries the per-replica server tuning (batch window, cache,
-	// inflight caps). Registry and Monitor are owned by the replica and
-	// must be nil.
+	// inflight caps). Registry, Monitor, and Streams are owned by the
+	// replica and must be nil.
 	Serve serve.Config
+	// Stream, when non-nil, enables streaming ingest on this replica: each
+	// Start builds a fresh stream.Manager over the replica's registry so
+	// ingested windows and refit state live with the replica that owns the
+	// model on the ring.
+	Stream *stream.Options
 }
 
 // Replica is one member of the fleet: a serve.Server plus the lifecycle
@@ -77,14 +83,21 @@ func (r *Replica) Start() error {
 		return nil
 	}
 	cfg := r.cfg.Serve
-	if cfg.Registry != nil || cfg.Monitor != nil {
+	if cfg.Registry != nil || cfg.Monitor != nil || cfg.Streams != nil {
 		r.mu.Unlock()
-		return errors.New("fleet: ReplicaConfig.Serve must not carry Registry or Monitor")
+		return errors.New("fleet: ReplicaConfig.Serve must not carry Registry, Monitor, or Streams")
 	}
 	reg := serve.NewRegistry()
 	cfg.Registry = reg
 	mon := monitor.New(fmt.Sprintf("replica-%d", r.cfg.ID))
 	cfg.Monitor = mon
+	if r.cfg.Stream != nil {
+		// The manager creates engines lazily on first ingest, so building it
+		// before warm-up populates the registry is safe.
+		mgr := stream.NewManager(reg, *r.cfg.Stream)
+		cfg.Streams = mgr
+		mon.SetDegraded(mgr.Degraded)
+	}
 	srv := serve.New(cfg)
 	addr, err := srv.ListenAndServe("127.0.0.1:0")
 	if err != nil {

@@ -9,6 +9,8 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/url"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,6 +18,7 @@ import (
 	"uoivar/internal/fault"
 	"uoivar/internal/monitor"
 	"uoivar/internal/resample"
+	"uoivar/internal/serve"
 	"uoivar/internal/trace"
 )
 
@@ -335,6 +338,8 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("/v1/models", rt.handleModels)
 	mux.HandleFunc("/v1/forecast", rt.handleRouted("/v1/forecast"))
 	mux.HandleFunc("/v1/granger", rt.handleRouted("/v1/granger"))
+	mux.HandleFunc("/v1/ingest", rt.handleIngest)
+	mux.HandleFunc("/v1/stream/status", rt.handleStreamStatus)
 	mux.HandleFunc("/v1/reload", rt.handleReload)
 	if rt.cfg.Monitor != nil {
 		rt.cfg.Monitor.Register(mux)
@@ -749,6 +754,103 @@ func (rt *Router) handleRouted(path string) http.HandlerFunc {
 		res := rt.route(ctx, peek.Model, spec, true)
 		rt.relay(ctx, w, res)
 	})
+}
+
+// handleIngest routes POST /v1/ingest to the model's ring primary, exactly
+// like forecast/granger — so a model's observation window accumulates on
+// the replica that serves it — but with hedging OFF: appending rows is not
+// idempotent, and a hedged duplicate would double-count them. Failover
+// still applies; if the primary dies, its successor starts a fresh window
+// and refits resume once it reaches the minimum row count.
+func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
+	rt.admitted("/v1/ingest", http.MethodPost, func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.Timeout)
+		defer cancel()
+		defer r.Body.Close()
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+		if err != nil {
+			rt.writeJSONError(w, http.StatusBadRequest, "read body: %v", err)
+			return
+		}
+		var peek struct {
+			Model string `json:"model"`
+		}
+		if err := json.Unmarshal(body, &peek); err != nil {
+			rt.writeJSONError(w, http.StatusBadRequest, "parse request: %v", err)
+			return
+		}
+		rt.tracer.Add("fleet/ingests", 1)
+		spec := &attemptSpec{method: http.MethodPost, path: "/v1/ingest", ctype: "application/json", body: body}
+		res := rt.route(ctx, peek.Model, spec, false)
+		rt.relay(ctx, w, res)
+	})(w, r)
+}
+
+// handleStreamStatus serves GET /v1/stream/status. With ?model= it routes
+// to that model's ring primary (the replica holding its window); without,
+// it fans out to every healthy replica and merges the rows, keeping each
+// model's row from the replica that has ingested the most for it.
+func (rt *Router) handleStreamStatus(w http.ResponseWriter, r *http.Request) {
+	rt.admitted("/v1/stream/status", http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.Timeout)
+		defer cancel()
+		if name := r.URL.Query().Get("model"); name != "" {
+			spec := &attemptSpec{method: http.MethodGet, path: "/v1/stream/status?model=" + url.QueryEscape(name)}
+			res := rt.route(ctx, name, spec, false)
+			rt.relay(ctx, w, res)
+			return
+		}
+		spec := &attemptSpec{method: http.MethodGet, path: "/v1/stream/status"}
+		byModel := make(map[string]serve.StreamStatus)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		var anyOK atomic.Bool
+		var lastRes proxyResult
+		for _, id := range rt.order {
+			if !rt.reps[id].healthy.Load() {
+				continue
+			}
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				res := rt.forward(ctx, id, spec)
+				mu.Lock()
+				defer mu.Unlock()
+				if res.err != nil || res.status != http.StatusOK {
+					lastRes = res
+					return
+				}
+				anyOK.Store(true)
+				var resp serve.StreamStatusResponse
+				if json.Unmarshal(res.body, &resp) != nil {
+					return
+				}
+				for _, st := range resp.Streams {
+					if have, ok := byModel[st.Model]; !ok || st.TotalRows > have.TotalRows {
+						byModel[st.Model] = st
+					}
+				}
+			}(id)
+		}
+		wg.Wait()
+		if !anyOK.Load() {
+			rt.relay(ctx, w, lastRes)
+			return
+		}
+		names := make([]string, 0, len(byModel))
+		for name := range byModel {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		out := serve.StreamStatusResponse{Streams: make([]serve.StreamStatus, 0, len(names))}
+		for _, name := range names {
+			out.Streams = append(out.Streams, byModel[name])
+		}
+		body, _ := json.Marshal(out)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(body) //nolint:errcheck // client hangup
+	})(w, r)
 }
 
 // handleModels serves GET /v1/models from any healthy replica (hedged —

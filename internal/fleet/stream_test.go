@@ -1,0 +1,182 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"uoivar/internal/model"
+	"uoivar/internal/resample"
+	"uoivar/internal/serve"
+	"uoivar/internal/stream"
+	"uoivar/internal/trace"
+	"uoivar/internal/uoi"
+	"uoivar/internal/varsim"
+)
+
+// TestFleetStreaming: end to end through the router — ingest routes to the
+// model's ring primary, a background refit fires on cadence and hot-swaps
+// the primary's registry (version bump visible over /v1/stream/status), and
+// forecasts keep answering throughout.
+func TestFleetStreaming(t *testing.T) {
+	rng := resample.NewRNG(3)
+	vm := varsim.GenerateStable(rng, 3, 1, nil)
+	series := vm.Simulate(rng.Derive(1), 300, 50)
+	cfg := &uoi.VARConfig{Order: 1, B1: 4, B2: 3, Q: 4, Seed: 5}
+	res, err := uoi.VAR(series.SubRows(0, 120), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := model.Save(filepath.Join(dir, "net"+model.Ext), model.FromVAR(res, cfg)); err != nil {
+		t.Fatal(err)
+	}
+
+	streamOpts := &stream.Options{Window: 140, RefitEvery: 100, MinRows: 60}
+	reps := make([]*Replica, 2)
+	for i := range reps {
+		reps[i] = NewReplica(ReplicaConfig{ID: i, ModelsDir: dir, Stream: streamOpts})
+		if err := reps[i].Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(reps[i].Shutdown)
+	}
+	rt, url := startRouter(t, Config{Backends: replicaBackends(reps), Tracer: trace.New()})
+	primary := rt.candidates("net")[0]
+
+	// Ingest 120 rows in chunks; the cadence (100) triggers one background
+	// refit. Forecasts run between chunks and must never fail.
+	for lo := 120; lo < 240; lo += 30 {
+		rows := make([][]float64, 0, 30)
+		for i := lo; i < lo+30; i++ {
+			rows = append(rows, series.Row(i))
+		}
+		body, _ := json.Marshal(serve.IngestRequest{Model: "net", Rows: rows})
+		resp := postJSON(t, url+"/v1/ingest", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest = %d: %s", resp.StatusCode, readAll(t, resp))
+		}
+		var st serve.StreamStatus
+		if err := json.Unmarshal(readAll(t, resp), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Model != "net" {
+			t.Fatalf("ingest status for %q, want net", st.Model)
+		}
+		fresp := postJSON(t, url+"/v1/forecast", []byte(`{"model":"net","history":[[0.1,0.1,0.1]],"horizon":1}`))
+		if fresp.StatusCode != http.StatusOK {
+			t.Fatalf("forecast during ingest = %d: %s", fresp.StatusCode, readAll(t, fresp))
+		}
+		readAll(t, fresp)
+	}
+
+	// The refit is asynchronous: poll status until it publishes.
+	deadline := time.Now().Add(20 * time.Second)
+	var st serve.StreamStatus
+	for {
+		resp, err := http.Get(url + "/v1/stream/status?model=net")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sr serve.StreamStatusResponse
+		if err := json.Unmarshal(readAll(t, resp), &sr); err != nil {
+			t.Fatal(err)
+		}
+		if len(sr.Streams) != 1 {
+			t.Fatalf("status rows = %d, want 1", len(sr.Streams))
+		}
+		st = sr.Streams[0]
+		if st.Refits >= 1 && !st.RefitPending {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no refit published in time: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if st.LastError != "" {
+		t.Fatalf("stream degraded: %s", st.LastError)
+	}
+	if st.TotalRows != 120 {
+		t.Fatalf("primary ingested %d rows, want all 120 (ingest must not scatter)", st.TotalRows)
+	}
+	if st.Version < 2 {
+		t.Fatalf("version = %d after a refit, want ≥ 2 (hot swap must bump)", st.Version)
+	}
+
+	// The swap happened on the ring primary, and only there.
+	for i, rep := range reps {
+		resp, err := http.Get("http://" + rep.Addr() + "/v1/models")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ml struct {
+			Models []struct {
+				Name    string `json:"name"`
+				Version int    `json:"version"`
+			} `json:"models"`
+		}
+		if err := json.Unmarshal(readAll(t, resp), &ml); err != nil {
+			t.Fatal(err)
+		}
+		if len(ml.Models) != 1 {
+			t.Fatalf("replica %d serves %d models, want 1", i, len(ml.Models))
+		}
+		wantV := 1
+		if i == primary {
+			wantV = st.Version
+		}
+		if ml.Models[0].Version != wantV {
+			t.Fatalf("replica %d serves version %d, want %d", i, ml.Models[0].Version, wantV)
+		}
+	}
+
+	// The merged (no ?model=) status keeps the primary's row.
+	resp, err := http.Get(url + "/v1/stream/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr serve.StreamStatusResponse
+	if err := json.Unmarshal(readAll(t, resp), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Streams) != 1 || sr.Streams[0].TotalRows != 120 {
+		t.Fatalf("merged status = %+v, want one net row with 120 total rows", sr.Streams)
+	}
+
+	// Forecasts still answer after the swap.
+	fresp := postJSON(t, url+"/v1/forecast", []byte(`{"model":"net","history":[[0.1,0.1,0.1]],"horizon":1}`))
+	if fresp.StatusCode != http.StatusOK {
+		t.Fatalf("forecast after swap = %d: %s", fresp.StatusCode, readAll(t, fresp))
+	}
+	readAll(t, fresp)
+}
+
+func postJSON(t *testing.T, url string, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestRouterIngestUnknownModel: an ingest for a model no replica streams
+// relays the replica's 404 through the router.
+func TestRouterIngestUnknownModel(t *testing.T) {
+	b := newStub(t, 0, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"error":"no stream for model \"ghost\""}`)
+	})
+	_, url := startRouter(t, Config{Backends: backends(b), Tracer: trace.New()})
+	resp := postJSON(t, url+"/v1/ingest", []byte(`{"model":"ghost","rows":[[1]]}`))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ingest = %d, want 404 relayed", resp.StatusCode)
+	}
+	readAll(t, resp)
+}

@@ -97,6 +97,7 @@ func (f *VecFactorization) SolveProjected(comm *mpi.Comm, support []bool, opts *
 	f.countSolve(&o, iters)
 	return &admm.Result{
 		Beta:       z,
+		U:          u,
 		Iters:      iters,
 		Converged:  converged,
 		PrimalRes:  primal,

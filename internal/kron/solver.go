@@ -191,6 +191,7 @@ func (f *VecFactorization) Solve(comm *mpi.Comm, lambda float64, opts *admm.Opti
 	f.countSolve(&o, iters)
 	return &admm.Result{
 		Beta:       z,
+		U:          u,
 		Iters:      iters,
 		Converged:  converged,
 		PrimalRes:  primal,

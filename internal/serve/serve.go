@@ -48,6 +48,10 @@ type Config struct {
 	MaxHorizon int
 	// MaxBodyBytes caps request bodies (default 64 MiB).
 	MaxBodyBytes int64
+	// Streams, when non-nil, enables the streaming endpoints POST
+	// /v1/ingest and GET /v1/stream/status backed by per-model refit
+	// engines (stream.Manager). Nil serves 404 on both.
+	Streams Streamer
 	// Tracer, when non-nil, receives serving spans and counters
 	// (serve/requests, serve/forecast_batches, serve/cache_hits, ...).
 	Tracer *trace.Tracer
@@ -212,6 +216,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/forecast", s.handleForecast)
 	mux.HandleFunc("/v1/granger", s.handleGranger)
 	mux.HandleFunc("/v1/reload", s.handleReload)
+	mux.HandleFunc("/v1/ingest", s.handleIngest)
+	mux.HandleFunc("/v1/stream/status", s.handleStreamStatus)
 	if s.cfg.Monitor != nil {
 		s.cfg.Monitor.Register(mux)
 	}

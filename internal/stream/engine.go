@@ -1,0 +1,328 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"uoivar/internal/mat"
+	"uoivar/internal/model"
+	"uoivar/internal/serve"
+	"uoivar/internal/trace"
+	"uoivar/internal/uoi"
+)
+
+// ErrNotReady reports a refit attempt on a window still below the minimum
+// row count; the currently-published model keeps serving.
+var ErrNotReady = errors.New("stream: window below minimum rows")
+
+// Config configures one model's streaming refit engine.
+type Config struct {
+	// Name is the registry name the engine ingests for and republishes.
+	Name string
+	// Registry receives each refreshed model via its hot-swap path.
+	Registry *serve.Registry
+	// Base is the fit configuration every refit runs with (order, B1/B2,
+	// λ grid, seed, workers). The engine owns the WarmBeta, Cells, Trace,
+	// and Checkpoint fields; values set there are overwritten.
+	Base uoi.VARConfig
+	// Window caps the sliding window in rows (default 512).
+	Window int
+	// Forget, when in (0,1), is an exponential forgetting factor: the
+	// window is truncated to EffectiveWindow(Forget, WeightFloor) rows so
+	// observations whose weight would fall below WeightFloor are dropped.
+	Forget float64
+	// WeightFloor is Forget's weight cutoff (default 0.01).
+	WeightFloor float64
+	// RefitEvery triggers a background refit each time this many rows have
+	// been ingested since the last refit started (0 = manual RefitNow only).
+	RefitEvery int
+	// MinRows is the minimum buffered rows before any refit (default
+	// max(32, 4·(Order+1))).
+	MinRows int
+	// ArtifactPath, when non-empty, receives each refreshed model as an
+	// atomically-written .uoim file before registry publication, keeping
+	// the on-disk artifact (and /v1/reload) coherent with what serves.
+	ArtifactPath string
+	// NoWarm disables the warm start and cell cache: every refit runs
+	// cold. The published bits are identical either way (warm starts only
+	// change the work done); this exists for the warm-vs-cold bench.
+	NoWarm bool
+	// Tracer, when non-nil, receives stream/* spans and counters.
+	Tracer *trace.Tracer
+}
+
+// Engine ingests observations for one model and keeps its served artifact
+// fresh: appended rows accumulate in a sliding window, every RefitEvery
+// rows a single-flight background refit re-runs UoI-VAR on the window —
+// warm-started from the previous model and skipping content-hash-unchanged
+// bootstrap cells — and the result is published atomically into the
+// registry (bumping the model's version) while the old model serves
+// uninterrupted.
+type Engine struct {
+	cfg     Config
+	p       int
+	window  int
+	minRows int
+	buf     *Buffer
+	cache   *uoi.MapCellCache
+	tr      *trace.Tracer
+
+	// fitMu serializes refits (the background loop and RefitNow).
+	fitMu sync.Mutex
+
+	mu          sync.Mutex
+	prevBeta    []float64
+	refits      int64
+	running     bool
+	pending     bool
+	lastErr     error
+	lastMs      float64
+	lastIters   int
+	lastSeries  *mat.Dense
+	lastCfg     uoi.VARConfig
+	fittedTotal int64
+}
+
+// NewEngine builds an engine for cfg.Name, which must already be registered
+// (the current artifact fixes the observation width p and fills any fit
+// parameters missing from cfg.Base).
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Registry == nil || cfg.Name == "" {
+		return nil, errors.New("stream: Config.Registry and Config.Name are required")
+	}
+	entry := cfg.Registry.Get(cfg.Name)
+	if entry == nil {
+		return nil, fmt.Errorf("stream: model %q: %w", cfg.Name, serve.ErrUnknownStream)
+	}
+	if entry.Artifact.Meta.Kind != model.KindVAR {
+		return nil, fmt.Errorf("stream: model %q is %q — streaming refits support var models only",
+			cfg.Name, entry.Artifact.Meta.Kind)
+	}
+	if cfg.Base.Order <= 0 {
+		cfg.Base.Order = entry.Artifact.Meta.Order
+	}
+	window := cfg.Window
+	if window <= 0 {
+		window = 512
+	}
+	if ew := EffectiveWindow(cfg.Forget, cfg.WeightFloor); ew > 0 && (cfg.Window <= 0 || ew < window) {
+		window = ew
+	}
+	minRows := cfg.MinRows
+	if minRows <= 0 {
+		minRows = 4 * (cfg.Base.Order + 1)
+		if minRows < 32 {
+			minRows = 32
+		}
+	}
+	e := &Engine{
+		cfg:     cfg,
+		p:       entry.Artifact.Meta.P,
+		window:  window,
+		minRows: minRows,
+		buf:     NewBuffer(entry.Artifact.Meta.P, window),
+		cache:   uoi.NewMapCellCache(),
+		tr:      cfg.Tracer,
+	}
+	return e, nil
+}
+
+// Ingest appends rows to the window, schedules a background refit when the
+// cadence is due, and returns the post-append status.
+func (e *Engine) Ingest(rows [][]float64) (serve.StreamStatus, error) {
+	if len(rows) == 0 {
+		return e.Status(), errors.New("stream: no rows")
+	}
+	if err := e.buf.Append(rows); err != nil {
+		return e.Status(), err
+	}
+	e.tr.Add("stream/ingests", 1)
+	e.tr.Add("stream/ingest_rows", int64(len(rows)))
+	if e.cfg.RefitEvery > 0 && e.buf.Len() >= e.minRows {
+		e.mu.Lock()
+		due := e.buf.Total()-e.fittedTotal >= int64(e.cfg.RefitEvery)
+		e.mu.Unlock()
+		if due {
+			e.refitAsync()
+		}
+	}
+	return e.Status(), nil
+}
+
+// refitAsync starts the single-flight background refit loop, or marks one
+// more round pending if it is already running.
+func (e *Engine) refitAsync() {
+	e.mu.Lock()
+	if e.running {
+		e.pending = true
+		e.mu.Unlock()
+		return
+	}
+	e.running = true
+	e.mu.Unlock()
+	go func() {
+		for {
+			e.refit() //nolint:errcheck // recorded in lastErr / Status
+			e.mu.Lock()
+			if !e.pending {
+				e.running = false
+				e.mu.Unlock()
+				return
+			}
+			e.pending = false
+			e.mu.Unlock()
+		}
+	}()
+}
+
+// RefitNow refits synchronously on the current window and publishes the
+// result, regardless of cadence. Used by tests, benches, and operators.
+func (e *Engine) RefitNow() (serve.StreamStatus, error) {
+	err := e.refit()
+	return e.Status(), err
+}
+
+// refit snapshots the window, fits, and publishes. Serialized by fitMu.
+func (e *Engine) refit() error {
+	e.fitMu.Lock()
+	defer e.fitMu.Unlock()
+	sp := e.tr.Start("stream/refit")
+	defer sp.End()
+
+	spSnap := sp.Child("snapshot")
+	snap := e.buf.Snapshot()
+	snapTotal := e.buf.Total()
+	spSnap.End()
+	e.mu.Lock()
+	e.fittedTotal = snapTotal
+	warm := e.prevBeta
+	e.mu.Unlock()
+	if snap.Rows < e.minRows {
+		return fmt.Errorf("%w: %d < %d", ErrNotReady, snap.Rows, e.minRows)
+	}
+
+	// The fit input is exactly (window, cfg): WarmBeta and the cell cache
+	// ride inside cfg, so a cold uoi.VAR with this cfg on this window
+	// reproduces the published bits exactly.
+	cfg := e.cfg.Base
+	cfg.Trace = e.tr
+	cfg.Checkpoint = nil
+	cfg.WarmBeta = nil
+	cfg.Cells = nil
+	if !e.cfg.NoWarm {
+		cfg.WarmBeta = warm
+		e.cache.Rotate()
+		cfg.Cells = e.cache
+	}
+	hits0, _ := e.cache.Stats()
+	t0 := time.Now()
+	res, err := uoi.VAR(snap, &cfg)
+	if err != nil {
+		e.tr.Add("stream/refit_errors", 1)
+		e.mu.Lock()
+		e.lastErr = err
+		e.mu.Unlock()
+		return err
+	}
+	hits1, _ := e.cache.Stats()
+	e.tr.Add("stream/cells_reused", hits1-hits0)
+
+	art := model.FromVAR(res, &cfg)
+	spPub := sp.Child("publish")
+	if e.cfg.ArtifactPath != "" {
+		if err := model.Save(e.cfg.ArtifactPath, art); err != nil {
+			spPub.End()
+			e.tr.Add("stream/refit_errors", 1)
+			e.mu.Lock()
+			e.lastErr = err
+			e.mu.Unlock()
+			return err
+		}
+	}
+	if _, err := e.cfg.Registry.Set(e.cfg.Name, art, e.cfg.ArtifactPath); err != nil {
+		spPub.End()
+		e.tr.Add("stream/refit_errors", 1)
+		e.mu.Lock()
+		e.lastErr = err
+		e.mu.Unlock()
+		return err
+	}
+	spPub.End()
+	e.tr.Add("stream/refits", 1)
+
+	e.mu.Lock()
+	e.prevBeta = res.Beta
+	e.refits++
+	e.lastErr = nil
+	e.lastMs = float64(time.Since(t0).Nanoseconds()) / 1e6
+	e.lastIters = res.Diag.ADMMIters
+	e.lastSeries = snap
+	e.lastCfg = cfg
+	e.mu.Unlock()
+	return nil
+}
+
+// Status reports the engine's current streaming state.
+func (e *Engine) Status() serve.StreamStatus {
+	e.mu.Lock()
+	st := serve.StreamStatus{
+		Model:          e.cfg.Name,
+		P:              e.p,
+		Window:         e.window,
+		RefitEvery:     e.cfg.RefitEvery,
+		Refits:         e.refits,
+		RefitPending:   e.running || e.pending,
+		LastRefitMs:    e.lastMs,
+		LastRefitIters: e.lastIters,
+	}
+	if e.lastErr != nil {
+		st.LastError = e.lastErr.Error()
+	}
+	e.mu.Unlock()
+	st.Rows = e.buf.Len()
+	st.TotalRows = e.buf.Total()
+	st.CellsReused, _ = e.cache.Stats()
+	if entry := e.cfg.Registry.Get(e.cfg.Name); entry != nil {
+		st.Version = entry.Version
+	}
+	return st
+}
+
+// LastFit returns the window snapshot and exact fit configuration of the
+// last completed refit (nil before any) — the inputs a cold uoi.VAR must be
+// given to reproduce the published artifact bit for bit.
+func (e *Engine) LastFit() (*mat.Dense, uoi.VARConfig) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastSeries, e.lastCfg
+}
+
+// Err returns the last refit failure (nil while healthy).
+func (e *Engine) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastErr
+}
+
+// Quiesce blocks until no refit is running or pending (or ctx is done) —
+// used by graceful shutdown and tests.
+func (e *Engine) Quiesce(ctx context.Context) error {
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		e.mu.Lock()
+		idle := !e.running && !e.pending
+		e.mu.Unlock()
+		if idle {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}

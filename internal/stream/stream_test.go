@@ -1,0 +1,341 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"uoivar/internal/mat"
+	"uoivar/internal/model"
+	"uoivar/internal/resample"
+	"uoivar/internal/serve"
+	"uoivar/internal/trace"
+	"uoivar/internal/uoi"
+	"uoivar/internal/varsim"
+)
+
+// seedModel fits an initial VAR on the first rows of a long simulated series
+// and registers it, returning the registry, the full series, and the fit
+// config — the starting state of a streaming deployment.
+func seedModel(t *testing.T, name string, nTotal, nSeed int) (*serve.Registry, *mat.Dense, *uoi.VARConfig) {
+	t.Helper()
+	rng := resample.NewRNG(42)
+	m := varsim.GenerateStable(rng, 4, 1, nil)
+	long := m.Simulate(rng.Derive(1), nTotal, 60)
+	cfg := &uoi.VARConfig{Order: 1, B1: 5, B2: 3, Q: 4, Seed: 7}
+	res, err := uoi.VAR(long.SubRows(0, nSeed), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := serve.NewRegistry()
+	if _, err := reg.Set(name, model.FromVAR(res, cfg), ""); err != nil {
+		t.Fatal(err)
+	}
+	return reg, long, cfg
+}
+
+func rowsOf(series *mat.Dense, lo, hi int) [][]float64 {
+	out := make([][]float64, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, series.Row(i))
+	}
+	return out
+}
+
+// TestWarmRefitBitIdentity is the tentpole's correctness proof: after
+// ingesting and refitting twice (so the second refit is genuinely warm —
+// seeded by the first refit's model and drawing on its cell cache), the
+// published artifact must be byte-for-byte the artifact a cold uoi.VAR fit
+// on the same window with the same config produces.
+func TestWarmRefitBitIdentity(t *testing.T) {
+	reg, long, base := seedModel(t, "net", 400, 200)
+	e, err := NewEngine(Config{
+		Name: "net", Registry: reg, Base: *base,
+		Window: 200, MinRows: 40, Tracer: trace.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest(rowsOf(long, 0, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RefitNow(); err != nil {
+		t.Fatal(err)
+	}
+	// Slide the window and refit warm.
+	if _, err := e.Ingest(rowsOf(long, 200, 260)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.RefitNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Refits != 2 || st.Version != 3 {
+		t.Fatalf("refits=%d version=%d, want 2 refits serving version 3", st.Refits, st.Version)
+	}
+
+	window, cfg := e.LastFit()
+	if window == nil {
+		t.Fatal("LastFit returned no window")
+	}
+	if len(cfg.WarmBeta) == 0 {
+		t.Fatal("second refit carried no warm seed")
+	}
+	cold := cfg
+	cold.Cells = nil // drop the execution hint; WarmBeta stays — it is fit input
+	cold.Trace = nil
+	res, err := uoi.VAR(window, &cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantArt := model.FromVAR(res, &cold)
+	want, err := wantArt.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reg.Get("net").Artifact.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("warm streaming refit is not bit-identical to the cold fit on the same window")
+	}
+}
+
+// TestEngineWindowSlideAndCadence: background refits fire on the RefitEvery
+// cadence, the buffer respects the window cap, and each publish bumps the
+// registry version while the entry keeps serving.
+func TestEngineWindowSlideAndCadence(t *testing.T) {
+	reg, long, base := seedModel(t, "net", 400, 200)
+	tr := trace.New()
+	e, err := NewEngine(Config{
+		Name: "net", Registry: reg, Base: *base,
+		Window: 150, MinRows: 60, RefitEvery: 50, Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lo := 0; lo < 300; lo += 25 {
+		if _, err := e.Ingest(rowsOf(long, lo, lo+25)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := e.Quiesce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Status()
+	if st.Rows != 150 {
+		t.Fatalf("window holds %d rows, want the 150-row cap", st.Rows)
+	}
+	if st.TotalRows != 300 {
+		t.Fatalf("total rows = %d, want 300", st.TotalRows)
+	}
+	if st.Refits < 2 {
+		t.Fatalf("only %d background refits fired over 300 rows at cadence 50", st.Refits)
+	}
+	if st.LastError != "" {
+		t.Fatalf("stream degraded: %s", st.LastError)
+	}
+	entry := reg.Get("net")
+	if entry.Version != int(st.Refits)+1 {
+		t.Fatalf("registry version %d after %d refits, want %d", entry.Version, st.Refits, st.Refits+1)
+	}
+	c := tr.Counters()
+	if c["stream/refits"] != st.Refits {
+		t.Fatalf("stream/refits counter = %d, want %d", c["stream/refits"], st.Refits)
+	}
+	if c["stream/ingest_rows"] != 300 {
+		t.Fatalf("stream/ingest_rows counter = %d, want 300", c["stream/ingest_rows"])
+	}
+	// The served predictor must be usable after the swaps.
+	if entry.Pred == nil {
+		t.Fatal("published entry has no predictor")
+	}
+}
+
+// TestEngineCellReuseAcrossSlide: overlapping windows must reuse cells and
+// warm starts must cut ADMM iterations versus a cold engine fed identically.
+func TestEngineCellReuseAcrossSlide(t *testing.T) {
+	run := func(noWarm bool) (serve.StreamStatus, int) {
+		reg, long, base := seedModel(t, "net", 400, 200)
+		e, err := NewEngine(Config{
+			Name: "net", Registry: reg, Base: *base,
+			Window: 200, MinRows: 40, NoWarm: noWarm, Tracer: trace.New(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Ingest(rowsOf(long, 0, 200)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.RefitNow(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Ingest(rowsOf(long, 200, 220)); err != nil {
+			t.Fatal(err)
+		}
+		st, err := e.RefitNow()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, st.LastRefitIters
+	}
+	warmSt, warmIters := run(false)
+	coldSt, coldIters := run(true)
+	if warmIters >= coldIters {
+		t.Fatalf("warm second refit used %d ADMM iterations, cold used %d — warm start saved nothing",
+			warmIters, coldIters)
+	}
+	if coldSt.CellsReused != 0 {
+		t.Fatalf("NoWarm engine reused %d cells, want 0", coldSt.CellsReused)
+	}
+	_ = warmSt
+	t.Logf("second-refit ADMM iterations: cold=%d warm=%d (cells reused: %d)",
+		coldIters, warmIters, warmSt.CellsReused)
+}
+
+// TestEngineArtifactPathPersists: with ArtifactPath set, each refit saves an
+// artifact whose bytes match the registry entry, so /v1/reload stays
+// coherent with what serves.
+func TestEngineArtifactPathPersists(t *testing.T) {
+	reg, long, base := seedModel(t, "net", 300, 150)
+	path := filepath.Join(t.TempDir(), "net.uoim")
+	e, err := NewEngine(Config{
+		Name: "net", Registry: reg, Base: *base,
+		Window: 150, MinRows: 40, ArtifactPath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest(rowsOf(long, 0, 150)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RefitNow(); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := model.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskBytes, err := onDisk.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	servedBytes, err := reg.Get("net").Artifact.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(diskBytes, servedBytes) {
+		t.Fatal("saved artifact differs from the served one")
+	}
+	if got := reg.Get("net").Path; got != path {
+		t.Fatalf("entry path = %q, want %q", got, path)
+	}
+}
+
+// TestBufferValidation: width and non-finite values are rejected before any
+// row is buffered, and eviction keeps the newest rows.
+func TestBufferValidation(t *testing.T) {
+	b := NewBuffer(2, 3)
+	if err := b.Append([][]float64{{1, 2, 3}}); err == nil {
+		t.Fatal("wrong-width row accepted")
+	}
+	if err := b.Append([][]float64{{1, math.NaN()}}); err == nil {
+		t.Fatal("NaN row accepted")
+	}
+	if err := b.Append([][]float64{{1, math.Inf(1)}}); err == nil {
+		t.Fatal("Inf row accepted")
+	}
+	if b.Len() != 0 || b.Total() != 0 {
+		t.Fatalf("rejected appends mutated the buffer: len=%d total=%d", b.Len(), b.Total())
+	}
+	for i := 0; i < 5; i++ {
+		if err := b.Append([][]float64{{float64(i), 0}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Len() != 3 || b.Total() != 5 {
+		t.Fatalf("len=%d total=%d, want 3/5", b.Len(), b.Total())
+	}
+	snap := b.Snapshot()
+	want := []float64{2, 3, 4}
+	for i, w := range want {
+		if snap.Row(i)[0] != w {
+			t.Fatalf("snapshot row %d starts with %g, want %g (oldest-first, newest kept)", i, snap.Row(i)[0], w)
+		}
+	}
+}
+
+func TestEffectiveWindow(t *testing.T) {
+	if w := EffectiveWindow(0, 0); w != 0 {
+		t.Fatalf("no forgetting should yield 0, got %d", w)
+	}
+	if w := EffectiveWindow(0.99, 0.01); w != 459 {
+		t.Fatalf("EffectiveWindow(0.99, 0.01) = %d, want 459", w)
+	}
+	// Default floor is 0.01.
+	if EffectiveWindow(0.95, 0) != EffectiveWindow(0.95, 0.01) {
+		t.Fatal("zero floor should default to 0.01")
+	}
+}
+
+// TestManagerRoutesAndDegrades: the manager lazily creates engines from
+// artifact metadata, routes ingest/status by model name, 404s unknown
+// models, skips non-VAR artifacts, and surfaces failing streams.
+func TestManagerRoutes(t *testing.T) {
+	reg, long, base := seedModel(t, "net", 300, 150)
+	m := NewManager(reg, Options{Window: 150, MinRows: 40})
+	if _, err := m.Ingest("nope", rowsOf(long, 0, 1)); err == nil {
+		t.Fatal("unknown model accepted")
+	} else if got := err.Error(); got == "" {
+		t.Fatal("empty error")
+	}
+	if _, ok := m.Status("nope"); ok {
+		t.Fatal("unknown model has status")
+	}
+	st, err := m.Ingest("net", rowsOf(long, 0, 150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Model != "net" || st.Rows != 150 {
+		t.Fatalf("status = %+v, want model net with 150 rows", st)
+	}
+	all := m.StatusAll()
+	if len(all) != 1 || all[0].Model != "net" {
+		t.Fatalf("StatusAll = %+v, want one row for net", all)
+	}
+	if d := m.Degraded(); len(d) != 0 {
+		t.Fatalf("healthy manager reports degraded: %v", d)
+	}
+	// The lazily-built engine reconstructed the fit recipe from metadata:
+	// a manual refit must reproduce the same model a direct fit would.
+	e, ok := m.Engine("net")
+	if !ok {
+		t.Fatal("no engine after ingest")
+	}
+	if _, err := e.RefitNow(); err != nil {
+		t.Fatal(err)
+	}
+	window, _ := e.LastFit()
+	direct, err := uoi.VAR(window, &uoi.VARConfig{
+		Order: base.Order, B1: base.B1, B2: base.B2, Q: base.Q, Seed: base.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := reg.Get("net")
+	if len(got.Artifact.A) != len(direct.A) {
+		t.Fatal("lag order mismatch")
+	}
+	for j := range direct.A {
+		if !reflect.DeepEqual(got.Artifact.A[j].Data, direct.A[j].Data) {
+			t.Fatal("manager-reconstructed config does not reproduce the direct fit")
+		}
+	}
+}

@@ -52,10 +52,10 @@ func LassoCV(x *mat.Dense, y []float64, folds, q int, seed uint64) (*BaselineRes
 		if err != nil {
 			return nil, err
 		}
-		var warmZ []float64
+		var warmZ, warmU []float64
 		for j, lam := range lambdas {
-			r := fac.Solve(lam, &admm.Options{WarmZ: warmZ})
-			warmZ = r.Beta
+			r := fac.Solve(lam, &admm.Options{WarmZ: warmZ, WarmU: warmU})
+			warmZ, warmU = r.Beta, r.U
 			cvLoss[j] += metrics.PredictionLoss(xe, ye, r.Beta)
 		}
 	}
@@ -87,10 +87,10 @@ func LassoBIC(x *mat.Dense, y []float64, q int) (*BaselineResult, error) {
 	bestBIC := math.Inf(1)
 	var bestBeta []float64
 	bestLambda := lambdas[0]
-	var warmZ []float64
+	var warmZ, warmU []float64
 	for _, lam := range lambdas {
-		r := fac.Solve(lam, &admm.Options{WarmZ: warmZ})
-		warmZ = r.Beta
+		r := fac.Solve(lam, &admm.Options{WarmZ: warmZ, WarmU: warmU})
+		warmZ, warmU = r.Beta, r.U
 		rss := 2 * metrics.PredictionLoss(x, y, r.Beta)
 		if rss <= 0 {
 			rss = 1e-300

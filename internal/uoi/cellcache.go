@@ -1,0 +1,217 @@
+package uoi
+
+import (
+	"sync"
+
+	"uoivar/internal/checkpoint"
+	"uoivar/internal/mat"
+	"uoivar/internal/resample"
+)
+
+// CellCache memoizes completed VAR bootstrap cells across fits. Keys are
+// content hashes over every input that determines the cell's output — the
+// cell index and resampling geometry, the solver configuration, the λ grid,
+// the warm-start seed, and the bytes of exactly the series rows the cell's
+// bootstrap touches — so a hit is only possible when recomputation would
+// reproduce the identical bits. That makes the cache purely an execution
+// hint: streaming refits hand the same cache to consecutive fits and every
+// cell whose bootstrap window is unchanged is skipped, while any cell whose
+// window slid re-runs.
+//
+// Implementations must be safe for concurrent use (cells run on
+// VARConfig.Workers goroutines) and must return slices the caller may
+// retain but will not mutate.
+type CellCache interface {
+	// GetSel returns the memoized selection-cell support indicators.
+	GetSel(key uint64) ([]bool, bool)
+	// PutSel stores a completed selection cell's support indicators.
+	PutSel(key uint64, sup []bool)
+	// GetEst returns the memoized estimation-cell winner.
+	GetEst(key uint64) ([]float64, bool)
+	// PutEst stores a completed estimation cell's winner.
+	PutEst(key uint64, beta []float64)
+}
+
+// MapCellCache is the built-in CellCache: a mutex-guarded two-generation
+// map. Rotate (called between fits by the streaming engine) demotes the
+// current generation and drops the previous one, so entries untouched for
+// two consecutive fits are evicted and a long-lived cache stays bounded by
+// roughly two fits' worth of cells. A hit in the demoted generation is
+// promoted back, keeping stable cells alive indefinitely.
+type MapCellCache struct {
+	mu           sync.Mutex
+	selCur       map[uint64][]bool
+	selPrev      map[uint64][]bool
+	estCur       map[uint64][]float64
+	estPrev      map[uint64][]float64
+	hits, misses int64
+}
+
+// NewMapCellCache returns an empty MapCellCache.
+func NewMapCellCache() *MapCellCache {
+	return &MapCellCache{
+		selCur: map[uint64][]bool{}, selPrev: map[uint64][]bool{},
+		estCur: map[uint64][]float64{}, estPrev: map[uint64][]float64{},
+	}
+}
+
+// GetSel implements CellCache.
+func (c *MapCellCache) GetSel(key uint64) ([]bool, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v, ok := c.selCur[key]; ok {
+		c.hits++
+		return v, true
+	}
+	if v, ok := c.selPrev[key]; ok {
+		c.hits++
+		c.selCur[key] = v // promote: still in use
+		return v, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// PutSel implements CellCache.
+func (c *MapCellCache) PutSel(key uint64, sup []bool) {
+	c.mu.Lock()
+	c.selCur[key] = sup
+	c.mu.Unlock()
+}
+
+// GetEst implements CellCache.
+func (c *MapCellCache) GetEst(key uint64) ([]float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v, ok := c.estCur[key]; ok {
+		c.hits++
+		return v, true
+	}
+	if v, ok := c.estPrev[key]; ok {
+		c.hits++
+		c.estCur[key] = v
+		return v, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// PutEst implements CellCache.
+func (c *MapCellCache) PutEst(key uint64, beta []float64) {
+	c.mu.Lock()
+	c.estCur[key] = beta
+	c.mu.Unlock()
+}
+
+// Rotate starts a new generation: the current cells become the previous
+// generation and anything already demoted is evicted. Call once per fit.
+func (c *MapCellCache) Rotate() {
+	c.mu.Lock()
+	c.selPrev, c.selCur = c.selCur, map[uint64][]bool{}
+	c.estPrev, c.estCur = c.estCur, map[uint64][]float64{}
+	c.mu.Unlock()
+}
+
+// Stats reports cumulative cache hits and misses.
+func (c *MapCellCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len reports the number of live entries across both generations.
+func (c *MapCellCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.selCur) + len(c.selPrev) + len(c.estCur) + len(c.estPrev)
+}
+
+// hashTouchedRows folds into h the index and contents of every series row a
+// cell's design construction reads: each bootstrap target t spans rows
+// t−d .. t. Rows outside the bootstrap's reach do not influence the cell,
+// so they stay out of the key — this is what lets an unchanged cell hit
+// across fits even when other parts of the series moved.
+func hashTouchedRows(h *checkpoint.Hasher, series *mat.Dense, targets []int, d int) {
+	touched := make([]bool, series.Rows)
+	for _, t := range targets {
+		for r := t - d; r <= t; r++ {
+			touched[r] = true
+		}
+	}
+	for i, on := range touched {
+		if on {
+			h.AddUint64(uint64(i))
+			h.AddFloats(series.Row(i))
+		}
+	}
+}
+
+// selCellKey hashes every input of varSelCell k: cell identity and
+// resampling geometry, solver tolerances, the λ grid, the warm-start seed,
+// and the touched series rows.
+func selCellKey(series *mat.Dense, k, m, blockLen int, lambdas []float64, c *VARConfig) uint64 {
+	h := checkpoint.NewHasher()
+	h.AddUint64(1) // cell kind: selection
+	h.AddUint64(c.Seed)
+	h.AddUint64(uint64(k))
+	h.AddUint64(uint64(m))
+	h.AddUint64(uint64(blockLen))
+	h.AddUint64(uint64(c.Order))
+	if c.NoIntercept {
+		h.AddUint64(1)
+	} else {
+		h.AddUint64(0)
+	}
+	h.AddFloat(c.ADMM.Rho)
+	h.AddUint64(uint64(c.ADMM.MaxIter))
+	h.AddFloat(c.ADMM.AbsTol)
+	h.AddFloat(c.ADMM.RelTol)
+	h.AddFloat(c.L2)
+	h.AddFloat(c.SupportTol)
+	h.AddFloats(lambdas)
+	h.AddFloats(c.WarmBeta)
+	rng := resample.NewRNG(c.Seed).Derive(uint64(k) + 1)
+	idx := resample.MovingBlockBootstrap(rng, m, blockLen)
+	targets := make([]int, len(idx))
+	for i, v := range idx {
+		targets[i] = c.Order + v
+	}
+	hashTouchedRows(h, series, targets, c.Order)
+	return h.Sum()
+}
+
+// estCellKey hashes every input of varEstCell k: cell identity, split
+// geometry, the candidate support family, and the touched series rows.
+func estCellKey(series *mat.Dense, k, m, blockLen int, distinct [][]int, c *VARConfig) uint64 {
+	h := checkpoint.NewHasher()
+	h.AddUint64(2) // cell kind: estimation
+	h.AddUint64(c.Seed)
+	h.AddUint64(uint64(k))
+	h.AddUint64(uint64(m))
+	h.AddUint64(uint64(blockLen))
+	h.AddUint64(uint64(c.Order))
+	if c.NoIntercept {
+		h.AddUint64(1)
+	} else {
+		h.AddUint64(0)
+	}
+	h.AddFloat(c.TrainFrac)
+	h.AddUint64(uint64(len(distinct)))
+	for _, s := range distinct {
+		h.AddUint64(uint64(len(s)))
+		for _, v := range s {
+			h.AddUint64(uint64(v))
+		}
+	}
+	rng := resample.NewRNG(c.Seed).Derive(1_000_000 + uint64(k))
+	trainIdx, evalIdx := resample.BlockTrainEvalSplit(rng, m, blockLen, c.TrainFrac)
+	targets := make([]int, 0, len(trainIdx)+len(evalIdx))
+	for _, v := range trainIdx {
+		targets = append(targets, c.Order+v)
+	}
+	for _, v := range evalIdx {
+		targets = append(targets, c.Order+v)
+	}
+	hashTouchedRows(h, series, targets, c.Order)
+	return h.Sum()
+}

@@ -2,6 +2,7 @@ package uoi
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"uoivar/internal/admm"
@@ -48,12 +49,15 @@ func lassoSelCell(x *mat.Dense, y []float64, root *resample.RNG, k int, lambdas 
 	}
 	tr.Add("admm/factorizations", 1)
 	sup = make([]bool, len(lambdas)*p)
-	var warmZ []float64
+	// Warm-start each λ from its neighbor's (z, u) pair — carrying only z
+	// would restart the dual at zero every step and forfeit most of the
+	// saved iterations (Boyd §4.3's standard path warm start).
+	var warmZ, warmU []float64
 	for j, lam := range lambdas {
 		opts := c.ADMM
-		opts.WarmZ = warmZ
+		opts.WarmZ, opts.WarmU = warmZ, warmU
 		r := f.Solve(lam, &opts)
-		warmZ = r.Beta
+		warmZ, warmU = r.Beta, r.U
 		fits++
 		iters += r.Iters
 		row := sup[j*p : (j+1)*p]
@@ -79,19 +83,23 @@ func lassoEstCell(x *mat.Dense, y []float64, root *resample.RNG, k int, distinct
 	xe := x.SelectRows(evalIdx)
 	ye := selectVec(y, evalIdx)
 
-	bestLoss := 0.0
+	bestLoss := math.Inf(1)
 	var bestBeta []float64
-	first := true
 	for _, s := range distinct {
 		b := admm.OLSOnSupportWorkers(xt, yt, s, kw)
 		fits++
 		loss := metrics.PredictionLoss(xe, ye, b)
-		if first || loss < bestLoss {
+		// Skip non-finite losses: a NaN in the first slot would make every
+		// later `loss < bestLoss` false and win silently.
+		if math.IsNaN(loss) || math.IsInf(loss, 0) {
+			continue
+		}
+		if bestBeta == nil || loss < bestLoss {
 			bestLoss = loss
 			bestBeta = b
-			first = false
 		}
 	}
+	// All candidates non-finite (or none): fall back to the null model.
 	if bestBeta == nil {
 		bestBeta = make([]float64, p)
 	}
@@ -148,16 +156,37 @@ func varSelCell(series *mat.Dense, root *resample.RNG, k, m, blockLen int, lambd
 	tr.Add("admm/factorizations", 1)
 	betaLen := rowsB * p
 	sup = make([]bool, len(lambdas)*betaLen)
+	// Sweep order: the λ grid is descending (λ_max first), where the cold
+	// solution starts near zero — the natural chain for zero starts. When a
+	// previous model seeds the sweep (c.WarmBeta, streaming refits), the
+	// seed approximates the *small*-λ solutions, so the sweep runs
+	// smallest-λ-first instead and chains (z, u) upward from there.
+	order := make([]int, len(lambdas))
+	for i := range order {
+		order[i] = i
+	}
+	var prev []float64
+	if len(c.WarmBeta) == betaLen {
+		prev = c.WarmBeta
+		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+	}
 	yCol := make([]float64, des.X.Rows)
 	for eq := 0; eq < p; eq++ {
 		des.Y.Col(eq, yCol)
 		aty := mat.AtVecWorkers(des.X, yCol, kw)
-		var warmZ []float64
-		for j, lam := range lambdas {
+		// Carry both halves of the warm start along the path; z alone
+		// restarts the dual from zero at every λ (see lassoSelCell).
+		var warmZ, warmU []float64
+		if prev != nil {
+			warmZ = prev[eq*rowsB : (eq+1)*rowsB]
+		}
+		for _, j := range order {
 			opts := c.ADMM
-			opts.WarmZ = warmZ
-			r := f.SolveRHS(aty, lam, &opts)
-			warmZ = r.Beta
+			opts.WarmZ, opts.WarmU = warmZ, warmU
+			r := f.SolveRHS(aty, lambdas[j], &opts)
+			warmZ, warmU = r.Beta, r.U
 			fits++
 			iters += r.Iters
 			row := sup[j*betaLen+eq*rowsB : j*betaLen+(eq+1)*rowsB]
@@ -192,19 +221,22 @@ func varEstCell(series *mat.Dense, root *resample.RNG, k, m, blockLen, betaLen i
 	spK.End()
 	kron = time.Since(t0)
 
-	bestLoss := 0.0
+	bestLoss := math.Inf(1)
 	var bestBeta []float64
-	first := true
 	for _, s := range distinct {
 		b := olsOnVecSupport(trainDes, s, kw)
 		fits++
 		loss := vecLoss(evalDes, b)
-		if first || loss < bestLoss {
+		// Non-finite losses never win (see lassoEstCell).
+		if math.IsNaN(loss) || math.IsInf(loss, 0) {
+			continue
+		}
+		if bestBeta == nil || loss < bestLoss {
 			bestLoss = loss
 			bestBeta = b
-			first = false
 		}
 	}
+	// All candidates non-finite (or none): fall back to the null model.
 	if bestBeta == nil {
 		bestBeta = make([]float64, betaLen)
 	}

@@ -1,0 +1,110 @@
+package uoi
+
+import (
+	"math"
+	"testing"
+
+	"uoivar/internal/resample"
+	"uoivar/internal/trace"
+	"uoivar/internal/varsim"
+)
+
+// TestEstCellSkipsNaNLoss is the regression test for NaN-sticky winner
+// selection: when the first candidate support covers a column of NaNs, its
+// held-out loss is NaN, and the old `loss < bestLoss` chain let it win every
+// later comparison. The clean candidate must win instead.
+func TestEstCellSkipsNaNLoss(t *testing.T) {
+	x, y, _ := makeRegression(3, 60, 6, 3, 0.2)
+	root := resample.NewRNG(7)
+	c := (&LassoConfig{}).defaults()
+	// Poison feature 0 in the cell's *training* rows only: the OLS fit on
+	// any support containing 0 turns NaN (and with it that candidate's
+	// held-out loss), while candidates that exclude 0 stay finite. The split
+	// here re-derives exactly what lassoEstCell(k=0) will draw.
+	trainIdx, _ := resample.TrainEvalSplit(root.Derive(1_000_000), x.Rows, c.TrainFrac)
+	for _, i := range trainIdx {
+		x.Row(i)[0] = math.NaN()
+	}
+	// Candidate order matters: the poisoned support comes first.
+	distinct := [][]int{{0}, {1, 2, 3}}
+	beta, fits := lassoEstCell(x, y, root, 0, distinct, &c, 1)
+	if fits != len(distinct) {
+		t.Fatalf("fits = %d, want %d", fits, len(distinct))
+	}
+	for i, v := range beta {
+		if math.IsNaN(v) {
+			t.Fatalf("NaN winner survived: beta[%d] = %v", i, v)
+		}
+	}
+	if beta[1] == 0 && beta[2] == 0 && beta[3] == 0 {
+		t.Fatal("clean candidate {1,2,3} did not win")
+	}
+}
+
+// TestEstCellAllNaNFallsBackToNull: when every candidate's held-out loss is
+// non-finite, the cell must return the finite null model, not a NaN vector.
+func TestEstCellAllNaNFallsBackToNull(t *testing.T) {
+	x, y, _ := makeRegression(4, 50, 4, 2, 0.2)
+	for i := 0; i < x.Rows; i++ {
+		x.Row(i)[0] = math.NaN()
+	}
+	root := resample.NewRNG(9)
+	c := (&LassoConfig{}).defaults()
+	beta, _ := lassoEstCell(x, y, root, 0, [][]int{{0}, {0, 1}}, &c, 1)
+	for i, v := range beta {
+		if v != 0 {
+			t.Fatalf("all-NaN family must yield the null model, got beta[%d] = %v", i, v)
+		}
+	}
+}
+
+// TestVarEstCellSkipsNaNLoss exercises the same fix on the VAR estimation
+// cell: a poisoned channel makes supports touching it score NaN, and the
+// winner must come from the finite candidates.
+func TestVarEstCellSkipsNaNLoss(t *testing.T) {
+	rng := resample.NewRNG(21)
+	m := varsim.GenerateStable(rng, 3, 1, nil)
+	series := m.Simulate(rng.Derive(1), 80, 50)
+	c := (&VARConfig{Order: 1}).defaults()
+	d := c.Order
+	nTotal := series.Rows
+	mm := nTotal - d
+	blockLen := int(math.Ceil(math.Sqrt(float64(mm))))
+	full := varsim.NewDesign(series, d, true)
+	betaLen := full.X.Cols * series.Cols
+
+	// A support using only the intercept column always fits finitely; a
+	// NaN-poisoned series makes every support NaN instead, checked below.
+	root := resample.NewRNG(c.Seed)
+	clean := []int{full.X.Cols - 1}
+	beta, fits, _ := varEstCell(series, root, 0, mm, blockLen, betaLen, [][]int{clean}, &c, 1, trace.Span{})
+	if fits != 1 {
+		t.Fatalf("fits = %d, want 1", fits)
+	}
+	for i, v := range beta {
+		if math.IsNaN(v) {
+			t.Fatalf("clean fit produced NaN at %d", i)
+		}
+	}
+
+	series.Row(10)[0] = math.NaN()
+	beta, _, _ = varEstCell(series, root, 0, mm, blockLen, betaLen, [][]int{{0}, {1}}, &c, 1, trace.Span{})
+	for i, v := range beta {
+		if math.IsNaN(v) {
+			t.Fatalf("NaN winner survived VAR est cell: beta[%d] = %v", i, v)
+		}
+	}
+}
+
+// TestSupportKeyNoHighIndexCollision is the regression test for the 3-byte
+// supportKey packing: {2²⁴} and {0} collided (both hashed to three zero
+// bytes), silently merging distinct whole-brain-scale vec supports.
+func TestSupportKeyNoHighIndexCollision(t *testing.T) {
+	if supportKey([]int{0}) == supportKey([]int{1 << 24}) {
+		t.Fatal("supportKey collides on indices ≥ 2²⁴")
+	}
+	got := dedupeSupports([][]int{{0}, {1 << 24}, {5}, {5 + 1<<24}})
+	if len(got) != 4 {
+		t.Fatalf("dedupeSupports merged distinct high-index supports: kept %d of 4: %v", len(got), got)
+	}
+}

@@ -370,6 +370,13 @@ func varFingerprint(series *mat.Dense, blockLen int, c *VARConfig) uint64 {
 	h.AddFloat(c.SupportTol)
 	h.AddFloat(c.SelectionFrac)
 	h.AddFloat(c.TrainFrac)
+	// WarmBeta changes selection-cell outputs, so a checkpoint taken with
+	// one seed must not resume under another. Hashed only when set so
+	// fingerprints of ordinary (cold) fits are unchanged from prior
+	// releases.
+	if len(c.WarmBeta) > 0 {
+		h.AddFloats(c.WarmBeta)
+	}
 	h.AddFloats(series.Data)
 	return h.Sum()
 }

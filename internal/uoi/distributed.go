@@ -201,15 +201,15 @@ func LassoDistributedPhases(comm *mpi.Comm, xSel *mat.Dense, ySel []float64, xEs
 			}
 		}
 		okB1[k] = 1
-		var warmZ []float64
+		var warmZ, warmU []float64
 		for j, lam := range lambdas {
 			if j%grid.PLambda != l {
 				continue
 			}
 			opts := c.ADMM
-			opts.WarmZ = warmZ
+			opts.WarmZ, opts.WarmU = warmZ, warmU
 			r := solver.Solve(lam, &opts)
-			warmZ = r.Beta
+			warmZ, warmU = r.Beta, r.U
 			res.Diag.LassoFits++
 			res.Diag.ADMMIters += r.Iters
 			for i, v := range r.Beta {

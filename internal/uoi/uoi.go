@@ -471,10 +471,13 @@ func dedupeSupports(supports [][]int) [][]int {
 	return out
 }
 
+// supportKey packs a support into a collision-free map key: 4 bytes per
+// index covers betaLen = rowsB·p well past 2²⁴, where the previous 3-byte
+// packing silently aliased distinct whole-brain-scale vec supports.
 func supportKey(s []int) string {
-	b := make([]byte, 0, len(s)*3)
+	b := make([]byte, 0, len(s)*4)
 	for _, v := range s {
-		b = append(b, byte(v), byte(v>>8), byte(v>>16))
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 	}
 	return string(b)
 }

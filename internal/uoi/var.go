@@ -46,6 +46,20 @@ type VARConfig struct {
 	// LassoConfig.KernelWorkers: 0 derives GOMAXPROCS/streams, negative
 	// forces the full-machine default.
 	KernelWorkers int
+	// WarmBeta, when its length equals the fit's betaLen (rowsB·p), seeds
+	// every selection bootstrap's λ sweep from a previous model's vec(B):
+	// the sweep runs smallest-λ-first (where the seed is close) and chains
+	// warm starts upward. It is part of the fit's identity — two fits with
+	// the same series, config, and WarmBeta produce bit-identical results,
+	// which is what lets a streaming warm refit equal a cold fit exactly.
+	// A mismatched length is ignored (cold sweep).
+	WarmBeta []float64
+	// Cells, when non-nil, memoizes completed bootstrap cells across fits
+	// keyed by the exact bytes that determine each cell's output (see
+	// CellCache). Purely an execution hint: hits skip recomputation but
+	// never change results. Diagnostics (LassoFits, ADMMIters) count only
+	// the work actually performed.
+	Cells CellCache
 	// Trace, when non-nil, records per-phase spans and solver counters for
 	// this fit (see LassoConfig.Trace). VAR adds kron_assembly spans for the
 	// design-construction work.
@@ -161,9 +175,26 @@ func VAR(series *mat.Dense, cfg *VARConfig) (*VARResult, error) {
 	err := forEachBootstrap(c.Workers, c.B1, func(k int) error {
 		spBoot := spSel.Child("bootstrap")
 		defer spBoot.End()
+		// With a cell cache, a bootstrap whose inputs are bit-unchanged from
+		// a previous fit (same touched rows, λ grid, warm seed) is skipped
+		// outright — the streaming refit's "re-run only what changed" path.
+		var key uint64
+		if c.Cells != nil {
+			key = selCellKey(series, k, m, blockLen, lambdas, &c)
+			if sup, ok := c.Cells.GetSel(key); ok {
+				tr.Add("uoi/sel_cells_reused", 1)
+				selMu.Lock()
+				addSupportCounts(counts, sup, betaLen)
+				selMu.Unlock()
+				return nil
+			}
+		}
 		sup, fits, iters, kTime, err := varSelCell(series, root, k, m, blockLen, lambdas, &c, kw, tr, spSel)
 		if err != nil {
 			return err
+		}
+		if c.Cells != nil {
+			c.Cells.PutSel(key, sup)
 		}
 		selMu.Lock()
 		kronTime += kTime
@@ -200,7 +231,19 @@ func VAR(series *mat.Dense, cfg *VARConfig) (*VARResult, error) {
 	err = forEachBootstrap(c.Workers, c.B2, func(k int) error {
 		spBoot := spEst.Child("bootstrap")
 		defer spBoot.End()
+		var key uint64
+		if c.Cells != nil {
+			key = estCellKey(series, k, m, blockLen, distinct, &c)
+			if beta, ok := c.Cells.GetEst(key); ok {
+				tr.Add("uoi/est_cells_reused", 1)
+				winners[k] = beta
+				return nil
+			}
+		}
 		beta, fits, kTime := varEstCell(series, root, k, m, blockLen, betaLen, distinct, &c, kw, spEst)
+		if c.Cells != nil {
+			c.Cells.PutEst(key, beta)
+		}
 		estMu.Lock()
 		kronTime += kTime
 		res.Diag.OLSFits += fits

@@ -205,15 +205,15 @@ func VARDistributed(comm *mpi.Comm, series *mat.Dense, cfg *VARConfig, dopts *VA
 				continue
 			}
 		}
-		var warmZ []float64
+		var warmZ, warmU []float64
 		for j, lam := range lambdas {
 			if j%grid.PLambda != lSlot {
 				continue
 			}
 			opts := c.ADMM
-			opts.WarmZ = warmZ
+			opts.WarmZ, opts.WarmU = warmZ, warmU
 			r := f.Solve(sub, lam, &opts)
-			warmZ = r.Beta
+			warmZ, warmU = r.Beta, r.U
 			res.Diag.LassoFits++
 			res.Diag.ADMMIters += r.Iters
 			row := indicator[j*betaLen : (j+1)*betaLen]

@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Streaming smoke test: fit a UoI_VAR artifact, serve it with -stream, then
+# ingest observations while forecasting concurrently. Asserts that refits
+# publish (the model's version bumps), that the stream reports healthy, and
+# that not a single forecast fails while the model is hot-swapped mid-
+# traffic. Exits nonzero on any failure.
+set -euo pipefail
+
+GO=${GO:-go}
+ADDR=${ADDR:-127.0.0.1:8692}
+WORK=$(mktemp -d)
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+echo "== build uoiserve =="
+"$GO" build -o "$WORK/uoiserve" ./cmd/uoiserve
+
+echo "== generate + fit =="
+"$GO" run ./cmd/uoigen -kind var -n 400 -p 8 -order 1 -seed 7 -o "$WORK/series.hbf"
+mkdir -p "$WORK/models"
+"$GO" run ./cmd/uoifit -algo var -data "$WORK/series.hbf" -order 1 \
+  -b1 4 -b2 3 -q 4 -ranks 2 -model-out "$WORK/models/smoke.uoim"
+
+echo "== start streaming server =="
+"$WORK/uoiserve" -models "$WORK/models" -addr "$ADDR" \
+  -stream -refit-every 64 -window 256 &
+SERVER_PID=$!
+
+for i in $(seq 1 50); do
+  if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "server exited early" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+# Pre-build ingest bodies: 8 batches of 32 rows each (256 rows total →
+# at least 3 refits at cadence 64 once the 32-row minimum is met).
+python3 - "$WORK" <<'PY'
+import json, math, random, sys
+random.seed(11)
+work = sys.argv[1]
+for b in range(8):
+    rows = [[round(random.gauss(0, 0.5), 6) for _ in range(8)] for _ in range(32)]
+    with open(f"{work}/ingest{b}.json", "w") as f:
+        json.dump({"model": "smoke", "rows": rows}, f)
+PY
+
+echo "== forecast continuously while ingesting =="
+FC_BODY='{"model":"smoke","history":[[0.1,0,0,0,0,0,0,0],[0,0.2,0,0,0,0,0,0]],"horizon":2}'
+: > "$WORK/fc_codes"
+(
+  for i in $(seq 1 200); do
+    curl -sS -o /dev/null -w '%{http_code}\n' \
+      -H 'Content-Type: application/json' -d "$FC_BODY" \
+      "http://$ADDR/v1/forecast" >> "$WORK/fc_codes" || echo "curlfail" >> "$WORK/fc_codes"
+    sleep 0.02
+  done
+) &
+FC_PID=$!
+
+for b in $(seq 0 7); do
+  CODE=$(curl -sS -o "$WORK/ingest_resp.json" -w '%{http_code}' \
+    -H 'Content-Type: application/json' -d @"$WORK/ingest$b.json" \
+    "http://$ADDR/v1/ingest")
+  [ "$CODE" = "200" ] || { echo "ingest batch $b: HTTP $CODE"; cat "$WORK/ingest_resp.json"; exit 1; }
+  sleep 0.1
+done
+
+wait "$FC_PID"
+
+echo "== forecasts must all have succeeded across the swaps =="
+BAD=$(grep -cv '^200$' "$WORK/fc_codes" || true)
+TOTAL=$(wc -l < "$WORK/fc_codes")
+echo "forecasts: $TOTAL total, $BAD non-200"
+[ "$BAD" = "0" ] || { echo "forecasts failed during hot swap" >&2; exit 1; }
+
+echo "== stream status: refits published, version bumped, healthy =="
+# Refits are asynchronous: wait for at least one to publish.
+for i in $(seq 1 50); do
+  curl -fsS "http://$ADDR/v1/stream/status?model=smoke" > "$WORK/status.json"
+  if python3 -c '
+import json, sys
+st = json.load(open(sys.argv[1]))["streams"][0]
+sys.exit(0 if st["refits"] >= 1 and not st["refit_pending"] else 1)
+' "$WORK/status.json" 2>/dev/null; then
+    break
+  fi
+  sleep 0.2
+done
+cat "$WORK/status.json"; echo
+python3 - "$WORK/status.json" <<'PY'
+import json, sys
+st = json.load(open(sys.argv[1]))["streams"][0]
+assert st["model"] == "smoke", st
+assert st["total_rows"] == 256, st
+assert st["refits"] >= 1, st
+assert st["version"] >= 2, st                 # hot swap bumped the version
+assert not st.get("last_error"), st           # stream is healthy
+print("stream ok: %d rows ingested, %d refits, serving v%d (last refit %.1fms, %d ADMM iters)"
+      % (st["total_rows"], st["refits"], st["version"],
+         st.get("last_refit_ms", 0), st.get("last_refit_iters", 0)))
+PY
+
+echo "== the refreshed model serves forecasts =="
+FC_CODE=$(curl -sS -o "$WORK/forecast.json" -w '%{http_code}' \
+  -H 'Content-Type: application/json' -d "$FC_BODY" "http://$ADDR/v1/forecast")
+[ "$FC_CODE" = "200" ] || { echo "post-swap forecast: HTTP $FC_CODE" >&2; exit 1; }
+python3 - "$WORK/forecast.json" <<'PY'
+import json, sys
+fc = json.load(open(sys.argv[1]))
+assert fc["model"] == "smoke" and fc["version"] >= 2, fc
+print("post-swap forecast ok: v%d, %d rows" % (fc["version"], len(fc["forecast"])))
+PY
+
+echo "== drain =="
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+echo "stream smoke passed"
