@@ -2,10 +2,10 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-full vet fmt doccheck experiments csv examples trace serve-smoke fleet-smoke stream-smoke clean
+.PHONY: build test test-short test-race bench bench-full vet fmt doccheck experiments csv examples trace serve-smoke fleet-smoke stream-smoke metrics-smoke clean
 
 # Packages whose exported surface must be fully documented (CI gate).
-DOCCHECK_PKGS = ./internal/checkpoint ./internal/fleet ./internal/model ./internal/serve ./internal/stream .
+DOCCHECK_PKGS = ./internal/checkpoint ./internal/fleet ./internal/model ./internal/serve ./internal/stream ./internal/telemetry .
 
 build:
 	$(GO) build ./...
@@ -75,6 +75,13 @@ fleet-smoke:
 # and zero forecasts fail during the hot swaps.
 stream-smoke:
 	bash scripts/stream_smoke.sh
+
+# Telemetry smoke test: fleet with -metrics and -access-log, tagged traffic
+# across a chaos kill, /metrics validated by the round-trip exposition
+# parser (scripts/promcheck), request IDs traced router → replica in the
+# structured access log.
+metrics-smoke:
+	bash scripts/metrics_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

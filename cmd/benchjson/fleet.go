@@ -17,6 +17,7 @@ import (
 	"uoivar/internal/model"
 	"uoivar/internal/resample"
 	"uoivar/internal/serve"
+	"uoivar/internal/telemetry"
 	"uoivar/internal/trace"
 )
 
@@ -73,6 +74,7 @@ func benchFleet(report *Report, short bool) error {
 		chaos func(reps []*fleet.Replica) (*fault.Plan, func(int), func())) error {
 		reps := make([]*fleet.Replica, replicas)
 		backends := make([]fleet.Backend, replicas)
+		treg := telemetry.NewRegistry()
 		for i := range reps {
 			reps[i] = fleet.NewReplica(fleet.ReplicaConfig{
 				ID:        i,
@@ -81,6 +83,7 @@ func benchFleet(report *Report, short bool) error {
 					BatchWindow:  2 * time.Millisecond,
 					CacheEntries: -1,
 					MaxInflight:  2 * conc,
+					Metrics:      treg,
 				},
 			})
 			backends[i] = reps[i]
@@ -109,6 +112,7 @@ func benchFleet(report *Report, short bool) error {
 			FaultPlan:         plan,
 			Kill:              kill,
 			Tracer:            trace.New(),
+			Metrics:           treg,
 		})
 		if err != nil {
 			cleanup()
@@ -164,19 +168,25 @@ func benchFleet(report *Report, short bool) error {
 		}
 
 		sort.Float64s(latencies)
+		p999, reqTotal, err := telemetryRow(treg, "uoivar_fleet_request_seconds", "uoivar_fleet_requests_total")
+		if err != nil {
+			return err
+		}
 		row := ServingResult{
-			Name:        rowName,
-			Concurrency: conc,
-			Requests:    total,
-			Replicas:    replicas,
-			QPS:         float64(total) / wall.Seconds(),
-			P50Ms:       latencies[total/2],
-			P99Ms:       latencies[total*99/100],
-			Coalescing:  1, // per-replica coalescing is not surfaced here
+			Name:          rowName,
+			Concurrency:   conc,
+			Requests:      total,
+			Replicas:      replicas,
+			QPS:           float64(total) / wall.Seconds(),
+			P50Ms:         latencies[total/2],
+			P99Ms:         latencies[total*99/100],
+			Coalescing:    1, // per-replica coalescing is not surfaced here
+			P999Ms:        p999,
+			RequestsTotal: reqTotal,
 		}
 		report.Serving = append(report.Serving, row)
-		fmt.Fprintf(os.Stderr, "%-40s %10.0f qps  p50 %6.2fms  p99 %6.2fms  replicas %d\n",
-			row.Name, row.QPS, row.P50Ms, row.P99Ms, row.Replicas)
+		fmt.Fprintf(os.Stderr, "%-40s %10.0f qps  p50 %6.2fms  p99 %6.2fms  p999 %6.2fms  replicas %d\n",
+			row.Name, row.QPS, row.P50Ms, row.P99Ms, row.P999Ms, row.Replicas)
 		return nil
 	}
 

@@ -8,6 +8,8 @@ import (
 // Bench artifact schema versions. v2 added the Serving section (QPS,
 // latency percentiles, and batch-coalescing factor of the inference
 // server); v1 artifacts still parse — they simply carry no serving rows.
+// Within v2, serving rows later gained the additive telemetry-derived
+// p999_ms and requests_total fields — older v2 artifacts simply omit them.
 const (
 	BenchSchemaV1      = "uoivar/bench/v1"
 	BenchSchemaVersion = "uoivar/bench/v2"
@@ -36,6 +38,16 @@ type ServingResult struct {
 	P99Ms float64 `json:"p99_ms"`
 	// Coalescing is requests per forecast batch (1.0 = no coalescing).
 	Coalescing float64 `json:"coalescing_factor"`
+	// P999Ms is the p99.9 latency estimated from the server's telemetry
+	// histogram (log-spaced buckets, linear interpolation within a bucket).
+	// Unlike P50Ms/P99Ms it is derived from the registry the /metrics
+	// endpoint scrapes, so it cross-checks client-observed percentiles
+	// against server-recorded ones. 0 on rows recorded before telemetry.
+	P999Ms float64 `json:"p999_ms,omitempty"`
+	// RequestsTotal is the request count accumulated by the telemetry
+	// registry for the row's endpoint — the server-side ledger the
+	// client-side Requests figure must agree with. 0 before telemetry.
+	RequestsTotal int64 `json:"requests_total,omitempty"`
 	// Replicas is the fleet size behind the consistent-hash router for
 	// fleet/* rows; 0 (omitted) for single-server serve/* rows, keeping
 	// pre-fleet v2 artifacts parseable unchanged.
@@ -80,7 +92,8 @@ func ParseBenchReport(data []byte) (*Report, error) {
 	}
 	for i, s := range r.Serving {
 		if s.Name == "" || s.Concurrency <= 0 || s.Requests <= 0 || s.QPS <= 0 ||
-			s.P50Ms <= 0 || s.P99Ms < s.P50Ms || s.Coalescing < 1 || s.Replicas < 0 {
+			s.P50Ms <= 0 || s.P99Ms < s.P50Ms || s.Coalescing < 1 || s.Replicas < 0 ||
+			s.P999Ms < 0 || s.RequestsTotal < 0 {
 			return nil, fmt.Errorf("bench report: serving row %d is malformed: %+v", i, s)
 		}
 	}

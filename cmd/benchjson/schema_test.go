@@ -18,7 +18,8 @@ func validReport() *Report {
 		},
 		Serving: []ServingResult{
 			{Name: "serve/forecast-c8", Concurrency: 8, Requests: 480,
-				QPS: 2500, P50Ms: 3.1, P99Ms: 4.9, Coalescing: 7.5},
+				QPS: 2500, P50Ms: 3.1, P99Ms: 4.9, Coalescing: 7.5,
+				P999Ms: 6.2, RequestsTotal: 480},
 			{Name: "fleet/forecast-c64-r4", Concurrency: 64, Requests: 960,
 				QPS: 9000, P50Ms: 4.2, P99Ms: 11.5, Coalescing: 1, Replicas: 4},
 		},
@@ -52,6 +53,15 @@ func TestParseBenchReportV2(t *testing.T) {
 	}
 	if raw := mustJSON(t, r.Serving[0]); strings.Contains(string(raw), "replicas") {
 		t.Fatalf("single-server row leaked a replicas field: %s", raw)
+	}
+	// The telemetry-derived fields are additive within v2: carried when
+	// present, omitted from JSON entirely when zero (pre-telemetry rows).
+	if r.Serving[0].P999Ms != 6.2 || r.Serving[0].RequestsTotal != 480 {
+		t.Fatalf("telemetry fields = %v, %v", r.Serving[0].P999Ms, r.Serving[0].RequestsTotal)
+	}
+	raw := string(mustJSON(t, r.Serving[1]))
+	if strings.Contains(raw, "p999_ms") || strings.Contains(raw, "requests_total") {
+		t.Fatalf("pre-telemetry row leaked telemetry fields: %s", raw)
 	}
 }
 
@@ -99,6 +109,8 @@ func TestParseBenchReportMalformed(t *testing.T) {
 		"coalescing below 1":  func(r *Report) { r.Serving[0].Coalescing = 0.5 },
 		"unnamed serving row": func(r *Report) { r.Serving[0].Name = "" },
 		"negative replicas":   func(r *Report) { r.Serving[1].Replicas = -2 },
+		"negative p999":       func(r *Report) { r.Serving[0].P999Ms = -1 },
+		"negative req total":  func(r *Report) { r.Serving[0].RequestsTotal = -1 },
 	}
 	for name, mutate := range cases {
 		rep := validReport()

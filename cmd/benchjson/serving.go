@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,8 +17,31 @@ import (
 	"uoivar/internal/model"
 	"uoivar/internal/resample"
 	"uoivar/internal/serve"
+	"uoivar/internal/telemetry"
 	"uoivar/internal/trace"
 )
+
+// telemetryRow derives the server-side serving figures from a telemetry
+// registry: the p99.9 latency estimated from the named histogram and the
+// total request count from the named counter family, both filtered to the
+// forecast endpoint. The exposition is parsed through the validating
+// round-trip parser, so every bench run also re-checks the /metrics format.
+func telemetryRow(treg *telemetry.Registry, histName, counterName string) (p999Ms float64, requests int64, err error) {
+	exp, err := telemetry.ParseExposition(strings.NewReader(treg.Expose()))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bench telemetry exposition: %w", err)
+	}
+	labels := map[string]string{"endpoint": "/v1/forecast"}
+	q, ok := exp.HistogramQuantile(histName, labels, 0.999)
+	if !ok {
+		return 0, 0, fmt.Errorf("bench telemetry: no %s histogram", histName)
+	}
+	sum, n := exp.SumValues(counterName, labels)
+	if n == 0 {
+		return 0, 0, fmt.Errorf("bench telemetry: no %s series", counterName)
+	}
+	return q * 1e3, int64(sum), nil
+}
 
 // benchArtifact builds a synthetic sparse order-2 VAR artifact directly —
 // the serving path does not care how the coefficients were obtained, so no
@@ -83,12 +107,14 @@ func benchServing(report *Report, short bool) error {
 			return err
 		}
 		tr := trace.New()
+		treg := telemetry.NewRegistry()
 		s := serve.New(serve.Config{
 			Registry:     reg,
 			Tracer:       tr,
 			BatchWindow:  2 * time.Millisecond,
 			CacheEntries: -1,
 			MaxInflight:  2 * conc,
+			Metrics:      treg,
 		})
 		addr, err := s.ListenAndServe("127.0.0.1:0")
 		if err != nil {
@@ -141,18 +167,24 @@ func benchServing(report *Report, short bool) error {
 		if batches > 0 {
 			coalescing = float64(reqs) / float64(batches)
 		}
+		p999, reqTotal, err := telemetryRow(treg, "uoivar_serve_request_seconds", "uoivar_serve_requests_total")
+		if err != nil {
+			return err
+		}
 		row := ServingResult{
-			Name:        fmt.Sprintf("serve/forecast-c%d", conc),
-			Concurrency: conc,
-			Requests:    total,
-			QPS:         float64(total) / wall.Seconds(),
-			P50Ms:       latencies[total/2],
-			P99Ms:       latencies[total*99/100],
-			Coalescing:  coalescing,
+			Name:          fmt.Sprintf("serve/forecast-c%d", conc),
+			Concurrency:   conc,
+			Requests:      total,
+			QPS:           float64(total) / wall.Seconds(),
+			P50Ms:         latencies[total/2],
+			P99Ms:         latencies[total*99/100],
+			Coalescing:    coalescing,
+			P999Ms:        p999,
+			RequestsTotal: reqTotal,
 		}
 		report.Serving = append(report.Serving, row)
-		fmt.Fprintf(os.Stderr, "%-40s %10.0f qps  p50 %6.2fms  p99 %6.2fms  coalescing %.2f\n",
-			row.Name, row.QPS, row.P50Ms, row.P99Ms, row.Coalescing)
+		fmt.Fprintf(os.Stderr, "%-40s %10.0f qps  p50 %6.2fms  p99 %6.2fms  p999 %6.2fms  coalescing %.2f\n",
+			row.Name, row.QPS, row.P50Ms, row.P99Ms, row.P999Ms, row.Coalescing)
 	}
 	return nil
 }

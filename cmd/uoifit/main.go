@@ -55,7 +55,8 @@
 //
 // Live monitoring: -debug-addr localhost:8090 serves /healthz,
 // /debug/uoivar (JSON snapshot of in-flight phase, per-rank health and comm
-// counters) and /debug/vars while the fit runs. -pprof serves
+// counters), /debug/vars, and /metrics (Prometheus exposition of the rank-0
+// trace counters and per-rank MPI stats) while the fit runs. -pprof serves
 // net/http/pprof, -cpuprofile writes a CPU profile for the whole run.
 package main
 
@@ -77,6 +78,7 @@ import (
 	"uoivar/internal/model"
 	"uoivar/internal/monitor"
 	"uoivar/internal/mpi"
+	"uoivar/internal/telemetry"
 	"uoivar/internal/trace"
 	"uoivar/internal/uoi"
 	"uoivar/internal/varsim"
@@ -258,6 +260,7 @@ type perfCollector struct {
 	o     *options
 	recs  []*trace.Recorder
 	mon   *monitor.Server
+	treg  *telemetry.Registry
 	mu    sync.Mutex
 	ranks []trace.RankPerf
 	extra map[string]any
@@ -277,12 +280,17 @@ func (p *perfCollector) runOpts() mpi.RunOptions {
 	return mpi.RunOptions{Recorders: p.recs}
 }
 
-// serve starts the live endpoint when -debug-addr is set.
+// serve starts the live endpoint when -debug-addr is set. The endpoint also
+// exposes GET /metrics: fit-side trace counters and per-rank MPI stats are
+// bridged into a telemetry registry at scrape time, so the same Prometheus
+// tooling that watches the serving tier can watch a long fit.
 func (p *perfCollector) serve() error {
 	if p.o.DebugAddr == "" {
 		return nil
 	}
 	p.mon = monitor.New(p.name)
+	p.treg = telemetry.NewRegistry()
+	p.mon.SetMetrics(p.treg)
 	p.mon.SetRecorders(p.recs)
 	p.mon.SetState(func() map[string]any {
 		m := map[string]any{"algo": p.o.Algo, "ranks": p.o.Ranks, "b1": p.o.B1, "b2": p.o.B2}
@@ -309,6 +317,7 @@ func (p *perfCollector) register(c *mpi.Comm) {
 	}
 	p.mon.SetHealth(c.Health)
 	p.mon.SetStats(c.AllStats)
+	telemetry.BridgeMPI(p.treg, c.AllStats)
 }
 
 // setState publishes a key into the live endpoint's state map.
@@ -334,7 +343,11 @@ func (p *perfCollector) tracer(rank int) *trace.Tracer {
 	if p.path == "" && rec == nil {
 		return nil
 	}
-	return trace.New().WithRecorder(rec)
+	tr := trace.New().WithRecorder(rec)
+	if rank == 0 {
+		telemetry.BridgeTrace(p.treg, tr)
+	}
+	return tr
 }
 
 // collect joins the rank's spans with its comm meters and stores the entry.

@@ -13,6 +13,15 @@
 //	POST /v1/reload    — re-read artifacts from disk, hot-swapping new versions
 //	GET  /healthz      — 200 while serving, 503 while empty or draining
 //	GET  /debug/uoivar — live counters (batches, cache hits, inflight limits)
+//	GET  /metrics      — Prometheus text exposition (with -metrics): request
+//	                     latency histograms, batch depths, fleet health,
+//	                     streaming refit families
+//
+// With -metrics, every layer records Prometheus telemetry into one shared
+// registry; with -access-log FILE (or "-" for stderr), each request emits a
+// structured JSON access-log line per hop, joined by the propagated
+// X-Request-ID header (client-supplied IDs are preserved; -access-log-sample
+// thins successful lines, errors and failovers always log).
 //
 // With -stream, two more endpoints keep served VAR models fresh under
 // continuous data:
@@ -53,6 +62,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strconv"
@@ -66,6 +76,7 @@ import (
 	"uoivar/internal/monitor"
 	"uoivar/internal/serve"
 	"uoivar/internal/stream"
+	"uoivar/internal/telemetry"
 	"uoivar/internal/trace"
 )
 
@@ -80,6 +91,11 @@ type options struct {
 	MaxInflight  int
 	Timeout      time.Duration
 	DrainWait    time.Duration
+
+	// Telemetry (-metrics / -access-log).
+	Metrics         bool
+	AccessLog       string
+	AccessLogSample float64
 
 	// Streaming mode (-stream).
 	Stream     bool
@@ -110,6 +126,9 @@ func main() {
 	flag.IntVar(&o.MaxInflight, "max-inflight", 256, "per-endpoint concurrency limit (429 beyond it)")
 	flag.DurationVar(&o.Timeout, "timeout", 30*time.Second, "per-request deadline (504 past it)")
 	flag.DurationVar(&o.DrainWait, "drain-wait", 30*time.Second, "max graceful-shutdown wait on SIGINT/SIGTERM")
+	flag.BoolVar(&o.Metrics, "metrics", false, "expose Prometheus telemetry at GET /metrics (latency histograms, fleet health, stream refits)")
+	flag.StringVar(&o.AccessLog, "access-log", "", "write structured JSON access logs to this file (\"-\" = stderr; request IDs join router and replica lines)")
+	flag.Float64Var(&o.AccessLogSample, "access-log-sample", 1, "fraction of successful requests logged (errors and failovers always log)")
 	flag.BoolVar(&o.Stream, "stream", false, "enable streaming ingest: POST /v1/ingest buffers observations and refits VAR models in the background")
 	flag.IntVar(&o.RefitEvery, "refit-every", 256, "ingested rows between background refits (0 = never; streaming mode)")
 	flag.IntVar(&o.Window, "window", 512, "sliding-window cap in rows for streaming refits")
@@ -158,6 +177,16 @@ func run(o *options) error {
 		}
 		return st
 	})
+	treg, accessLog, cleanup, err := telemetrySinks(o)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	mon.SetMetrics(treg)
+	telemetry.BridgeTrace(treg, tr)
+	if o.Metrics {
+		fmt.Println("telemetry: GET /metrics enabled")
+	}
 	cfg := serve.Config{
 		Registry:     reg,
 		BatchWindow:  o.BatchWindow,
@@ -167,9 +196,11 @@ func run(o *options) error {
 		Timeout:      o.Timeout,
 		Tracer:       tr,
 		Monitor:      mon,
+		Metrics:      treg,
+		AccessLog:    accessLog,
 	}
 	if o.Stream {
-		mgr := stream.NewManager(reg, *streamOptions(o, tr))
+		mgr := stream.NewManager(reg, *streamOptions(o, tr, treg))
 		cfg.Streams = mgr
 		mon.SetDegraded(mgr.Degraded)
 		fmt.Printf("streaming enabled: window=%d refit-every=%d forget=%g\n", o.Window, o.RefitEvery, o.Forget)
@@ -202,13 +233,38 @@ func run(o *options) error {
 }
 
 // streamOptions maps the -stream family of flags onto stream.Options.
-func streamOptions(o *options, tr *trace.Tracer) *stream.Options {
+func streamOptions(o *options, tr *trace.Tracer, treg *telemetry.Registry) *stream.Options {
 	return &stream.Options{
 		Window:     o.Window,
 		Forget:     o.Forget,
 		RefitEvery: o.RefitEvery,
 		Tracer:     tr,
+		Metrics:    treg,
 	}
+}
+
+// telemetrySinks maps the -metrics / -access-log flags onto their sinks: a
+// nil registry and logger leave every serving layer on its zero-cost
+// disabled path. The returned cleanup closes the access-log file.
+func telemetrySinks(o *options) (*telemetry.Registry, *telemetry.AccessLogger, func(), error) {
+	var reg *telemetry.Registry
+	if o.Metrics {
+		reg = telemetry.NewRegistry()
+	}
+	cleanup := func() {}
+	if o.AccessLog == "" {
+		return reg, nil, cleanup, nil
+	}
+	w := io.Writer(os.Stderr)
+	if o.AccessLog != "-" {
+		f, err := os.OpenFile(o.AccessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("-access-log: %w", err)
+		}
+		w = f
+		cleanup = func() { f.Close() } //nolint:errcheck // best-effort log sink
+	}
+	return reg, telemetry.NewAccessLogger(w, o.AccessLogSample), cleanup, nil
 }
 
 // chaosPlan translates the -chaos-kill/-chaos-restart flags into a seeded
@@ -265,11 +321,19 @@ func chaosPlan(o *options, reps []*fleet.Replica) (*fault.Plan, func(id int), er
 func runFleet(o *options) error {
 	reps := make([]*fleet.Replica, o.Replicas)
 	backends := make([]fleet.Backend, o.Replicas)
+	// The registry and access logger are shared by the router and every
+	// replica: one /metrics page covers the whole fleet (series carry
+	// replica labels) and one log joins a request's hops by request ID.
+	treg, accessLog, cleanup, err := telemetrySinks(o)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 	var streamOpts *stream.Options
 	if o.Stream {
 		// Each replica owns its stream state; ingest routes to a model's
 		// ring primary, so windows accumulate where the model serves.
-		streamOpts = streamOptions(o, nil)
+		streamOpts = streamOptions(o, nil, treg)
 	}
 	for i := range reps {
 		reps[i] = fleet.NewReplica(fleet.ReplicaConfig{
@@ -281,6 +345,8 @@ func runFleet(o *options) error {
 				CacheEntries: o.CacheEntries,
 				MaxInflight:  o.MaxInflight,
 				Timeout:      o.Timeout,
+				Metrics:      treg,
+				AccessLog:    accessLog,
 			},
 			Stream: streamOpts,
 		})
@@ -307,6 +373,11 @@ func runFleet(o *options) error {
 
 	tr := trace.New()
 	mon := monitor.New("uoiserve-fleet")
+	mon.SetMetrics(treg)
+	telemetry.BridgeTrace(treg, tr)
+	if o.Metrics {
+		fmt.Println("telemetry: GET /metrics enabled (fleet-wide registry)")
+	}
 	rt, err := fleet.NewRouter(fleet.Config{
 		Backends:          backends,
 		ReplicationFactor: o.ReplicationFactor,
@@ -316,6 +387,8 @@ func runFleet(o *options) error {
 		Kill:              kill,
 		Tracer:            tr,
 		Monitor:           mon,
+		Metrics:           treg,
+		AccessLog:         accessLog,
 	})
 	if err != nil {
 		stopAll()

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"uoivar/internal/model"
 	"uoivar/internal/resample"
 	"uoivar/internal/serve"
+	"uoivar/internal/telemetry"
 	"uoivar/internal/uoi"
 	"uoivar/internal/varsim"
 )
@@ -331,5 +333,109 @@ func TestRunStreamIngest(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("drain hung")
+	}
+}
+
+// TestRunFleetTelemetry drives fleet mode with -metrics and -access-log:
+// the router's /metrics answers a valid Prometheus exposition covering the
+// router and replica families, and the shared access log carries the
+// client's X-Request-ID on both the router hop and the replica hop.
+func TestRunFleetTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	writeToyModel(t, filepath.Join(dir, "toy"+model.Ext))
+	logPath := filepath.Join(t.TempDir(), "access.log")
+	bound := make(chan string, 1)
+	sigs := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(&options{
+			Models: dir, Addr: "127.0.0.1:0",
+			Timeout: 10 * time.Second, DrainWait: 5 * time.Second,
+			Replicas: 2, ReplicationFactor: 2,
+			Metrics: true, AccessLog: logPath, AccessLogSample: 1,
+			bound: bound, signals: sigs,
+		})
+	}()
+	var addr string
+	select {
+	case addr = <-bound:
+	case err := <-done:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(20 * time.Second):
+		t.Fatal("fleet never came up")
+	}
+	url := "http://" + addr
+
+	body, _ := json.Marshal(serve.ForecastRequest{
+		Model:   "toy",
+		History: [][]float64{{1, 2, 3}, {0.5, -1, 0.25}},
+		Horizon: 2,
+	})
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/forecast", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(telemetry.HeaderRequestID, "req-cli-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forecast: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	exp, err := telemetry.ParseExposition(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+	if v, ok := exp.Value("uoivar_fleet_requests_total",
+		map[string]string{"endpoint": "/v1/forecast", "code": "200"}); !ok || v < 1 {
+		t.Fatalf("fleet requests_total = %g %v", v, ok)
+	}
+	if sum, n := exp.SumValues("uoivar_serve_requests_total", nil); n == 0 || sum < 1 {
+		t.Fatalf("serve requests_total sum = %g over %d series", sum, n)
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain hung")
+	}
+
+	log, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var routerHop, serveHop bool
+	for _, line := range strings.Split(strings.TrimSpace(string(log)), "\n") {
+		if !strings.Contains(line, `"request_id":"req-cli-42"`) {
+			continue
+		}
+		if strings.Contains(line, `"layer":"router"`) {
+			routerHop = true
+		}
+		if strings.Contains(line, `"layer":"serve"`) {
+			serveHop = true
+		}
+	}
+	if !routerHop || !serveHop {
+		t.Fatalf("request req-cli-42 not traceable across hops (router=%v serve=%v):\n%s",
+			routerHop, serveHop, log)
 	}
 }

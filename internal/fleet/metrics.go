@@ -1,0 +1,153 @@
+package fleet
+
+import (
+	"net/http"
+	"strconv"
+
+	"uoivar/internal/telemetry"
+)
+
+// fleetMetrics bundles the router's native telemetry families. It is nil
+// when Config.Metrics is nil; every method is nil-safe, so the
+// telemetry-off routing path costs only nil checks.
+//
+// Families:
+//
+//	uoivar_fleet_requests_total{endpoint,code}     — routed requests by status
+//	uoivar_fleet_request_seconds{endpoint,code}    — end-to-end routed latency
+//	uoivar_fleet_attempts{endpoint}                — forwarded attempts per request
+//	uoivar_fleet_replica_healthy{replica}          — 1 healthy / 0 evicted
+//	uoivar_fleet_evictions_total{replica}          — health transitions out
+//	uoivar_fleet_readmissions_total{replica}       — health transitions back in
+//	uoivar_fleet_failovers_total                   — retries on the next candidate
+//	uoivar_fleet_hedges_total / hedge_wins_total   — hedged sends and secondary wins
+//	uoivar_fleet_shed_total                        — watermark load shedding
+//	uoivar_fleet_tenant_rejections_total{tenant}   — quota rejections
+//	uoivar_fleet_tenant_tokens{tenant}             — token-bucket occupancy (scrape-time)
+//	uoivar_fleet_inflight                          — aggregate in-flight (scrape-time)
+//	uoivar_fleet_service_seconds                   — service-time EWMA (scrape-time)
+//
+// The tenant label is request-controlled, so those two families lean on the
+// registry's per-family series cap (overflow collapses into "_overflow").
+type fleetMetrics struct {
+	requests  *telemetry.CounterVec
+	latency   *telemetry.HistogramVec
+	attempts  *telemetry.HistogramVec
+	healthy   *telemetry.GaugeVec
+	evictions *telemetry.CounterVec
+	readmits  *telemetry.CounterVec
+	failovers *telemetry.CounterVec
+	hedges    *telemetry.CounterVec
+	hedgeWins *telemetry.CounterVec
+	shed      *telemetry.CounterVec
+	tenantRej *telemetry.CounterVec
+}
+
+func newFleetMetrics(reg *telemetry.Registry) *fleetMetrics {
+	if !reg.Enabled() {
+		return nil
+	}
+	return &fleetMetrics{
+		requests: reg.Counter("uoivar_fleet_requests_total",
+			"Routed requests by endpoint and HTTP status code.", "endpoint", "code"),
+		latency: reg.Histogram("uoivar_fleet_request_seconds",
+			"End-to-end routed request wall time by endpoint and status code.",
+			telemetry.DefLatencyBuckets, "endpoint", "code"),
+		attempts: reg.Histogram("uoivar_fleet_attempts",
+			"Forwarded attempts per routed request (>1 means failover or hedging).",
+			telemetry.DefDepthBuckets, "endpoint"),
+		healthy: reg.Gauge("uoivar_fleet_replica_healthy",
+			"1 while the router considers the replica healthy, 0 while evicted.", "replica"),
+		evictions: reg.Counter("uoivar_fleet_evictions_total",
+			"Healthy-to-evicted transitions per replica.", "replica"),
+		readmits: reg.Counter("uoivar_fleet_readmissions_total",
+			"Evicted-to-healthy transitions per replica.", "replica"),
+		failovers: reg.Counter("uoivar_fleet_failovers_total",
+			"Attempts retried on the next candidate replica."),
+		hedges: reg.Counter("uoivar_fleet_hedges_total",
+			"Hedged second sends launched for slow primaries."),
+		hedgeWins: reg.Counter("uoivar_fleet_hedge_wins_total",
+			"Hedged requests won by the secondary copy."),
+		shed: reg.Counter("uoivar_fleet_shed_total",
+			"Requests shed at the aggregate-inflight watermark."),
+		tenantRej: reg.Counter("uoivar_fleet_tenant_rejections_total",
+			"Requests rejected by per-tenant token buckets.", "tenant"),
+	}
+}
+
+func (m *fleetMetrics) markHealth(id int, healthy bool, was bool) {
+	if m == nil {
+		return
+	}
+	replica := strconv.Itoa(id)
+	v := 0.0
+	if healthy {
+		v = 1
+	}
+	m.healthy.With(replica).Set(v)
+	switch {
+	case was && !healthy:
+		m.evictions.With(replica).Inc()
+	case !was && healthy:
+		m.readmits.With(replica).Inc()
+	}
+}
+
+func (m *fleetMetrics) observeShed() {
+	if m != nil {
+		m.shed.With().Inc()
+	}
+}
+
+func (m *fleetMetrics) observeTenantRejection(tenant string) {
+	if m != nil {
+		m.tenantRej.With(tenant).Inc()
+	}
+}
+
+func (m *fleetMetrics) observeFailover() {
+	if m != nil {
+		m.failovers.With().Inc()
+	}
+}
+
+func (m *fleetMetrics) observeHedge(won bool) {
+	if m == nil {
+		return
+	}
+	if won {
+		m.hedgeWins.With().Inc()
+	} else {
+		m.hedges.With().Inc()
+	}
+}
+
+// routeRecorder is the instrumented ResponseWriter for routed requests: it
+// captures what the handler wrote (status, bytes) plus the routing metadata
+// relay stashes into it (attempts, winning backend, hedge outcome), so the
+// admission skin can label counters and the access-log line.
+type routeRecorder struct {
+	http.ResponseWriter
+	status   int
+	bytes    int64
+	attempts int
+	backend  string
+	hedge    string
+	errMsg   string
+}
+
+func (rr *routeRecorder) WriteHeader(code int) {
+	if rr.status == 0 {
+		rr.status = code
+	}
+	rr.ResponseWriter.WriteHeader(code)
+}
+
+func (rr *routeRecorder) Write(b []byte) (int, error) {
+	if rr.status == 0 {
+		rr.status = http.StatusOK
+	}
+	n, err := rr.ResponseWriter.Write(b)
+	rr.bytes += int64(n)
+	return n, err
+}

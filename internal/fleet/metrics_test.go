@@ -1,0 +1,192 @@
+package fleet
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"uoivar/internal/telemetry"
+	"uoivar/internal/trace"
+)
+
+// headerStub records the telemetry headers each forwarded attempt carried.
+type headerEcho struct {
+	mu       sync.Mutex
+	reqIDs   []string
+	attempts []string
+}
+
+func (h *headerEcho) record(r *http.Request) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.reqIDs = append(h.reqIDs, r.Header.Get(telemetry.HeaderRequestID))
+	h.attempts = append(h.attempts, r.Header.Get(telemetry.HeaderAttempt))
+}
+
+func TestRouterMetricsAndRequestIDAcrossFailover(t *testing.T) {
+	echo := &headerEcho{}
+	var failingID atomic.Int64 // the primary 502s so the request fails over
+	mk := func(id int) *stubBackend {
+		return newStub(t, id, func(w http.ResponseWriter, r *http.Request) {
+			echo.record(r)
+			if failingID.Load() == int64(id) {
+				w.WriteHeader(http.StatusBadGateway)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"served_by":1}`)) //nolint:errcheck
+		})
+	}
+	s0, s1 := mk(0), mk(1)
+
+	reg := telemetry.NewRegistry()
+	var logBuf bytes.Buffer
+	rt, url := startRouter(t, Config{
+		Backends:  backends(s0, s1),
+		Tracer:    trace.New(),
+		Metrics:   reg,
+		AccessLog: telemetry.NewAccessLogger(&logBuf, 1),
+		RetryBase: time.Millisecond,
+	})
+	primary := rt.candidates("m-metrics")[0]
+	failingID.Store(int64(primary))
+	secondary := 1 - primary
+
+	resp := postForecast(t, url, "m-metrics", map[string]string{
+		telemetry.HeaderRequestID: "req-failover-1",
+	})
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(telemetry.HeaderRequestID); got != "req-failover-1" {
+		t.Fatalf("router did not echo request id, got %q", got)
+	}
+
+	// Every forwarded attempt carried the client's request ID and its
+	// attempt ordinal.
+	echo.mu.Lock()
+	for i, id := range echo.reqIDs {
+		if id != "req-failover-1" {
+			t.Fatalf("attempt %d forwarded request id %q", i, id)
+		}
+	}
+	nAttempts := len(echo.attempts)
+	echo.mu.Unlock()
+	if nAttempts < 2 {
+		t.Fatalf("expected a failover (>=2 attempts), got %d", nAttempts)
+	}
+
+	exp, err := telemetry.ParseExposition(strings.NewReader(reg.Expose()))
+	if err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, reg.Expose())
+	}
+	if v, ok := exp.Value("uoivar_fleet_requests_total",
+		map[string]string{"endpoint": "/v1/forecast", "code": "200"}); !ok || v != 1 {
+		t.Fatalf("fleet requests_total = %g %v", v, ok)
+	}
+	if n, ok := exp.Value("uoivar_fleet_request_seconds_count",
+		map[string]string{"endpoint": "/v1/forecast"}); !ok || n != 1 {
+		t.Fatalf("fleet latency count = %g %v", n, ok)
+	}
+
+	// The router's access-log line carries the routing metadata.
+	line := logBuf.String()
+	for _, want := range []string{
+		`"layer":"router"`, `"request_id":"req-failover-1"`,
+		`"backend":"` + strconv.Itoa(secondary) + `"`,
+	} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("router log line missing %s:\n%s", want, line)
+		}
+	}
+	if !strings.Contains(line, `"attempts":`) {
+		t.Fatalf("router log line missing attempts:\n%s", line)
+	}
+}
+
+func TestRouterHealthGaugeAndEvictionCounters(t *testing.T) {
+	a, b := okStub(t, 0), okStub(t, 1)
+	reg := telemetry.NewRegistry()
+	rt, _ := startRouter(t, Config{Backends: backends(a, b), Tracer: trace.New(), Metrics: reg})
+
+	a.down.Store(true)
+	rt.ProbeNow()
+	exp, err := telemetry.ParseExposition(strings.NewReader(reg.Expose()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := exp.Value("uoivar_fleet_replica_healthy", map[string]string{"replica": "0"}); !ok || v != 0 {
+		t.Fatalf("replica 0 healthy gauge = %g %v, want 0", v, ok)
+	}
+	if v, ok := exp.Value("uoivar_fleet_replica_healthy", map[string]string{"replica": "1"}); !ok || v != 1 {
+		t.Fatalf("replica 1 healthy gauge = %g %v, want 1", v, ok)
+	}
+	if v, ok := exp.Value("uoivar_fleet_evictions_total", map[string]string{"replica": "0"}); !ok || v != 1 {
+		t.Fatalf("evictions_total = %g %v", v, ok)
+	}
+
+	a.down.Store(false)
+	rt.ProbeNow()
+	exp, err = telemetry.ParseExposition(strings.NewReader(reg.Expose()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := exp.Value("uoivar_fleet_replica_healthy", map[string]string{"replica": "0"}); !ok || v != 1 {
+		t.Fatalf("replica 0 healthy gauge after readmit = %g %v", v, ok)
+	}
+	if v, ok := exp.Value("uoivar_fleet_readmissions_total", map[string]string{"replica": "0"}); !ok || v != 1 {
+		t.Fatalf("readmissions_total = %g %v", v, ok)
+	}
+}
+
+func TestRouterShedAndTenantCounters(t *testing.T) {
+	a := okStub(t, 0)
+	reg := telemetry.NewRegistry()
+	_, url := startRouter(t, Config{
+		Backends: backends(a), Tracer: trace.New(), Metrics: reg,
+		TenantRate: 0.000001, TenantBurst: 1,
+	})
+	// First request spends tenant-t's only token; the second is rejected.
+	readAll(t, postForecast(t, url, "m", map[string]string{"X-Tenant": "t"}))
+	resp := postForecast(t, url, "m", map[string]string{"X-Tenant": "t"})
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request status = %d", resp.StatusCode)
+	}
+	exp, err := telemetry.ParseExposition(strings.NewReader(reg.Expose()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := exp.Value("uoivar_fleet_tenant_rejections_total", map[string]string{"tenant": "t"}); !ok || v != 1 {
+		t.Fatalf("tenant_rejections_total = %g %v", v, ok)
+	}
+	// Token occupancy is mirrored at scrape time (near zero for tenant t).
+	if v, ok := exp.Value("uoivar_fleet_tenant_tokens", map[string]string{"tenant": "t"}); !ok || v >= 1 {
+		t.Fatalf("tenant_tokens = %g %v, want < 1", v, ok)
+	}
+}
+
+func TestFleetErrorCounterSplit(t *testing.T) {
+	a := okStub(t, 0)
+	tr := trace.New()
+	rt, _ := startRouter(t, Config{Backends: backends(a), Tracer: tr})
+	rec := httptest.NewRecorder()
+	rt.writeJSONError(rec, http.StatusServiceUnavailable, "shed")
+	rt.writeJSONError(rec, http.StatusTooManyRequests, "quota")
+	rt.writeJSONError(rec, http.StatusBadGateway, "all failed")
+	rt.writeJSONError(rec, http.StatusBadRequest, "bad body")
+	c := tr.Counters()
+	if c["fleet/rejected"] != 2 || c["fleet/errors"] != 1 || c["fleet/client_errors"] != 1 {
+		t.Fatalf("split = rejected %d, errors %d, client %d", c["fleet/rejected"], c["fleet/errors"], c["fleet/client_errors"])
+	}
+	if c["fleet/http_errors"] != 4 {
+		t.Fatalf("fleet/http_errors = %d, want 4 (total preserved)", c["fleet/http_errors"])
+	}
+}

@@ -27,7 +27,10 @@ type ReplicaConfig struct {
 	Artifacts map[string]*model.Artifact
 	// Serve carries the per-replica server tuning (batch window, cache,
 	// inflight caps). Registry, Monitor, and Streams are owned by the
-	// replica and must be nil.
+	// replica and must be nil. Metrics and AccessLog may be set (typically
+	// shared with the router and the sibling replicas — the telemetry
+	// registry and access logger are concurrency-safe); the replica stamps
+	// Serve.Replica with its ring ID so shared series stay distinguishable.
 	Serve serve.Config
 	// Stream, when non-nil, enables streaming ingest on this replica: each
 	// Start builds a fresh stream.Manager over the replica's registry so
@@ -89,6 +92,7 @@ func (r *Replica) Start() error {
 	}
 	reg := serve.NewRegistry()
 	cfg.Registry = reg
+	cfg.Replica = fmt.Sprint(r.cfg.ID)
 	mon := monitor.New(fmt.Sprintf("replica-%d", r.cfg.ID))
 	cfg.Monitor = mon
 	if r.cfg.Stream != nil {

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"uoivar/internal/monitor"
 	"uoivar/internal/resample"
 	"uoivar/internal/serve"
+	"uoivar/internal/telemetry"
 	"uoivar/internal/trace"
 )
 
@@ -95,6 +97,18 @@ type Config struct {
 	// (degraded while any replica is evicted) and is mounted on the
 	// router's mux.
 	Monitor *monitor.Server
+	// Metrics, when non-nil, receives native fleet telemetry: routed-request
+	// histograms, replica-health gauges, failover/hedge/shed counters, and
+	// scrape-time gauges for inflight, the service-time EWMA, and tenant
+	// token buckets (see fleetMetrics). Nil disables metrics at zero
+	// routing-path cost. When telemetry is on, the router also generates and
+	// propagates X-Request-ID (with X-Fleet-Attempt / X-Fleet-Hedge
+	// annotations) on every forwarded attempt.
+	Metrics *telemetry.Registry
+	// AccessLog, when non-nil, receives one router-layer JSON line per
+	// request carrying the request ID, attempt count, winning backend, and
+	// hedge outcome — joinable with the replicas' serve-layer lines.
+	AccessLog *telemetry.AccessLogger
 }
 
 func (c *Config) withDefaults() Config {
@@ -143,13 +157,15 @@ type replicaState struct {
 // quotas, and load shedding. Create with NewRouter, serve with
 // ListenAndServe or mount Handler, stop with Shutdown/Close.
 type Router struct {
-	cfg     Config
-	ring    *Ring
-	reps    map[int]*replicaState
-	order   []int // backend IDs in config order (stable reporting)
-	client  *http.Client
-	tenants *TenantLimiter
-	tracer  *trace.Tracer
+	cfg       Config
+	ring      *Ring
+	reps      map[int]*replicaState
+	order     []int // backend IDs in config order (stable reporting)
+	client    *http.Client
+	tenants   *TenantLimiter
+	tracer    *trace.Tracer
+	metrics   *fleetMetrics
+	accessLog *telemetry.AccessLogger
 
 	inflight  atomic.Int64
 	opSeq     atomic.Int64
@@ -171,11 +187,13 @@ func NewRouter(cfg Config) (*Router, error) {
 		return nil, errors.New("fleet: no backends")
 	}
 	rt := &Router{
-		cfg:     c,
-		ring:    NewRing(c.Vnodes),
-		reps:    make(map[int]*replicaState, len(c.Backends)),
-		tracer:  c.Tracer,
-		tenants: nil,
+		cfg:       c,
+		ring:      NewRing(c.Vnodes),
+		reps:      make(map[int]*replicaState, len(c.Backends)),
+		tracer:    c.Tracer,
+		metrics:   newFleetMetrics(c.Metrics),
+		accessLog: c.AccessLog,
+		tenants:   nil,
 		client: &http.Client{Transport: &http.Transport{
 			MaxIdleConnsPerHost: 64,
 		}},
@@ -196,6 +214,28 @@ func NewRouter(cfg Config) (*Router, error) {
 	if c.Monitor != nil {
 		c.Monitor.SetReadiness(rt.readiness)
 		c.Monitor.SetDegraded(rt.degradedList)
+	}
+	if rt.metrics != nil {
+		inflight := c.Metrics.Gauge("uoivar_fleet_inflight",
+			"Requests currently inside the router.")
+		ewma := c.Metrics.Gauge("uoivar_fleet_service_seconds",
+			"EWMA of end-to-end routed service time (the Retry-After estimator).")
+		tokens := c.Metrics.Gauge("uoivar_fleet_tenant_tokens",
+			"Current token-bucket occupancy per tenant.", "tenant")
+		c.Metrics.OnScrape(func() {
+			inflight.With().Set(float64(rt.inflight.Load()))
+			ewma.With().Set(float64(rt.ewmaNanos.Load()) / 1e9)
+			for tenant, left := range rt.tenants.Occupancy() {
+				tokens.With(tenant).Set(left)
+			}
+			for _, id := range rt.order {
+				v := 0.0
+				if rt.reps[id].healthy.Load() {
+					v = 1
+				}
+				rt.metrics.healthy.With(strconv.Itoa(id)).Set(v)
+			}
+		})
 	}
 	return rt, nil
 }
@@ -313,6 +353,7 @@ func (rt *Router) markHealth(id int, healthy bool) {
 	case !was && healthy:
 		rt.tracer.Add("fleet/readmissions", 1)
 	}
+	rt.metrics.markHealth(id, healthy, was)
 }
 
 func (rt *Router) probeLoop(stop <-chan struct{}, done chan<- struct{}) {
@@ -416,6 +457,16 @@ type errorResponse struct {
 
 func (rt *Router) writeJSONError(w http.ResponseWriter, status int, format string, args ...any) {
 	rt.tracer.Add("fleet/http_errors", 1)
+	switch {
+	case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+		// Deliberate rejections — quota, shed, draining — are the admission
+		// policy working, so they stay out of fleet/errors.
+		rt.tracer.Add("fleet/rejected", 1)
+	case status >= 500:
+		rt.tracer.Add("fleet/errors", 1)
+	default:
+		rt.tracer.Add("fleet/client_errors", 1)
+	}
 	body, _ := json.Marshal(errorResponse{Error: fmt.Sprintf(format, args...)})
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -448,9 +499,11 @@ func (rt *Router) observeService(d time.Duration) {
 // admitted wraps an endpoint handler with the fleet-level admission
 // pipeline: method check, drain check, per-tenant quota, and aggregate
 // load shedding, plus the inflight/EWMA bookkeeping every routed request
-// shares.
+// shares. With telemetry configured the handler additionally gets the
+// instrumentation skin (request IDs, histograms, the router access-log
+// line); with telemetry off the returned handler is exactly the old one.
 func (rt *Router) admitted(endpoint, method string, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
+	inner := func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != method {
 			rt.writeJSONError(w, http.StatusMethodNotAllowed, "%s requires %s", endpoint, method)
 			return
@@ -461,6 +514,7 @@ func (rt *Router) admitted(endpoint, method string, h http.HandlerFunc) http.Han
 		}
 		if ok, retry := rt.tenants.Allow(r.Header.Get("X-Tenant")); !ok {
 			rt.tracer.Add("fleet/tenant_rejections", 1)
+			rt.metrics.observeTenantRejection(r.Header.Get("X-Tenant"))
 			w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds(retry)))
 			rt.writeJSONError(w, http.StatusTooManyRequests,
 				"tenant %q over quota (%.3g req/s, burst %d)", r.Header.Get("X-Tenant"), rt.cfg.TenantRate, rt.cfg.TenantBurst)
@@ -469,6 +523,7 @@ func (rt *Router) admitted(endpoint, method string, h http.HandlerFunc) http.Han
 		if n := rt.inflight.Add(1); n > int64(rt.cfg.ShedWatermark) {
 			rt.inflight.Add(-1)
 			rt.tracer.Add("fleet/shed", 1)
+			rt.metrics.observeShed()
 			w.Header().Set("Retry-After", fmt.Sprint(rt.serviceRetryAfter()))
 			rt.writeJSONError(w, http.StatusServiceUnavailable,
 				"fleet overloaded: %d requests in flight (watermark %d)", n-1, rt.cfg.ShedWatermark)
@@ -484,6 +539,47 @@ func (rt *Router) admitted(endpoint, method string, h http.HandlerFunc) http.Han
 		defer sp.End()
 		h(w, r)
 	}
+	if rt.metrics == nil && rt.accessLog == nil {
+		return inner
+	}
+	return rt.instrument(endpoint, inner)
+}
+
+// instrument is the router's telemetry skin around one admitted handler:
+// it ensures and echoes X-Request-ID (which forward then propagates to the
+// replicas), records status and response size, feeds the routed-request
+// histograms, and emits the router-layer access-log line with the routing
+// metadata relay stashed into the recorder.
+func (rt *Router) instrument(endpoint string, inner http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqID := telemetry.EnsureRequestID(r)
+		rec := &routeRecorder{ResponseWriter: w}
+		rec.Header().Set(telemetry.HeaderRequestID, reqID)
+		start := time.Now()
+		inner(rec, r)
+		dur := time.Since(start)
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		if m := rt.metrics; m != nil {
+			code := strconv.Itoa(status)
+			m.requests.With(endpoint, code).Inc()
+			m.latency.With(endpoint, code).Observe(dur.Seconds())
+			if rec.attempts > 0 {
+				m.attempts.With(endpoint).Observe(float64(rec.attempts))
+			}
+		}
+		rt.accessLog.Log(telemetry.AccessEntry{
+			Layer: "router", RequestID: reqID,
+			Method: r.Method, Path: endpoint, Status: status,
+			Bytes: rec.bytes, DurMs: float64(dur) / 1e6,
+			Tenant:   r.Header.Get("X-Tenant"),
+			Attempts: rec.attempts, Backend: rec.backend,
+			Hedge: rec.hedge, Cache: rec.Header().Get("X-Cache"),
+			Err: rec.errMsg,
+		})
+	}
 }
 
 // ---- Routing core ----
@@ -496,6 +592,12 @@ type proxyResult struct {
 	replica   int
 	err       error
 	retryable bool
+	// attempts is the total forwards made for the request (stamped by
+	// route; >1 means failover or hedging happened).
+	attempts int
+	// hedge is "primary"/"secondary" for the winner of a hedged pair, ""
+	// for unhedged requests.
+	hedge string
 }
 
 // attemptSpec is the immutable description of what to forward.
@@ -504,6 +606,10 @@ type attemptSpec struct {
 	path   string
 	ctype  string
 	body   []byte
+	// reqID, when non-empty, is propagated to the replica as X-Request-ID
+	// (with per-attempt X-Fleet-Attempt / X-Fleet-Hedge annotations), so
+	// router and replica access-log lines join on it.
+	reqID string
 }
 
 // candidates returns the full failover order for key: the R ring owners
@@ -553,29 +659,34 @@ func (rt *Router) route(ctx context.Context, key string, spec *attemptSpec, hedg
 	}
 	rng := resample.NewRNG(rt.cfg.Seed ^ uint64(rt.opSeq.Add(1))*0x9e3779b97f4a7c15)
 	var last proxyResult
-	next := 0
+	next, sent := 0, 0
 	for attempt := 0; attempt < maxAttempts && next < len(cands); attempt++ {
 		if attempt > 0 {
 			rt.tracer.Add("fleet/failovers", 1)
+			rt.metrics.observeFailover()
 			select {
 			case <-time.After(backoffDelay(rng, attempt, rt.cfg.RetryBase, rt.cfg.RetryCap)):
 			case <-ctx.Done():
-				return proxyResult{err: ctx.Err()}
+				return proxyResult{err: ctx.Err(), attempts: sent}
 			}
 		}
 		var res proxyResult
 		if attempt == 0 && hedgeable && rt.cfg.HedgeDelay > 0 && next+1 < len(cands) {
-			res = rt.hedged(ctx, cands[next], cands[next+1], spec)
+			var pairSent int
+			res, pairSent = rt.hedged(ctx, cands[next], cands[next+1], spec)
+			sent += pairSent
 			next += 2 // a hedged pair consumes both candidates
 		} else {
-			res = rt.forward(ctx, cands[next], spec)
+			sent++
+			res = rt.forward(ctx, cands[next], spec, sent, "")
 			next++
 		}
+		res.attempts = sent
 		if res.err == nil && !res.retryable {
 			return res
 		}
 		if ctx.Err() != nil {
-			return proxyResult{err: ctx.Err()}
+			return proxyResult{err: ctx.Err(), attempts: sent}
 		}
 		last = res
 	}
@@ -584,12 +695,13 @@ func (rt *Router) route(ctx context.Context, key string, spec *attemptSpec, hedg
 
 // hedged races primary against a delayed copy on secondary: the hedge
 // launches when primary is slow (HedgeDelay) or failed outright, the
-// first relayable response wins, and the loser's context is canceled.
-func (rt *Router) hedged(ctx context.Context, primary, secondary int, spec *attemptSpec) proxyResult {
+// first relayable response wins, and the loser's context is canceled. The
+// second return value is how many forwards were actually sent (1 or 2).
+func (rt *Router) hedged(ctx context.Context, primary, secondary int, spec *attemptSpec) (proxyResult, int) {
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel() // cancels the loser
 	ch := make(chan proxyResult, 2)
-	go func() { ch <- rt.forward(hctx, primary, spec) }()
+	go func() { ch <- rt.forward(hctx, primary, spec, 1, "") }()
 	timer := time.NewTimer(rt.cfg.HedgeDelay)
 	defer timer.Stop()
 	pending, launched := 1, false
@@ -598,25 +710,39 @@ func (rt *Router) hedged(ctx context.Context, primary, secondary int, spec *atte
 		pending++
 		if counted {
 			rt.tracer.Add("fleet/hedges", 1)
+			rt.metrics.observeHedge(false)
 		}
-		go func() { ch <- rt.forward(hctx, secondary, spec) }()
+		go func() { ch <- rt.forward(hctx, secondary, spec, 2, "secondary") }()
 	}
 	var last proxyResult
+	sent := func() int {
+		if launched {
+			return 2
+		}
+		return 1
+	}
 	for pending > 0 {
 		select {
 		case res := <-ch:
 			pending--
 			if res.err == nil && !res.retryable {
-				if launched && res.replica == secondary {
-					rt.tracer.Add("fleet/hedge_wins", 1)
+				if launched {
+					if res.replica == secondary {
+						rt.tracer.Add("fleet/hedge_wins", 1)
+						rt.metrics.observeHedge(true)
+						res.hedge = "secondary"
+					} else {
+						res.hedge = "primary"
+					}
 				}
-				return res
+				return res, sent()
 			}
 			last = res
 			if !launched {
 				// Primary failed before the hedge timer: fail over to the
 				// secondary immediately (counted as failover, not hedge).
 				rt.tracer.Add("fleet/failovers", 1)
+				rt.metrics.observeFailover()
 				launch(false)
 			}
 		case <-timer.C:
@@ -625,14 +751,17 @@ func (rt *Router) hedged(ctx context.Context, primary, secondary int, spec *atte
 			}
 		}
 	}
-	return last
+	return last, sent()
 }
 
 // forward sends one attempt to replica id, buffering the full response so
 // a mid-body connection loss converts into a retryable failure rather
 // than a torn relay. Forecast and Granger responses are pure functions of
-// the artifact, so re-sending after a partial response is safe.
-func (rt *Router) forward(ctx context.Context, id int, spec *attemptSpec) proxyResult {
+// the artifact, so re-sending after a partial response is safe. attempt is
+// the request's forward ordinal (1-based) and hedge is "secondary" for the
+// hedged copy; both travel to the replica as headers alongside the
+// request ID so replica access logs show which attempt reached them.
+func (rt *Router) forward(ctx context.Context, id int, spec *attemptSpec, attempt int, hedge string) proxyResult {
 	st := rt.reps[id]
 	if plan := rt.cfg.FaultPlan; plan != nil {
 		kill, refuse := plan.HTTPOp(id)
@@ -659,6 +788,13 @@ func (rt *Router) forward(ctx context.Context, id int, spec *attemptSpec) proxyR
 	}
 	if spec.ctype != "" {
 		req.Header.Set("Content-Type", spec.ctype)
+	}
+	if spec.reqID != "" {
+		req.Header.Set(telemetry.HeaderRequestID, spec.reqID)
+		req.Header.Set(telemetry.HeaderAttempt, strconv.Itoa(attempt))
+		if hedge != "" {
+			req.Header.Set(telemetry.HeaderHedge, hedge)
+		}
 	}
 	resp, err := rt.client.Do(req)
 	if err != nil {
@@ -704,8 +840,18 @@ func (rt *Router) killBackend(id int) {
 }
 
 // relay writes the chosen attempt's response (or the failure synthesis)
-// to the client.
+// to the client, stashing the routing metadata into the instrumented
+// recorder (when present) for the router's access-log line.
 func (rt *Router) relay(ctx context.Context, w http.ResponseWriter, res proxyResult) {
+	if rec, ok := w.(*routeRecorder); ok {
+		rec.attempts = res.attempts
+		rec.hedge = res.hedge
+		if res.err != nil {
+			rec.errMsg = res.err.Error()
+		} else {
+			rec.backend = strconv.Itoa(res.replica)
+		}
+	}
 	if res.err != nil || res.status == 0 {
 		switch {
 		case errors.Is(res.err, context.DeadlineExceeded) || ctx.Err() != nil:
@@ -750,7 +896,7 @@ func (rt *Router) handleRouted(path string) http.HandlerFunc {
 			rt.writeJSONError(w, http.StatusBadRequest, "parse request: %v", err)
 			return
 		}
-		spec := &attemptSpec{method: http.MethodPost, path: path, ctype: "application/json", body: body}
+		spec := &attemptSpec{method: http.MethodPost, path: path, ctype: "application/json", body: body, reqID: r.Header.Get(telemetry.HeaderRequestID)}
 		res := rt.route(ctx, peek.Model, spec, true)
 		rt.relay(ctx, w, res)
 	})
@@ -780,7 +926,7 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		rt.tracer.Add("fleet/ingests", 1)
-		spec := &attemptSpec{method: http.MethodPost, path: "/v1/ingest", ctype: "application/json", body: body}
+		spec := &attemptSpec{method: http.MethodPost, path: "/v1/ingest", ctype: "application/json", body: body, reqID: r.Header.Get(telemetry.HeaderRequestID)}
 		res := rt.route(ctx, peek.Model, spec, false)
 		rt.relay(ctx, w, res)
 	})(w, r)
@@ -795,12 +941,12 @@ func (rt *Router) handleStreamStatus(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.Timeout)
 		defer cancel()
 		if name := r.URL.Query().Get("model"); name != "" {
-			spec := &attemptSpec{method: http.MethodGet, path: "/v1/stream/status?model=" + url.QueryEscape(name)}
+			spec := &attemptSpec{method: http.MethodGet, path: "/v1/stream/status?model=" + url.QueryEscape(name), reqID: r.Header.Get(telemetry.HeaderRequestID)}
 			res := rt.route(ctx, name, spec, false)
 			rt.relay(ctx, w, res)
 			return
 		}
-		spec := &attemptSpec{method: http.MethodGet, path: "/v1/stream/status"}
+		spec := &attemptSpec{method: http.MethodGet, path: "/v1/stream/status", reqID: r.Header.Get(telemetry.HeaderRequestID)}
 		byModel := make(map[string]serve.StreamStatus)
 		var mu sync.Mutex
 		var wg sync.WaitGroup
@@ -813,7 +959,7 @@ func (rt *Router) handleStreamStatus(w http.ResponseWriter, r *http.Request) {
 			wg.Add(1)
 			go func(id int) {
 				defer wg.Done()
-				res := rt.forward(ctx, id, spec)
+				res := rt.forward(ctx, id, spec, 1, "")
 				mu.Lock()
 				defer mu.Unlock()
 				if res.err != nil || res.status != http.StatusOK {
@@ -859,7 +1005,7 @@ func (rt *Router) handleModels(w http.ResponseWriter, r *http.Request) {
 	rt.admitted("/v1/models", http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.Timeout)
 		defer cancel()
-		spec := &attemptSpec{method: http.MethodGet, path: "/v1/models"}
+		spec := &attemptSpec{method: http.MethodGet, path: "/v1/models", reqID: r.Header.Get(telemetry.HeaderRequestID)}
 		res := rt.route(ctx, "/v1/models", spec, true)
 		rt.relay(ctx, w, res)
 	})(w, r)
@@ -874,7 +1020,7 @@ func (rt *Router) handleReload(w http.ResponseWriter, r *http.Request) {
 	rt.admitted("/v1/reload", http.MethodPost, func(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.Timeout)
 		defer cancel()
-		spec := &attemptSpec{method: http.MethodPost, path: "/v1/reload"}
+		spec := &attemptSpec{method: http.MethodPost, path: "/v1/reload", reqID: r.Header.Get(telemetry.HeaderRequestID)}
 		type outcome struct {
 			id  int
 			res proxyResult
@@ -889,7 +1035,7 @@ func (rt *Router) handleReload(w http.ResponseWriter, r *http.Request) {
 			wg.Add(1)
 			go func(id int) {
 				defer wg.Done()
-				res := rt.forward(ctx, id, spec)
+				res := rt.forward(ctx, id, spec, 1, "")
 				omu.Lock()
 				outcomes = append(outcomes, outcome{id: id, res: res})
 				omu.Unlock()

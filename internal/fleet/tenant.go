@@ -74,6 +74,23 @@ func (l *TenantLimiter) Allow(tenant string) (ok bool, retryAfter time.Duration)
 	return false, time.Duration(need / l.rate * float64(time.Second))
 }
 
+// Occupancy reports each tracked tenant's current token count, with refill
+// projected to now but without mutating bucket state (a read-only view for
+// the metrics scrape).
+func (l *TenantLimiter) Occupancy() map[string]float64 {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	out := make(map[string]float64, len(l.buckets))
+	for tenant, b := range l.buckets {
+		out[tenant] = math.Min(l.burst, b.tokens+l.rate*now.Sub(b.last).Seconds())
+	}
+	return out
+}
+
 // Tenants returns the number of tracked tenants (for the monitor snapshot).
 func (l *TenantLimiter) Tenants() int {
 	if l == nil {

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"uoivar/internal/mpi"
+	"uoivar/internal/telemetry"
 	"uoivar/internal/trace"
 )
 
@@ -78,6 +79,7 @@ type Server struct {
 	state     func() map[string]any
 	readiness func() error
 	degraded  func() []string
+	metrics   *telemetry.Registry
 
 	srv *http.Server
 	ln  net.Listener
@@ -139,6 +141,16 @@ func (s *Server) SetReadiness(fn func() error) {
 func (s *Server) SetDegraded(fn func() []string) {
 	s.mu.Lock()
 	s.degraded = fn
+	s.mu.Unlock()
+}
+
+// SetMetrics registers the telemetry registry served at GET /metrics in
+// Prometheus text-exposition format. Like every setter it may be called
+// before or after Register/Serve; while unset (or nil), /metrics answers
+// 404 so scrapers learn telemetry is off rather than reading an empty page.
+func (s *Server) SetMetrics(reg *telemetry.Registry) {
+	s.mu.Lock()
+	s.metrics = reg
 	s.mu.Unlock()
 }
 
@@ -231,6 +243,7 @@ func (s *Server) Register(mux *http.ServeMux) {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/debug/uoivar", s.handleSnapshot)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", s.handleMetrics)
 }
 
 // Serve starts the HTTP endpoint on addr (host:port; ":0" picks a free
@@ -267,6 +280,17 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(s.Snapshot()) //nolint:errcheck // client hangup
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	reg := s.metrics
+	s.mu.Unlock()
+	if !reg.Enabled() {
+		http.Error(w, "telemetry disabled", http.StatusNotFound)
+		return
+	}
+	reg.Handler().ServeHTTP(w, r)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

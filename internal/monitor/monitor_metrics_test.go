@@ -1,0 +1,143 @@
+package monitor
+
+import (
+	"expvar"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"uoivar/internal/telemetry"
+)
+
+// TestMonitorMetricsEndpoint: SetMetrics mounts the registry's Prometheus
+// exposition at GET /metrics; without a registry the endpoint answers 404.
+func TestMonitorMetricsEndpoint(t *testing.T) {
+	s := New("metrics")
+	addr, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if code, _ := get(t, addr, "/metrics"); code != http.StatusNotFound {
+		t.Fatalf("metrics without registry = %d, want 404", code)
+	}
+
+	reg := telemetry.NewRegistry()
+	reg.Counter("uoivar_test_requests_total", "test counter").With().Add(3)
+	s.SetMetrics(reg)
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != telemetry.ContentType {
+		t.Fatalf("content type = %q", ct)
+	}
+	exp, err := telemetry.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+	if v, ok := exp.Value("uoivar_test_requests_total", nil); !ok || v != 3 {
+		t.Fatalf("counter = %g %v", v, ok)
+	}
+}
+
+// TestMonitorSettersRaceServing drives every setter concurrently with
+// Register, Snapshot, and live /healthz + /metrics traffic; run under -race
+// this pins the lock discipline around the Server's mutable sources.
+func TestMonitorSettersRaceServing(t *testing.T) {
+	s := New("race")
+	addr, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const rounds = 50
+	var wg sync.WaitGroup
+	run := func(fn func(i int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				fn(i)
+			}
+		}()
+	}
+	run(func(i int) {
+		if i%2 == 0 {
+			s.SetDegraded(func() []string { return []string{"replica 0 evicted"} })
+		} else {
+			s.SetDegraded(nil)
+		}
+	})
+	run(func(i int) {
+		if i%2 == 0 {
+			s.SetReadiness(func() error { return nil })
+		} else {
+			s.SetReadiness(nil)
+		}
+	})
+	run(func(i int) {
+		if i%2 == 0 {
+			s.SetMetrics(telemetry.NewRegistry())
+		} else {
+			s.SetMetrics(nil)
+		}
+	})
+	run(func(i int) { s.SetState(func() map[string]any { return map[string]any{"i": i} }) })
+	run(func(int) { s.Register(http.NewServeMux()) })
+	run(func(int) { _ = s.Snapshot() })
+	run(func(int) {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+		}
+	})
+	run(func(int) {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err == nil {
+			resp.Body.Close()
+		}
+	})
+	wg.Wait()
+}
+
+// TestExpvarFollowsLatestServer: the process-wide expvar "uoivar" tracks the
+// most recently registered Server, so successive servers in one process
+// (replica restarts, sequential tests) hand the name off cleanly.
+func TestExpvarFollowsLatestServer(t *testing.T) {
+	s1 := New("first-server")
+	s1.Register(http.NewServeMux())
+	if got := expvar.Get("uoivar").String(); !strings.Contains(got, "first-server") {
+		t.Fatalf("expvar after first Register = %s", got)
+	}
+	s2 := New("second-server")
+	mux := http.NewServeMux()
+	s2.Register(mux)
+	if got := expvar.Get("uoivar").String(); !strings.Contains(got, "second-server") {
+		t.Fatalf("expvar did not swap to the latest server: %s", got)
+	}
+	// The swapped-in server serves the same document over HTTP.
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "second-server") {
+		t.Fatalf("/debug/vars = %s", body)
+	}
+}

@@ -44,6 +44,7 @@ type batcher struct {
 	window   time.Duration
 	maxBatch int
 	tracer   *trace.Tracer
+	metrics  *serveMetrics
 
 	// ch is the bounded queue (backpressure, not drops). It is never
 	// closed; shutdown is signalled on stop, and the loop drains any
@@ -54,7 +55,7 @@ type batcher struct {
 	done     chan struct{}
 }
 
-func newBatcher(name string, reg *Registry, window time.Duration, maxBatch, queueDepth int, tr *trace.Tracer) *batcher {
+func newBatcher(name string, reg *Registry, window time.Duration, maxBatch, queueDepth int, tr *trace.Tracer, m *serveMetrics) *batcher {
 	if maxBatch <= 0 {
 		maxBatch = 64
 	}
@@ -63,7 +64,7 @@ func newBatcher(name string, reg *Registry, window time.Duration, maxBatch, queu
 	}
 	b := &batcher{
 		name: name, registry: reg, window: window, maxBatch: maxBatch,
-		tracer: tr, ch: make(chan *forecastReq, queueDepth),
+		tracer: tr, metrics: m, ch: make(chan *forecastReq, queueDepth),
 		stop: make(chan struct{}), done: make(chan struct{}),
 	}
 	go b.loop()
@@ -151,6 +152,7 @@ func (b *batcher) run(batch []*forecastReq) {
 	b.tracer.Add("serve/forecast_batches", 1)
 	b.tracer.Add("serve/forecast_requests_batched", int64(len(batch)))
 	b.tracer.SetMax("serve/max_batch", int64(len(batch)))
+	b.metrics.observeBatch(b.name, len(batch))
 
 	entry := b.registry.Get(b.name)
 	live := batch[:0]

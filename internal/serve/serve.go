@@ -17,6 +17,7 @@ import (
 	"uoivar/internal/mat"
 	"uoivar/internal/model"
 	"uoivar/internal/monitor"
+	"uoivar/internal/telemetry"
 	"uoivar/internal/trace"
 	"uoivar/internal/varsim"
 )
@@ -59,6 +60,19 @@ type Config struct {
 	// /debug/vars mounted on the server's mux, with readiness wired to the
 	// registry and drain state.
 	Monitor *monitor.Server
+	// Metrics, when non-nil, receives native serving telemetry: latency and
+	// response-size histograms, status-code counters, in-flight gauges, and
+	// batch-depth observations (see serveMetrics for the family list). Nil
+	// disables metrics at zero request-path cost.
+	Metrics *telemetry.Registry
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// request (sampled; see telemetry.NewAccessLogger), keyed by the
+	// propagated X-Request-ID.
+	AccessLog *telemetry.AccessLogger
+	// Replica labels this server's metric series and access-log lines when
+	// several replicas share one registry (fleet mode); "" for a standalone
+	// server.
+	Replica string
 }
 
 func (c *Config) withDefaults() Config {
@@ -161,10 +175,13 @@ type errorResponse struct {
 // Handler or run with ListenAndServe, stop with Shutdown (graceful) or
 // Close (abrupt).
 type Server struct {
-	cfg    Config
-	reg    *Registry
-	cache  *lruCache
-	tracer *trace.Tracer
+	cfg       Config
+	reg       *Registry
+	cache     *lruCache
+	tracer    *trace.Tracer
+	metrics   *serveMetrics
+	accessLog *telemetry.AccessLogger
+	replica   string
 
 	mu       sync.Mutex
 	batchers map[string]*batcher
@@ -183,15 +200,25 @@ type Server struct {
 func New(cfg Config) *Server {
 	c := cfg.withDefaults()
 	s := &Server{
-		cfg:      c,
-		reg:      c.Registry,
-		cache:    newLRUCache(c.CacheEntries),
-		tracer:   c.Tracer,
-		batchers: make(map[string]*batcher),
-		sems:     make(map[string]chan struct{}),
+		cfg:       c,
+		reg:       c.Registry,
+		cache:     newLRUCache(c.CacheEntries),
+		tracer:    c.Tracer,
+		metrics:   newServeMetrics(c.Metrics, c.Replica),
+		accessLog: c.AccessLog,
+		replica:   c.Replica,
+		batchers:  make(map[string]*batcher),
+		sems:      make(map[string]chan struct{}),
 	}
 	if c.Monitor != nil {
 		c.Monitor.SetReadiness(s.readiness)
+	}
+	if m := s.metrics; m != nil {
+		// The EWMA lives in an atomic; mirror it at scrape time instead of
+		// on every request completion.
+		c.Metrics.OnScrape(func() {
+			m.ewma.With(s.replica).Set(float64(s.ewmaNanos.Load()) / 1e9)
+		})
 	}
 	return s
 }
@@ -289,7 +316,7 @@ func (s *Server) batcherFor(name string) *batcher {
 	defer s.mu.Unlock()
 	b := s.batchers[name]
 	if b == nil {
-		b = newBatcher(name, s.reg, s.cfg.BatchWindow, s.cfg.BatchMax, s.cfg.QueueDepth, s.tracer)
+		b = newBatcher(name, s.reg, s.cfg.BatchWindow, s.cfg.BatchMax, s.cfg.QueueDepth, s.tracer, s.metrics)
 		s.batchers[name] = b
 	}
 	return b
@@ -331,6 +358,17 @@ func (s *Server) writeBody(w http.ResponseWriter, status int, body []byte) {
 
 func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	s.tracer.Add("serve/http_errors", 1)
+	switch {
+	case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+		// Deliberate rejections — shed, concurrency limit, draining. These
+		// are the capacity policy working, not the server failing, so they
+		// get their own counter and stay out of serve/errors.
+		s.tracer.Add("serve/rejected", 1)
+	case status >= 500:
+		s.tracer.Add("serve/errors", 1)
+	default:
+		s.tracer.Add("serve/client_errors", 1)
+	}
 	s.writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
@@ -365,8 +403,12 @@ func (s *Server) observeService(d time.Duration) {
 
 // limited wraps the pre-handler bookkeeping every /v1 endpoint shares:
 // method check, inflight limit, request deadline, and the request counter.
+// When telemetry is configured the handler additionally gets the
+// instrumentation skin (request IDs, histograms, access log); with
+// telemetry off the returned handler is byte-for-byte the old one, so the
+// hot path pays nothing.
 func (s *Server) limited(endpoint, method string, h func(ctx context.Context, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
+	inner := func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != method {
 			s.writeError(w, http.StatusMethodNotAllowed, "%s requires %s", endpoint, method)
 			return
@@ -386,6 +428,49 @@ func (s *Server) limited(endpoint, method string, h func(ctx context.Context, w 
 		start := time.Now()
 		h(ctx, w, r.WithContext(ctx))
 		s.observeService(time.Since(start))
+	}
+	if s.metrics == nil && s.accessLog == nil {
+		return inner
+	}
+	return s.instrument(endpoint, inner)
+}
+
+// instrument is the telemetry skin around one endpoint handler: it ensures
+// and echoes X-Request-ID, records status and response size, feeds the
+// latency histograms and status-code counters, and emits the structured
+// access-log line. Only instrumented servers route requests through it.
+func (s *Server) instrument(endpoint string, inner http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqID := telemetry.EnsureRequestID(r)
+		rec := &statusRecorder{ResponseWriter: w}
+		rec.Header().Set(telemetry.HeaderRequestID, reqID)
+		m := s.metrics
+		if m != nil {
+			m.inflight.With(endpoint, s.replica).Add(1)
+		}
+		start := time.Now()
+		inner(rec, r)
+		dur := time.Since(start)
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		if m != nil {
+			m.inflight.With(endpoint, s.replica).Add(-1)
+			code := strconv.Itoa(status)
+			m.requests.With(endpoint, code, s.replica).Inc()
+			m.latency.With(endpoint, code, s.replica).Observe(dur.Seconds())
+			m.respBytes.With(endpoint, s.replica).Observe(float64(rec.bytes))
+		}
+		attempt, _ := strconv.Atoi(r.Header.Get(telemetry.HeaderAttempt))
+		s.accessLog.Log(telemetry.AccessEntry{
+			Layer: "serve", Replica: s.replica, RequestID: reqID,
+			Method: r.Method, Path: endpoint, Status: status,
+			Bytes: rec.bytes, DurMs: float64(dur) / 1e6,
+			Tenant:  r.Header.Get("X-Tenant"),
+			Attempt: attempt,
+			Cache:   rec.Header().Get("X-Cache"),
+		})
 	}
 }
 

@@ -32,7 +32,7 @@ var fitted struct {
 	pred   *model.Predictor
 }
 
-func fitVAR(t *testing.T) (*mat.Dense, *model.Artifact, *model.Predictor) {
+func fitVAR(t testing.TB) (*mat.Dense, *model.Artifact, *model.Predictor) {
 	t.Helper()
 	fitted.once.Do(func() {
 		rng := resample.NewRNG(9)
@@ -194,7 +194,7 @@ func TestBatcherCoalesces(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := trace.New()
-	b := newBatcher("m", reg, 50*time.Millisecond, 64, 64, tr)
+	b := newBatcher("m", reg, 50*time.Millisecond, 64, 64, tr, nil)
 	defer b.close()
 	const n = 8
 	var wg sync.WaitGroup

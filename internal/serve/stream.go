@@ -57,6 +57,16 @@ type StreamStatus struct {
 	Version int `json:"version"`
 	// LastRefitMs is the wall time of the last completed refit.
 	LastRefitMs float64 `json:"last_refit_ms,omitempty"`
+	// NextRefitInMs estimates when the next automatic refit will trigger,
+	// from the rows remaining until the cadence boundary divided by the
+	// observed ingest rate (EWMA). 0 when no estimate is available (no
+	// cadence, or no ingest observed yet).
+	NextRefitInMs float64 `json:"next_refit_in_ms,omitempty"`
+	// RefitRunningMs is how long the currently-running refit has been
+	// executing (0 when no refit is in flight). Together with LastRefitMs it
+	// distinguishes a slow refit (running for about LastRefitMs) from a
+	// stuck one (running for many multiples of it).
+	RefitRunningMs float64 `json:"refit_running_ms,omitempty"`
 	// LastRefitIters is the ADMM iteration total of the last refit — the
 	// number warm starts drive down.
 	LastRefitIters int `json:"last_refit_iters,omitempty"`

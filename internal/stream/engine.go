@@ -10,9 +10,14 @@ import (
 	"uoivar/internal/mat"
 	"uoivar/internal/model"
 	"uoivar/internal/serve"
+	"uoivar/internal/telemetry"
 	"uoivar/internal/trace"
 	"uoivar/internal/uoi"
 )
+
+// ingestRateAlpha is the EWMA weight for the observed ingest rate (rows per
+// millisecond) that backs StreamStatus.NextRefitInMs.
+const ingestRateAlpha = 1.0 / 8
 
 // ErrNotReady reports a refit attempt on a window still below the minimum
 // row count; the currently-published model keeps serving.
@@ -52,6 +57,10 @@ type Config struct {
 	NoWarm bool
 	// Tracer, when non-nil, receives stream/* spans and counters.
 	Tracer *trace.Tracer
+	// Metrics, when non-nil, receives the engine's uoivar_stream_* telemetry
+	// families (window fill, refit durations and outcomes, warm-start
+	// savings, cell-cache hit ratio), labeled by model name.
+	Metrics *telemetry.Registry
 }
 
 // Engine ingests observations for one model and keeps its served artifact
@@ -69,6 +78,7 @@ type Engine struct {
 	buf     *Buffer
 	cache   *uoi.MapCellCache
 	tr      *trace.Tracer
+	metrics *streamMetrics
 
 	// fitMu serializes refits (the background loop and RefitNow).
 	fitMu sync.Mutex
@@ -81,9 +91,13 @@ type Engine struct {
 	lastErr     error
 	lastMs      float64
 	lastIters   int
+	coldIters   int
 	lastSeries  *mat.Dense
 	lastCfg     uoi.VARConfig
 	fittedTotal int64
+	refitStart  time.Time
+	lastIngest  time.Time
+	rowsPerMs   float64
 }
 
 // NewEngine builds an engine for cfg.Name, which must already be registered
@@ -126,6 +140,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		buf:     NewBuffer(entry.Artifact.Meta.P, window),
 		cache:   uoi.NewMapCellCache(),
 		tr:      cfg.Tracer,
+		metrics: newStreamMetrics(cfg.Metrics),
 	}
 	return e, nil
 }
@@ -141,6 +156,21 @@ func (e *Engine) Ingest(rows [][]float64) (serve.StreamStatus, error) {
 	}
 	e.tr.Add("stream/ingests", 1)
 	e.tr.Add("stream/ingest_rows", int64(len(rows)))
+	e.metrics.observeWindow(e.cfg.Name, e.buf.Len())
+	now := time.Now()
+	e.mu.Lock()
+	if !e.lastIngest.IsZero() {
+		if dt := float64(now.Sub(e.lastIngest).Nanoseconds()) / 1e6; dt > 0 {
+			sample := float64(len(rows)) / dt
+			if e.rowsPerMs == 0 {
+				e.rowsPerMs = sample
+			} else {
+				e.rowsPerMs += ingestRateAlpha * (sample - e.rowsPerMs)
+			}
+		}
+	}
+	e.lastIngest = now
+	e.mu.Unlock()
 	if e.cfg.RefitEvery > 0 && e.buf.Len() >= e.minRows {
 		e.mu.Lock()
 		due := e.buf.Total()-e.fittedTotal >= int64(e.cfg.RefitEvery)
@@ -191,6 +221,14 @@ func (e *Engine) refit() error {
 	defer e.fitMu.Unlock()
 	sp := e.tr.Start("stream/refit")
 	defer sp.End()
+	e.mu.Lock()
+	e.refitStart = time.Now()
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.refitStart = time.Time{}
+		e.mu.Unlock()
+	}()
 
 	spSnap := sp.Child("snapshot")
 	snap := e.buf.Snapshot()
@@ -222,6 +260,7 @@ func (e *Engine) refit() error {
 	res, err := uoi.VAR(snap, &cfg)
 	if err != nil {
 		e.tr.Add("stream/refit_errors", 1)
+		e.metrics.observeRefitError(e.cfg.Name)
 		e.mu.Lock()
 		e.lastErr = err
 		e.mu.Unlock()
@@ -236,6 +275,7 @@ func (e *Engine) refit() error {
 		if err := model.Save(e.cfg.ArtifactPath, art); err != nil {
 			spPub.End()
 			e.tr.Add("stream/refit_errors", 1)
+			e.metrics.observeRefitError(e.cfg.Name)
 			e.mu.Lock()
 			e.lastErr = err
 			e.mu.Unlock()
@@ -245,6 +285,7 @@ func (e *Engine) refit() error {
 	if _, err := e.cfg.Registry.Set(e.cfg.Name, art, e.cfg.ArtifactPath); err != nil {
 		spPub.End()
 		e.tr.Add("stream/refit_errors", 1)
+		e.metrics.observeRefitError(e.cfg.Name)
 		e.mu.Lock()
 		e.lastErr = err
 		e.mu.Unlock()
@@ -259,9 +300,18 @@ func (e *Engine) refit() error {
 	e.lastErr = nil
 	e.lastMs = float64(time.Since(t0).Nanoseconds()) / 1e6
 	e.lastIters = res.Diag.ADMMIters
+	if e.coldIters == 0 {
+		// The first refit has no previous β to warm from; its iteration
+		// count is the cold baseline later refits are measured against.
+		e.coldIters = res.Diag.ADMMIters
+	}
+	coldIters := e.coldIters
 	e.lastSeries = snap
 	e.lastCfg = cfg
 	e.mu.Unlock()
+	hits, misses := e.cache.Stats()
+	e.metrics.observeRefit(e.cfg.Name, time.Since(t0).Seconds(), res.Diag.ADMMIters, coldIters, hits, misses)
+	e.metrics.observeWindow(e.cfg.Name, e.buf.Len())
 	return nil
 }
 
@@ -281,6 +331,16 @@ func (e *Engine) Status() serve.StreamStatus {
 	if e.lastErr != nil {
 		st.LastError = e.lastErr.Error()
 	}
+	if !e.refitStart.IsZero() {
+		st.RefitRunningMs = float64(time.Since(e.refitStart).Nanoseconds()) / 1e6
+	}
+	if e.cfg.RefitEvery > 0 && e.rowsPerMs > 0 {
+		remaining := float64(e.cfg.RefitEvery) - float64(e.buf.Total()-e.fittedTotal)
+		if remaining < 0 {
+			remaining = 0
+		}
+		st.NextRefitInMs = remaining / e.rowsPerMs
+	}
 	e.mu.Unlock()
 	st.Rows = e.buf.Len()
 	st.TotalRows = e.buf.Total()
@@ -298,6 +358,52 @@ func (e *Engine) LastFit() (*mat.Dense, uoi.VARConfig) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.lastSeries, e.lastCfg
+}
+
+// Refit-health thresholds for Manager.Degraded: a running refit is "slow"
+// once it exceeds slowRefitFactor× the last completed refit's wall time
+// (floored so brisk models do not flap), and "stuck" once it exceeds the
+// stuck multiples or the absolute stuck floor — stuck refits hold fitMu, so
+// every later cadence round queues behind them.
+const (
+	slowRefitFactor   = 3
+	slowRefitFloorMs  = 1_000
+	stuckRefitFactor  = 10
+	stuckRefitFloorMs = 30_000
+)
+
+type refitHealth int
+
+const (
+	refitOK refitHealth = iota
+	refitSlow
+	refitStuck
+)
+
+// refitState classifies the in-flight refit (if any) as ok, slow, or stuck,
+// returning how long it has been running and the last completed wall time.
+func (e *Engine) refitState() (state refitHealth, runningMs, lastMs float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.refitStart.IsZero() {
+		return refitOK, 0, e.lastMs
+	}
+	runningMs = float64(time.Since(e.refitStart).Nanoseconds()) / 1e6
+	stuckAfter := e.lastMs * stuckRefitFactor
+	if stuckAfter < stuckRefitFloorMs {
+		stuckAfter = stuckRefitFloorMs
+	}
+	slowAfter := e.lastMs * slowRefitFactor
+	if slowAfter < slowRefitFloorMs {
+		slowAfter = slowRefitFloorMs
+	}
+	switch {
+	case runningMs > stuckAfter:
+		return refitStuck, runningMs, e.lastMs
+	case runningMs > slowAfter:
+		return refitSlow, runningMs, e.lastMs
+	}
+	return refitOK, runningMs, e.lastMs
 }
 
 // Err returns the last refit failure (nil while healthy).

@@ -8,6 +8,7 @@ import (
 
 	"uoivar/internal/model"
 	"uoivar/internal/serve"
+	"uoivar/internal/telemetry"
 	"uoivar/internal/trace"
 	"uoivar/internal/uoi"
 )
@@ -32,6 +33,9 @@ type Options struct {
 	NoWarm bool
 	// Tracer, when non-nil, receives stream/* spans and counters.
 	Tracer *trace.Tracer
+	// Metrics, when non-nil, receives every engine's uoivar_stream_*
+	// telemetry families (see stream.Config.Metrics).
+	Metrics *telemetry.Registry
 }
 
 // Manager implements serve.Streamer over a registry: it lazily creates one
@@ -76,6 +80,7 @@ func (m *Manager) engineFor(name string) (*Engine, error) {
 		ArtifactPath: entry.Path,
 		NoWarm:       m.opts.NoWarm,
 		Tracer:       m.opts.Tracer,
+		Metrics:      m.opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -144,8 +149,12 @@ func (m *Manager) Engine(name string) (*Engine, bool) {
 	return e, ok
 }
 
-// Degraded lists streams whose last refit failed, for monitor readiness
-// (empty while every stream is healthy).
+// Degraded lists unhealthy streams for monitor readiness (empty while every
+// stream is healthy). A stream is degraded when its last refit failed, or
+// when its in-flight refit is slow (running well past the last completed
+// wall time) or stuck (so far past it that the fit has likely wedged —
+// stuck refits hold the engine's fit lock, so cadence rounds pile up
+// behind them).
 func (m *Manager) Degraded() []string {
 	m.mu.Lock()
 	engines := make([]*Engine, 0, len(m.engines))
@@ -157,6 +166,14 @@ func (m *Manager) Degraded() []string {
 	for _, e := range engines {
 		if err := e.Err(); err != nil {
 			out = append(out, fmt.Sprintf("stream %s: refit failing: %v", e.cfg.Name, err))
+		}
+		switch state, runningMs, lastMs := e.refitState(); state {
+		case refitStuck:
+			out = append(out, fmt.Sprintf("stream %s: refit stuck: running %.0fms (last completed in %.0fms)",
+				e.cfg.Name, runningMs, lastMs))
+		case refitSlow:
+			out = append(out, fmt.Sprintf("stream %s: refit slow: running %.0fms (last completed in %.0fms)",
+				e.cfg.Name, runningMs, lastMs))
 		}
 	}
 	sort.Strings(out)

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAccessLoggerWritesJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewAccessLogger(&buf, 1)
+	l.Log(AccessEntry{
+		Layer: "router", RequestID: "req-1", Method: "POST", Path: "/v1/forecast",
+		Status: 200, Bytes: 128, DurMs: 1.5, Attempts: 2, Backend: "1", Hedge: "secondary",
+	})
+	l.Log(AccessEntry{Layer: "serve", Replica: "1", RequestID: "req-1",
+		Method: "POST", Path: "/v1/forecast", Status: 200})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d: %q", len(lines), buf.String())
+	}
+	var e AccessEntry
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if e.RequestID != "req-1" || e.Attempts != 2 || e.Hedge != "secondary" || e.Time == "" {
+		t.Fatalf("entry = %+v", e)
+	}
+	// Both hops share the request ID: the join key the smoke test greps.
+	if !strings.Contains(lines[1], `"request_id":"req-1"`) || !strings.Contains(lines[1], `"layer":"serve"`) {
+		t.Fatalf("replica line = %q", lines[1])
+	}
+}
+
+func TestAccessLoggerSampling(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewAccessLogger(&buf, 0.1) // every 10th success
+	for i := 0; i < 100; i++ {
+		l.Log(AccessEntry{Status: 200})
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 10 {
+		t.Fatalf("sampled lines = %d, want 10", got)
+	}
+	buf.Reset()
+	// Failures and failover retries bypass sampling entirely.
+	for i := 0; i < 5; i++ {
+		l.Log(AccessEntry{Status: 502})
+		l.Log(AccessEntry{Status: 200, Attempts: 2})
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 10 {
+		t.Fatalf("forced lines = %d, want 10", got)
+	}
+}
+
+func TestAccessLoggerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewAccessLogger(&buf, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Log(AccessEntry{Status: 200, RequestID: NewRequestID()})
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("lines = %d, want 800", len(lines))
+	}
+	for i, ln := range lines {
+		var e AccessEntry
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Fatalf("line %d torn: %v (%q)", i, err, ln)
+		}
+	}
+}
+
+func TestNewAccessLoggerNilWriter(t *testing.T) {
+	if l := NewAccessLogger(nil, 1); l != nil {
+		t.Fatal("nil writer should yield the disabled logger")
+	}
+}
+
+func TestRequestIDs(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == b || a == "" {
+		t.Fatalf("ids not unique: %q %q", a, b)
+	}
+	r := httptest.NewRequest("POST", "/v1/forecast", nil)
+	id := EnsureRequestID(r)
+	if id == "" || r.Header.Get(HeaderRequestID) != id {
+		t.Fatalf("generated id %q not set on request", id)
+	}
+	if again := EnsureRequestID(r); again != id {
+		t.Fatalf("EnsureRequestID regenerated: %q vs %q", again, id)
+	}
+	r2 := httptest.NewRequest("POST", "/v1/forecast", nil)
+	r2.Header.Set(HeaderRequestID, "client-chosen")
+	if got := EnsureRequestID(r2); got != "client-chosen" {
+		t.Fatalf("client id not preserved: %q", got)
+	}
+}

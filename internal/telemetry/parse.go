@@ -1,0 +1,459 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParsedSample is one exposed sample line.
+type ParsedSample struct {
+	// Name is the sample name (family name, or family name + _bucket /
+	// _sum / _count for histograms).
+	Name string
+	// Labels maps label name to (unescaped) value, including any "le".
+	Labels map[string]string
+	// Value is the sample value.
+	Value float64
+}
+
+// ParsedFamily is one metric family read back from text exposition.
+type ParsedFamily struct {
+	// Name is the family name from the TYPE line.
+	Name string
+	// Help is the HELP text ("" when absent).
+	Help string
+	// Type is the declared metric type.
+	Type MetricType
+	// Samples holds every sample line of the family, in file order.
+	Samples []ParsedSample
+}
+
+// Exposition is a parsed, validated /metrics document.
+type Exposition struct {
+	// Families maps family name to its parsed form.
+	Families map[string]*ParsedFamily
+}
+
+// ParseExposition reads Prometheus text exposition (version 0.0.4) and
+// validates it: metric and label names must be legal, every sample must
+// belong to a TYPE-declared family, values must parse, and histogram
+// families must be internally consistent (per label set: cumulative bucket
+// counts non-decreasing in le, a +Inf bucket present and equal to _count,
+// and a _sum sample). It is the round-trip check for WriteExposition —
+// anything the registry writes must come back through here intact — and
+// the validator behind scripts/promcheck and the metrics smoke test.
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	exp := &Exposition{Families: make(map[string]*ParsedFamily)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	var pendingHelp = map[string]string{}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return nil, fmt.Errorf("metrics line %d: %w", lineNo, err)
+			}
+			switch kind {
+			case "HELP":
+				pendingHelp[name] = rest
+			case "TYPE":
+				typ := MetricType(rest)
+				switch typ {
+				case TypeCounter, TypeGauge, TypeHistogram:
+				default:
+					return nil, fmt.Errorf("metrics line %d: unknown type %q for %q", lineNo, rest, name)
+				}
+				if _, dup := exp.Families[name]; dup {
+					return nil, fmt.Errorf("metrics line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				exp.Families[name] = &ParsedFamily{Name: name, Help: pendingHelp[name], Type: typ}
+			}
+			continue
+		}
+		sample, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics line %d: %w", lineNo, err)
+		}
+		fam := exp.Families[familyOf(exp, sample.Name)]
+		if fam == nil {
+			return nil, fmt.Errorf("metrics line %d: sample %q has no TYPE declaration", lineNo, sample.Name)
+		}
+		fam.Samples = append(fam.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	for _, fam := range exp.Families {
+		if err := fam.validate(); err != nil {
+			return nil, err
+		}
+	}
+	return exp, nil
+}
+
+// familyOf maps a sample name to its family name: histogram samples carry
+// _bucket/_sum/_count suffixes, everything else is the family name itself.
+// A literal family registered with such a suffix still resolves (exact
+// match wins).
+func familyOf(exp *Exposition, sampleName string) string {
+	if _, ok := exp.Families[sampleName]; ok {
+		return sampleName
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(sampleName, suf); ok {
+			if f := exp.Families[base]; f != nil && f.Type == TypeHistogram {
+				return base
+			}
+		}
+	}
+	return sampleName
+}
+
+func parseComment(line string) (kind, name, rest string, err error) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 || fields[0] != "#" {
+		// Free-form comment: legal, ignored.
+		return "", "", "", nil
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 {
+			return "", "", "", fmt.Errorf("malformed HELP line %q", line)
+		}
+		name = fields[2]
+		if len(fields) == 4 {
+			rest = unescapeHelp(fields[3])
+		}
+	case "TYPE":
+		if len(fields) != 4 {
+			return "", "", "", fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, rest = fields[2], fields[3]
+	default:
+		return "", "", "", nil // other comments are ignored
+	}
+	if !nameOK(name) {
+		return "", "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	return fields[1], name, rest, nil
+}
+
+func unescapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\n`, "\n")
+	return strings.ReplaceAll(h, `\\`, `\`)
+}
+
+// parseSample parses `name{label="value",...} 1.5` (the exposition grammar
+// minus optional timestamps, which the registry never writes and the
+// parser rejects as trailing garbage).
+func parseSample(line string) (ParsedSample, error) {
+	s := ParsedSample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	if !nameOK(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		close := -1
+		// Scan for the closing brace outside quoted values.
+		inQuote := false
+		for j := 1; j < len(rest); j++ {
+			switch rest[j] {
+			case '\\':
+				if inQuote {
+					j++
+				}
+			case '"':
+				inQuote = !inQuote
+			case '}':
+				if !inQuote {
+					close = j
+				}
+			}
+			if close >= 0 {
+				break
+			}
+		}
+		if close < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[1:close], s.Labels); err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[close+1:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	if rest == "" || strings.ContainsAny(rest, " \t") {
+		return s, fmt.Errorf("malformed value in %q (timestamps are not accepted)", line)
+	}
+	v, err := parseFloat(rest)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(body string, out map[string]string) error {
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq <= 0 {
+			return fmt.Errorf("malformed label pair %q", body)
+		}
+		name := body[:eq]
+		if !nameOK(name) {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		rest := body[eq+1:]
+		if len(rest) < 2 || rest[0] != '"' {
+			return fmt.Errorf("unquoted label value for %q", name)
+		}
+		end := -1
+		for j := 1; j < len(rest); j++ {
+			if rest[j] == '\\' {
+				j++
+				continue
+			}
+			if rest[j] == '"' {
+				end = j
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("unterminated label value for %q", name)
+		}
+		val, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			return fmt.Errorf("bad label value for %q: %w", name, err)
+		}
+		if _, dup := out[name]; dup {
+			return fmt.Errorf("duplicate label %q", name)
+		}
+		out[name] = val
+		body = rest[end+1:]
+		body = strings.TrimPrefix(body, ",")
+	}
+	return nil
+}
+
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(+1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// validate applies the per-family structural checks.
+func (f *ParsedFamily) validate() error {
+	if f.Type != TypeHistogram {
+		for _, s := range f.Samples {
+			if s.Name != f.Name {
+				return fmt.Errorf("metrics: family %q has foreign sample %q", f.Name, s.Name)
+			}
+			if f.Type == TypeCounter && s.Value < 0 {
+				return fmt.Errorf("metrics: counter %q has negative sample %g", f.Name, s.Value)
+			}
+		}
+		return nil
+	}
+	// Histogram: group samples by label set (minus le) and check each group.
+	type group struct {
+		les     []float64
+		counts  []float64
+		sum     *float64
+		count   *float64
+		infSeen bool
+	}
+	groups := map[string]*group{}
+	keyOf := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var sb strings.Builder
+		for _, k := range keys {
+			sb.WriteString(k)
+			sb.WriteByte('\x00')
+			sb.WriteString(labels[k])
+			sb.WriteByte('\x00')
+		}
+		return sb.String()
+	}
+	for _, s := range f.Samples {
+		g := groups[keyOf(s.Labels)]
+		if g == nil {
+			g = &group{}
+			groups[keyOf(s.Labels)] = g
+		}
+		switch s.Name {
+		case f.Name + "_bucket":
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("metrics: histogram %q bucket without le", f.Name)
+			}
+			le, err := parseFloat(leStr)
+			if err != nil {
+				return fmt.Errorf("metrics: histogram %q bad le %q", f.Name, leStr)
+			}
+			if math.IsInf(le, +1) {
+				g.infSeen = true
+			}
+			g.les = append(g.les, le)
+			g.counts = append(g.counts, s.Value)
+		case f.Name + "_sum":
+			v := s.Value
+			g.sum = &v
+		case f.Name + "_count":
+			v := s.Value
+			g.count = &v
+		default:
+			return fmt.Errorf("metrics: histogram %q has foreign sample %q", f.Name, s.Name)
+		}
+	}
+	for _, g := range groups {
+		if !g.infSeen {
+			return fmt.Errorf("metrics: histogram %q missing +Inf bucket", f.Name)
+		}
+		if g.sum == nil || g.count == nil {
+			return fmt.Errorf("metrics: histogram %q missing _sum or _count", f.Name)
+		}
+		if !sort.Float64sAreSorted(g.les) {
+			return fmt.Errorf("metrics: histogram %q buckets out of le order", f.Name)
+		}
+		for i := 1; i < len(g.counts); i++ {
+			if g.counts[i] < g.counts[i-1] {
+				return fmt.Errorf("metrics: histogram %q cumulative counts decrease", f.Name)
+			}
+		}
+		if last := g.counts[len(g.counts)-1]; last != *g.count {
+			return fmt.Errorf("metrics: histogram %q +Inf bucket %g != count %g", f.Name, last, *g.count)
+		}
+	}
+	return nil
+}
+
+// family resolves a sample name to its family: exact match first, then the
+// histogram suffixes (_bucket/_sum/_count), so callers can ask for e.g.
+// "uoivar_serve_request_seconds_count" directly.
+func (e *Exposition) family(sampleName string) *ParsedFamily {
+	if f := e.Families[sampleName]; f != nil {
+		return f
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(sampleName, suf); ok {
+			if f := e.Families[base]; f != nil && f.Type == TypeHistogram {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// Value returns the value of the sample named name (a family name, or a
+// histogram's _bucket/_sum/_count) whose labels are a superset of want
+// (nil/empty matches the first sample). The second result reports whether
+// such a sample exists.
+func (e *Exposition) Value(name string, want map[string]string) (float64, bool) {
+	f := e.family(name)
+	if f == nil {
+		return 0, false
+	}
+	for _, s := range f.Samples {
+		if s.Name == name && labelsMatch(s.Labels, want) {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// SumValues sums every sample of family name whose labels are a superset
+// of want — the aggregate across the remaining label dimensions (e.g. all
+// status codes of one endpoint).
+func (e *Exposition) SumValues(name string, want map[string]string) (float64, int) {
+	f := e.family(name)
+	if f == nil {
+		return 0, 0
+	}
+	total, n := 0.0, 0
+	for _, s := range f.Samples {
+		if s.Name == name && labelsMatch(s.Labels, want) {
+			total += s.Value
+			n++
+		}
+	}
+	return total, n
+}
+
+// HistogramQuantile estimates the q-quantile of histogram family name,
+// aggregated over every label set matching want (a subset match, so codes
+// or replicas can be folded together). The second result reports whether
+// any matching buckets were found.
+func (e *Exposition) HistogramQuantile(name string, want map[string]string, q float64) (float64, bool) {
+	f := e.Families[name]
+	if f == nil || f.Type != TypeHistogram {
+		return 0, false
+	}
+	// Aggregate cumulative counts per le across matching label sets.
+	byLE := map[float64]float64{}
+	for _, s := range f.Samples {
+		if s.Name != name+"_bucket" || !labelsMatch(s.Labels, want) {
+			continue
+		}
+		le, err := parseFloat(s.Labels["le"])
+		if err != nil {
+			continue
+		}
+		byLE[le] += s.Value
+	}
+	if len(byLE) == 0 {
+		return 0, false
+	}
+	les := make([]float64, 0, len(byLE))
+	for le := range byLE {
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	bounds := make([]float64, 0, len(les))
+	cum := make([]uint64, 0, len(les))
+	for _, le := range les {
+		if !math.IsInf(le, +1) {
+			bounds = append(bounds, le)
+		}
+		cum = append(cum, uint64(byLE[le]))
+	}
+	return bucketQuantile(q, bounds, cum), true
+}
+
+// labelsMatch reports whether have contains every pair of want ("le" can
+// be constrained too if the caller asks).
+func labelsMatch(have, want map[string]string) bool {
+	for k, v := range want {
+		if have[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// Header names of the request-tracing protocol. The router stamps every
+// forwarded attempt with all three; replicas echo X-Request-ID back so a
+// client (or the smoke test) can join its response to the access logs of
+// every hop the request touched.
+const (
+	// HeaderRequestID carries the request's trace identity end to end.
+	// Clients may supply their own; anything missing gets a generated one.
+	HeaderRequestID = "X-Request-ID"
+	// HeaderAttempt carries the router's 1-based forwarded-attempt number,
+	// so a replica's access log distinguishes a first try from a failover
+	// or hedge duplicate.
+	HeaderAttempt = "X-Fleet-Attempt"
+	// HeaderHedge marks a hedged duplicate ("1" on the secondary copy).
+	HeaderHedge = "X-Fleet-Hedge"
+)
+
+// idPrefix is a per-process random prefix so IDs from different processes
+// (or restarts) never collide; idSeq disambiguates within the process.
+var (
+	idPrefix = func() string {
+		var b [6]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			// crypto/rand failing is effectively fatal elsewhere; here a
+			// constant prefix only weakens cross-process uniqueness.
+			return "feedf00dfeed"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	idSeq atomic.Uint64
+)
+
+// NewRequestID mints a process-unique request ID: a 12-hex-digit random
+// process prefix plus a monotone sequence number.
+func NewRequestID() string {
+	return fmt.Sprintf("%s-%06x", idPrefix, idSeq.Add(1))
+}
+
+// EnsureRequestID returns the request's X-Request-ID, minting and setting
+// one if the client did not send any. The returned ID is never empty.
+func EnsureRequestID(r *http.Request) string {
+	if id := r.Header.Get(HeaderRequestID); id != "" {
+		return id
+	}
+	id := NewRequestID()
+	r.Header.Set(HeaderRequestID, id)
+	return id
+}

@@ -1,0 +1,127 @@
+// Command promcheck validates a Prometheus text exposition (version
+// 0.0.4) read from standard input. It is the scrape-side half of the
+// telemetry round-trip guarantee: everything uoivar's /metrics endpoint
+// writes must parse back through telemetry.ParseExposition, which checks
+// metric/label naming, TYPE declarations, and histogram consistency
+// (cumulative buckets, +Inf == _count, _sum present).
+//
+// Usage:
+//
+//	curl -s localhost:9090/metrics | go run ./scripts/promcheck \
+//	    -require uoivar_serve_requests_total,uoivar_fleet_request_seconds \
+//	    -min uoivar_fleet_requests_total=10
+//
+// Flags:
+//
+//	-require a,b,c   fail unless every named family is present with at
+//	                 least one sample
+//	-min name=N      fail unless the summed value of the named family
+//	                 (counter/gauge samples, or _count for histograms)
+//	                 is at least N; repeatable via commas
+//
+// Exit status 0 means the exposition is valid and all requirements hold;
+// 1 means validation or a requirement failed; 2 means bad usage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"uoivar/internal/telemetry"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated family names that must be present")
+	min := flag.String("min", "", "comma-separated name=N minimum summed values")
+	quiet := flag.Bool("q", false, "suppress the per-family summary on success")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: promcheck [-require a,b] [-min name=N] < exposition")
+		os.Exit(2)
+	}
+
+	exp, err := telemetry.ParseExposition(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: invalid exposition: %v\n", err)
+		os.Exit(1)
+	}
+
+	failed := false
+	for _, name := range splitList(*require) {
+		fam, ok := exp.Families[name]
+		if !ok || len(fam.Samples) == 0 {
+			fmt.Fprintf(os.Stderr, "promcheck: required family %s missing or empty\n", name)
+			failed = true
+		}
+	}
+	for _, spec := range splitList(*min) {
+		name, want, err := parseMin(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promcheck: %v\n", err)
+			os.Exit(2)
+		}
+		// SumValues resolves histogram families via their _count samples.
+		got, n := exp.SumValues(countName(exp, name), nil)
+		if n == 0 {
+			fmt.Fprintf(os.Stderr, "promcheck: -min %s: family missing\n", name)
+			failed = true
+		} else if got < want {
+			fmt.Fprintf(os.Stderr, "promcheck: %s = %g, want >= %g\n", name, got, want)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	if !*quiet {
+		names := make([]string, 0, len(exp.Families))
+		for name := range exp.Families {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fam := exp.Families[name]
+			fmt.Printf("%-45s %-9s %3d samples\n", name, fam.Type, len(fam.Samples))
+		}
+		fmt.Printf("promcheck: OK (%d families)\n", len(names))
+	}
+}
+
+// countName maps a histogram family to its _count sample name so -min
+// thresholds count observations; counters and gauges pass through.
+func countName(exp *telemetry.Exposition, name string) string {
+	if fam, ok := exp.Families[name]; ok && fam.Type == telemetry.TypeHistogram {
+		return name + "_count"
+	}
+	return name
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseMin(spec string) (name string, want float64, err error) {
+	name, val, ok := strings.Cut(spec, "=")
+	if !ok {
+		return "", 0, fmt.Errorf("-min %q: want name=N", spec)
+	}
+	want, err = strconv.ParseFloat(val, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("-min %q: %v", spec, err)
+	}
+	return name, want, nil
+}
