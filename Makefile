@@ -2,10 +2,10 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-full vet fmt doccheck experiments csv examples trace serve-smoke fleet-smoke stream-smoke metrics-smoke clean
+.PHONY: build test test-short test-race bench bench-full vet fmt doccheck experiments csv examples trace serve-smoke fleet-smoke stream-smoke metrics-smoke graph-smoke clean
 
 # Packages whose exported surface must be fully documented (CI gate).
-DOCCHECK_PKGS = ./internal/checkpoint ./internal/fleet ./internal/model ./internal/serve ./internal/stream ./internal/telemetry .
+DOCCHECK_PKGS = ./internal/checkpoint ./internal/fleet ./internal/graph ./internal/model ./internal/serve ./internal/stream ./internal/telemetry .
 
 build:
 	$(GO) build ./...
@@ -82,6 +82,13 @@ stream-smoke:
 # structured access log.
 metrics-smoke:
 	bash scripts/metrics_smoke.sh
+
+# Whole-network causal-analytics smoke test: sparse-network gen →
+# rank-sharded all-pairs fit (1 vs 4 ranks byte-compared) → 3-replica
+# fleet → /v1/graph/topk, node, summary queried across a chaos kill of
+# the primary with bit-identical answers → drain.
+graph-smoke:
+	bash scripts/graph_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -246,6 +246,13 @@ func main() {
 		os.Exit(1)
 	}
 
+	// ---- graph: 1024-channel all-pairs inference + top-k query QPS ----
+
+	if err := benchGraph(report, *short); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -9,6 +9,12 @@
 //
 //	uoifit -algo var -data series.hbf -ranks 4 -order 1 -edges edges.txt
 //
+// Whole-network all-pairs edge inference (rank-sharded over targets,
+// bit-identical to the serial driver at any -ranks):
+//
+//	uoifit -algo allpairs -data net.hbf -ranks 8 -b1 5 -q 8 -screen 64 \
+//	       -model-out net.uoim -edges net.edges
+//
 // Baselines: -algo lasso-cv | lasso-bic | var-cv.
 //
 // Saving fitted models:
@@ -138,6 +144,9 @@ type options struct {
 	Resume bool
 	// CkptEvery is the checkpoint save cadence in completed cells.
 	CkptEvery int
+	// Screen caps the per-target candidate predictors kept by the
+	// sure-independence screen in the all-pairs driver (0 = default 64).
+	Screen int
 }
 
 // ckpt builds the uoi checkpoint config from the flags (nil when
@@ -155,7 +164,7 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
-	flag.StringVar(&o.Algo, "algo", "lasso", "lasso | var | lasso-cv | lasso-bic | var-cv")
+	flag.StringVar(&o.Algo, "algo", "lasso", "lasso | var | allpairs | lasso-cv | lasso-bic | var-cv")
 	flag.StringVar(&o.Data, "data", "", "input HBF file")
 	flag.IntVar(&o.Ranks, "ranks", 4, "simulated MPI ranks")
 	flag.IntVar(&o.B1, "b1", 20, "selection bootstraps")
@@ -180,6 +189,7 @@ func main() {
 	flag.StringVar(&o.Checkpoint, "checkpoint", "", "checkpoint the fit to this file (lasso | var); restart with -resume")
 	flag.BoolVar(&o.Resume, "resume", false, "resume the fit from -checkpoint, skipping completed cells")
 	flag.IntVar(&o.CkptEvery, "ckpt-every", 1, "checkpoint save cadence in completed bootstrap cells")
+	flag.IntVar(&o.Screen, "screen", 0, "all-pairs per-target screening cap (0 = 64)")
 	flag.Parse()
 	if o.Data == "" {
 		fmt.Fprintln(os.Stderr, "missing -data")
@@ -240,6 +250,8 @@ func run(o *options) error {
 		return runLasso(o)
 	case "var":
 		return runVAR(o)
+	case "allpairs":
+		return runAllPairs(o)
 	case "lasso-cv", "lasso-bic":
 		return runLassoBaseline(o)
 	case "var-cv":
@@ -601,6 +613,53 @@ func runVAR(o *options) error {
 	}
 	if err := saveModel(o.ModelOut, model.FromVAR(result, &uoi.VARConfig{
 		Order: o.Order, B1: o.B1, B2: o.B2, Q: o.Q, LambdaRatio: o.Ratio, Seed: o.Seed,
+	})); err != nil {
+		return err
+	}
+	return perf.write()
+}
+
+// runAllPairs drives the rank-sharded all-pairs edge-inference engine:
+// every channel becomes a screened mini-UoI regression target, targets
+// shard round-robin across ranks, and an Allgather of fixed-size slots
+// reassembles the coefficient matrices — bit-identical to -ranks 1.
+func runAllPairs(o *options) error {
+	series, err := readSeries(o.Data)
+	if err != nil {
+		return err
+	}
+	var result *uoi.AllPairsResult
+	perf := newPerfCollector(o, "uoi_allpairs")
+	if err := perf.serve(); err != nil {
+		return err
+	}
+	err = mpi.RunWithOptions(o.Ranks, perf.runOpts(), func(c *mpi.Comm) error {
+		perf.register(c)
+		tr := perf.tracer(c.Rank())
+		res, err := uoi.AllPairsDistributed(c, series, &uoi.AllPairsConfig{
+			Order: o.Order, NB: o.B1, Q: o.Q, LambdaRatio: o.Ratio, Seed: o.Seed,
+			Screen: o.Screen, Workers: o.KernelWorkers, Trace: tr,
+		})
+		if err != nil {
+			return err
+		}
+		perf.collect(c, tr)
+		if c.Rank() == 0 {
+			result = res
+			perf.setState("edges", res.Edges)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := reportVAR(result.A, result.Mu, series.Cols, o.Edges, o.Dot,
+		fmt.Sprintf("all-pairs: p=%d order=%d ranks=%d, rank 0 fitted %d/%d targets (%d lasso fits)",
+			series.Cols, o.Order, o.Ranks, result.Diag.Targets, series.Cols, result.Diag.LassoFits)); err != nil {
+		return err
+	}
+	if err := saveModel(o.ModelOut, model.FromVAR(result.VARResult(), &uoi.VARConfig{
+		Order: o.Order, B1: o.B1, Q: o.Q, LambdaRatio: o.Ratio, Seed: o.Seed,
 	})); err != nil {
 		return err
 	}

@@ -8,6 +8,11 @@
 //
 //	uoigen -kind var -n 2000 -p 64 -order 1 -o series.hbf
 //
+// Bounded-degree sparse networks for whole-network (all-pairs) inference —
+// the per-row degree keeps 1024+ channels sparse:
+//
+//	uoigen -kind sparsevar -n 4096 -p 1024 -degree 3 -o net.hbf
+//
 // Domain-flavoured series:
 //
 //	uoigen -kind finance -n 1040 -p 470 -o sp.hbf
@@ -27,13 +32,14 @@ import (
 
 func main() {
 	var (
-		kind    = flag.String("kind", "regression", "dataset kind: regression | var | finance | neuro")
+		kind    = flag.String("kind", "regression", "dataset kind: regression | var | sparsevar | finance | neuro")
 		n       = flag.Int("n", 10000, "samples (rows)")
 		p       = flag.Int("p", 128, "features / series dimension")
 		nnz     = flag.Int("nnz", 0, "nonzero coefficients (regression; 0 = p/20)")
 		noise   = flag.Float64("noise", 0.5, "noise standard deviation (regression)")
 		order   = flag.Int("order", 1, "VAR order (var kind)")
 		density = flag.Float64("density", 0, "VAR coefficient density (0 = 3/p)")
+		degree  = flag.Int("degree", 0, "cross-channel in-degree per row (sparsevar kind; 0 = 3)")
 		seed    = flag.Uint64("seed", 1, "RNG seed")
 		out     = flag.String("o", "data.hbf", "output HBF path")
 		stripes = flag.Int("stripes", 1, "simulated OST stripes")
@@ -42,7 +48,7 @@ func main() {
 	flag.Parse()
 
 	opts := hbf.CreateOptions{ChunkRows: *chunk, Stripes: *stripes}
-	meta, err := generate(*kind, *n, *p, *nnz, *order, *noise, *density, *seed, *out, opts)
+	meta, err := generate(*kind, *n, *p, *nnz, *order, *degree, *noise, *density, *seed, *out, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
@@ -52,7 +58,7 @@ func main() {
 }
 
 // generate builds the requested dataset kind and writes it to out.
-func generate(kind string, n, p, nnz, order int, noise, density float64, seed uint64, out string, opts hbf.CreateOptions) (hbf.Meta, error) {
+func generate(kind string, n, p, nnz, order, degree int, noise, density float64, seed uint64, out string, opts hbf.CreateOptions) (hbf.Meta, error) {
 	switch kind {
 	case "regression":
 		reg := datagen.MakeRegression(seed, n, p, &datagen.RegressionOptions{NNZ: nnz, NoiseStd: noise})
@@ -62,6 +68,9 @@ func generate(kind string, n, p, nnz, order int, noise, density float64, seed ui
 		model := varsim.GenerateStable(rng, p, order, &varsim.GenOptions{Density: density})
 		series := model.Simulate(rng.Derive(1), n, 200)
 		return datagen.WriteSeriesHBF(out, series, opts)
+	case "sparsevar":
+		sv := datagen.MakeSparseVAR(seed, p, n, &datagen.SparseVAROptions{Degree: degree})
+		return datagen.WriteSeriesHBF(out, sv.Series, opts)
 	case "finance":
 		fin := datagen.MakeFinance(seed, p, n, nil)
 		return datagen.WriteSeriesHBF(out, fin.Series, opts)

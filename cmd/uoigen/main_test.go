@@ -9,9 +9,9 @@ import (
 
 func TestGenerateKinds(t *testing.T) {
 	dir := t.TempDir()
-	for _, kind := range []string{"regression", "var", "finance", "neuro"} {
+	for _, kind := range []string{"regression", "var", "sparsevar", "finance", "neuro"} {
 		out := filepath.Join(dir, kind+".hbf")
-		meta, err := generate(kind, 120, 10, 3, 1, 0.4, 0.2, 7, out, hbf.CreateOptions{Stripes: 2})
+		meta, err := generate(kind, 120, 10, 3, 1, 2, 0.4, 0.2, 7, out, hbf.CreateOptions{Stripes: 2})
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
 		}
@@ -34,7 +34,7 @@ func TestGenerateKinds(t *testing.T) {
 }
 
 func TestGenerateUnknownKind(t *testing.T) {
-	if _, err := generate("bogus", 10, 2, 1, 1, 0.1, 0.1, 1, filepath.Join(t.TempDir(), "x.hbf"), hbf.CreateOptions{}); err == nil {
+	if _, err := generate("bogus", 10, 2, 1, 1, 1, 0.1, 0.1, 1, filepath.Join(t.TempDir(), "x.hbf"), hbf.CreateOptions{}); err == nil {
 		t.Fatal("unknown kind must fail")
 	}
 }

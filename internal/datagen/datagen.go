@@ -297,6 +297,91 @@ func poisson(rng *resample.RNG, lambda float64) float64 {
 	}
 }
 
+// SparseVAR is the whole-network all-pairs workload: a ≥1024-channel
+// sparse stable VAR(1) system in the style of the whole-brain follow-on
+// (arXiv 2011.11082) — each channel is driven by a handful of others, so
+// the true Granger graph has bounded in-degree and all-pairs inference
+// has a sparse answer to recover.
+type SparseVAR struct {
+	// Model is the generating VAR; Model.A[0] holds the true coefficients
+	// (rows = targets, columns = sources).
+	Model *varsim.Model
+	// Series is the simulated n×p observation matrix.
+	Series *mat.Dense
+}
+
+// SparseVAROptions configures MakeSparseVAR.
+type SparseVAROptions struct {
+	// Degree is the number of nonzero cross-channel coefficients per
+	// target row (default 3); total edges ≈ Degree·p, so density shrinks
+	// as 1/p and 1024 channels stay sparse.
+	Degree int
+	// CoefScale bounds nonzero cross coefficients in
+	// [CoefScale/2, CoefScale] before stabilization (default 0.5).
+	CoefScale float64
+	// NoiseStd is the innovation standard deviation (default 1).
+	NoiseStd float64
+	// BurnIn is the number of discarded warm-up steps (default 100).
+	BurnIn int
+}
+
+// MakeSparseVAR generates p channels over n steps with bounded in-degree
+// and spectral radius 0.7 (stable), deterministically from seed.
+func MakeSparseVAR(seed uint64, p, n int, opts *SparseVAROptions) *SparseVAR {
+	if p <= 0 || n <= 0 {
+		panic(fmt.Sprintf("datagen: invalid sparse VAR shape %dx%d", n, p))
+	}
+	degree := 3
+	scale := 0.5
+	noise := 1.0
+	burnIn := 100
+	if opts != nil {
+		if opts.Degree > 0 {
+			degree = opts.Degree
+		}
+		if opts.CoefScale > 0 {
+			scale = opts.CoefScale
+		}
+		if opts.NoiseStd > 0 {
+			noise = opts.NoiseStd
+		}
+		if opts.BurnIn > 0 {
+			burnIn = opts.BurnIn
+		}
+	}
+	if degree > p-1 {
+		degree = p - 1
+	}
+	rng := resample.NewRNG(seed)
+	a := mat.NewDense(p, p)
+	for i := 0; i < p; i++ {
+		// Degree distinct sources per target, drawn without replacement.
+		chosen := map[int]bool{i: true}
+		for len(chosen) < degree+1 {
+			src := rng.Intn(p)
+			if chosen[src] {
+				continue
+			}
+			chosen[src] = true
+			v := scale * (0.5 + 0.5*rng.Float64())
+			if rng.Float64() < 0.4 {
+				v = -v
+			}
+			a.Set(i, src, v)
+		}
+		a.Set(i, i, 0.25+0.15*rng.Float64()) // mild self-persistence
+	}
+	model := &varsim.Model{A: []*mat.Dense{a}, Mu: make([]float64, p), NoiseStd: make([]float64, p)}
+	for i := range model.NoiseStd {
+		model.NoiseStd[i] = noise
+	}
+	if r := model.SpectralRadius(); r > 0 {
+		a.Scale(0.7 / r)
+	}
+	series := model.Simulate(rng.Derive(11), n, burnIn)
+	return &SparseVAR{Model: model, Series: series}
+}
+
 // WriteSeriesHBF stores an n×p series matrix.
 func WriteSeriesHBF(path string, series *mat.Dense, opts hbf.CreateOptions) (hbf.Meta, error) {
 	return hbf.Create(path, series.Rows, series.Cols, series.Data, opts)

@@ -1,0 +1,153 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"uoivar/internal/fault"
+	"uoivar/internal/monitor"
+	"uoivar/internal/serve"
+	"uoivar/internal/trace"
+)
+
+// graphChaosRequest is one /v1/graph/* query: a POST body or a GET path.
+type graphChaosRequest struct {
+	method string
+	path   string
+	body   []byte
+}
+
+// graphChaosRequests builds a deterministic mixed workload across all
+// three graph endpoints.
+func graphChaosRequests(p, n int) []graphChaosRequest {
+	out := make([]graphChaosRequest, n)
+	for i := range out {
+		switch i % 3 {
+		case 0:
+			body, err := json.Marshal(serve.GraphTopKRequest{Model: "chaos", K: 1 + i%7, Tol: 0.01})
+			if err != nil {
+				panic(err)
+			}
+			out[i] = graphChaosRequest{method: http.MethodPost, path: "/v1/graph/topk", body: body}
+		case 1:
+			out[i] = graphChaosRequest{method: http.MethodGet,
+				path: fmt.Sprintf("/v1/graph/node/%d?model=chaos&limit=%d", i%p, 2+i%3)}
+		default:
+			out[i] = graphChaosRequest{method: http.MethodGet,
+				path: fmt.Sprintf("/v1/graph/summary?model=chaos&top=%d", 3+i%2)}
+		}
+	}
+	return out
+}
+
+func doGraphRequest(t *testing.T, base string, req graphChaosRequest) (int, []byte) {
+	t.Helper()
+	var resp *http.Response
+	var err error
+	if req.method == http.MethodPost {
+		resp, err = http.Post(base+req.path, "application/json", bytes.NewReader(req.body))
+	} else {
+		resp, err = http.Get(base + req.path)
+	}
+	if err != nil {
+		t.Fatalf("%s %s: %v", req.method, req.path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("%s %s: read: %v", req.method, req.path, err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestGraphChaosFailoverBitIdentical is the graph-layer acceptance chaos
+// test: a seeded plan kills the routing primary mid-workload, and every
+// /v1/graph/* answer — top-k, per-node, and summary — must still arrive
+// with bytes identical to a single-server run. Graph stores are rebuilt
+// per replica from the same artifact, so failover must be invisible in
+// the bytes.
+func TestGraphChaosFailoverBitIdentical(t *testing.T) {
+	const p = 6
+	dir := t.TempDir()
+	art := chaosArtifact(p, 1.0)
+	writeChaosModels(t, dir, "chaos", art)
+	reqs := graphChaosRequests(p, 30)
+
+	// Single-server baseline bytes (cache disabled: every answer computed).
+	want := make([][]byte, len(reqs))
+	{
+		reg := serve.NewRegistry()
+		if _, err := reg.Set("chaos", art, ""); err != nil {
+			t.Fatal(err)
+		}
+		s := serve.New(serve.Config{Registry: reg, CacheEntries: -1})
+		addr, err := s.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, rq := range reqs {
+			status, body := doGraphRequest(t, "http://"+addr, rq)
+			if status != http.StatusOK {
+				t.Fatalf("baseline %d (%s): status %d: %s", i, rq.path, status, body)
+			}
+			want[i] = body
+		}
+		s.Close()
+	}
+
+	reps := startReplicas(t, dir, 3)
+	ring := NewRing(0)
+	for i := 0; i < 3; i++ {
+		ring.Add(i)
+	}
+	victim := ring.Lookup("chaos", 1)[0]
+	plan := fault.NewPlan(3, fault.Event{Kind: fault.ReplicaKill, Rank: victim, Op: 7})
+	tr := trace.New()
+	rt, err := NewRouter(Config{
+		Backends:       replicaBackends(reps),
+		Tracer:         tr,
+		Monitor:        monitor.New("graph-chaos-fleet"),
+		FaultPlan:      plan,
+		ProbeInterval:  -1,
+		AttemptTimeout: 3 * time.Second,
+		RetryBase:      time.Millisecond,
+		RetryCap:       8 * time.Millisecond,
+		Seed:           17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := rt.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	for i, rq := range reqs {
+		status, got := doGraphRequest(t, "http://"+addr, rq)
+		if status != http.StatusOK {
+			t.Fatalf("request %d (%s): status %d: %s", i, rq.path, status, got)
+		}
+		if !bytes.Equal(got, want[i]) {
+			t.Fatalf("request %d (%s): fleet bytes diverge from single-server run:\n fleet: %s\n solo:  %s",
+				i, rq.path, got, want[i])
+		}
+	}
+	if tr.Counter("fleet/injected_kills") != 1 {
+		t.Fatalf("injected kills %d, want 1", tr.Counter("fleet/injected_kills"))
+	}
+	if tr.Counter("fleet/failovers") == 0 {
+		t.Fatal("kill mid-workload must have forced at least one failover")
+	}
+	if tr.Counter("fleet/graph_queries") == 0 {
+		t.Fatal("fleet/graph_queries not counted")
+	}
+	if reps[victim].Alive() {
+		t.Fatal("victim still alive after scheduled kill")
+	}
+}

@@ -381,6 +381,9 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("/v1/granger", rt.handleRouted("/v1/granger"))
 	mux.HandleFunc("/v1/ingest", rt.handleIngest)
 	mux.HandleFunc("/v1/stream/status", rt.handleStreamStatus)
+	mux.HandleFunc("/v1/graph/topk", rt.handleRouted("/v1/graph/topk"))
+	mux.HandleFunc("/v1/graph/node/", rt.handleGraphGet("/v1/graph/node"))
+	mux.HandleFunc("/v1/graph/summary", rt.handleGraphGet("/v1/graph/summary"))
 	mux.HandleFunc("/v1/reload", rt.handleReload)
 	if rt.cfg.Monitor != nil {
 		rt.cfg.Monitor.Register(mux)
@@ -875,10 +878,37 @@ func (rt *Router) relay(ctx context.Context, w http.ResponseWriter, res proxyRes
 
 // ---- Endpoint handlers ----
 
+// handleGraphGet routes the GET graph endpoints (/v1/graph/node/{i},
+// /v1/graph/summary) by their ?model= query key, forwarding path and
+// query verbatim. Graph queries are pure functions of the artifact
+// version, so hedging is ON — a hedged duplicate is harmless and the
+// slowest replica stops mattering. endpoint is the admission/metric label
+// ("/v1/graph/node", not the per-index path, to bound cardinality).
+func (rt *Router) handleGraphGet(endpoint string) http.HandlerFunc {
+	return rt.admitted(endpoint, http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.Timeout)
+		defer cancel()
+		name := r.URL.Query().Get("model")
+		if name == "" {
+			rt.writeJSONError(w, http.StatusBadRequest, "missing ?model= (the routing key)")
+			return
+		}
+		path := r.URL.Path
+		if q := r.URL.RawQuery; q != "" {
+			path += "?" + q
+		}
+		rt.tracer.Add("fleet/graph_queries", 1)
+		spec := &attemptSpec{method: http.MethodGet, path: path, reqID: r.Header.Get(telemetry.HeaderRequestID)}
+		res := rt.route(ctx, name, spec, true)
+		rt.relay(ctx, w, res)
+	})
+}
+
 // handleRouted serves the model-keyed POST endpoints (/v1/forecast,
-// /v1/granger): the model name is peeked from the JSON body and
-// consistent-hashed onto the ring. Both endpoints are idempotent reads
-// (responses are pure functions of the artifact), so hedging is safe.
+// /v1/granger, /v1/graph/topk): the model name is peeked from the JSON
+// body and consistent-hashed onto the ring. These endpoints are
+// idempotent reads (responses are pure functions of the artifact), so
+// hedging is safe.
 func (rt *Router) handleRouted(path string) http.HandlerFunc {
 	return rt.admitted(path, http.MethodPost, func(w http.ResponseWriter, r *http.Request) {
 		ctx, cancelReq := context.WithTimeout(r.Context(), rt.cfg.Timeout)

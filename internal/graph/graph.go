@@ -1,6 +1,14 @@
-// Package graph provides the directed weighted graph representation used to
-// report inferred Granger-causal networks (paper Fig. 11): node degrees,
-// density, and DOT / edge-list export.
+// Package graph is the causal-network analytics layer: the directed
+// weighted graph representation used to report inferred Granger-causal
+// networks (paper Fig. 11, node degrees, density, DOT / edge-list export)
+// plus the compact CSR adjacency store (csr.go) behind the served
+// /v1/graph query endpoints — heap-based top-k edge queries, per-node
+// influence scores, connected components, label-propagation communities,
+// and byte-stable JSON summaries.
+//
+// Exports are canonical: the same edge multiset renders byte-identically
+// regardless of insertion order (edges are sorted before rendering), so
+// graphs accumulated from unordered map iteration still diff cleanly.
 package graph
 
 import (
@@ -11,13 +19,17 @@ import (
 
 // Edge is a directed weighted edge From → To.
 type Edge struct {
+	// From and To are the source and target node indices.
 	From, To int
-	Weight   float64
+	// Weight is the edge weight (sign preserved; ranking uses |Weight|).
+	Weight float64
 }
 
 // Directed is a directed weighted graph over nodes 0..N-1.
 type Directed struct {
-	N     int
+	// N is the node count.
+	N int
+	// Edges is the edge list in insertion order (duplicates allowed).
 	Edges []Edge
 	// Labels optionally names nodes (e.g. company tickers); missing entries
 	// render as node indices.
@@ -27,13 +39,68 @@ type Directed struct {
 // New creates an empty graph with n nodes.
 func New(n int) *Directed { return &Directed{N: n} }
 
-// AddEdge appends a directed edge; duplicate edges are allowed and counted
-// separately (callers dedupe upstream if needed).
+// AddEdge appends a directed edge. Duplicate (From, To) pairs are allowed
+// and counted separately until resolved — call Dedupe with an explicit
+// DupPolicy to collapse them; exports render duplicates as separate lines
+// (in canonical order) rather than silently picking one.
 func (g *Directed) AddEdge(from, to int, w float64) {
 	if from < 0 || from >= g.N || to < 0 || to >= g.N {
 		panic(fmt.Sprintf("graph: edge (%d→%d) outside %d nodes", from, to, g.N))
 	}
 	g.Edges = append(g.Edges, Edge{From: from, To: to, Weight: w})
+}
+
+// Dedupe returns a copy of the graph with duplicate (From, To) edges
+// resolved per policy and the edge list in canonical (From, To) order.
+// Labels are shared, not copied.
+func (g *Directed) Dedupe(policy DupPolicy) *Directed {
+	out := &Directed{N: g.N, Labels: g.Labels, Edges: make([]Edge, 0, len(g.Edges))}
+	seen := make(map[[2]int]int, len(g.Edges))
+	for _, e := range g.Edges {
+		key := [2]int{e.From, e.To}
+		if at, ok := seen[key]; ok {
+			switch policy {
+			case DupSum:
+				out.Edges[at].Weight += e.Weight
+			default: // DupLast
+				out.Edges[at].Weight = e.Weight
+			}
+			continue
+		}
+		seen[key] = len(out.Edges)
+		out.Edges = append(out.Edges, e)
+	}
+	sort.Slice(out.Edges, func(a, b int) bool {
+		if out.Edges[a].From != out.Edges[b].From {
+			return out.Edges[a].From < out.Edges[b].From
+		}
+		return out.Edges[a].To < out.Edges[b].To
+	})
+	return out
+}
+
+// CSR compacts the graph into the immutable query store, resolving
+// duplicates per policy.
+func (g *Directed) CSR(policy DupPolicy) (*CSR, error) {
+	return Build(g.N, g.Edges, policy)
+}
+
+// canonicalEdges returns a copy of the edge list sorted by (From, To,
+// Weight) — the order every export renders in, so output bytes do not
+// depend on insertion (e.g. map-iteration) order.
+func (g *Directed) canonicalEdges() []Edge {
+	edges := make([]Edge, len(g.Edges))
+	copy(edges, g.Edges)
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].From != edges[b].From {
+			return edges[a].From < edges[b].From
+		}
+		if edges[a].To != edges[b].To {
+			return edges[a].To < edges[b].To
+		}
+		return edges[a].Weight < edges[b].Weight
+	})
+	return edges
 }
 
 // NumEdges returns the edge count.
@@ -133,18 +200,29 @@ func (g *Directed) DOT(name string) string {
 		size := 0.3 + 1.2*float64(deg[i])/float64(maxDeg)
 		fmt.Fprintf(&b, "  %q [width=%.2f];\n", g.label(i), size)
 	}
-	for _, e := range g.Edges {
+	for _, e := range g.canonicalEdges() {
 		fmt.Fprintf(&b, "  %q -> %q [penwidth=%.2f];\n", g.label(e.From), g.label(e.To), 0.5+2.5*e.Weight/maxW)
 	}
 	b.WriteString("}\n")
 	return b.String()
 }
 
-// EdgeList renders "from to weight" lines sorted by |weight| descending.
+// EdgeList renders "from to weight" lines sorted by weight descending,
+// ties broken by (From, To) ascending — a total order, so the
+// output is byte-identical for the same edge multiset regardless of
+// insertion order.
 func (g *Directed) EdgeList() string {
 	edges := make([]Edge, len(g.Edges))
 	copy(edges, g.Edges)
-	sort.Slice(edges, func(a, b int) bool { return edges[a].Weight > edges[b].Weight })
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].Weight != edges[b].Weight {
+			return edges[a].Weight > edges[b].Weight
+		}
+		if edges[a].From != edges[b].From {
+			return edges[a].From < edges[b].From
+		}
+		return edges[a].To < edges[b].To
+	})
 	var b strings.Builder
 	for _, e := range edges {
 		fmt.Fprintf(&b, "%s %s %.6f\n", g.label(e.From), g.label(e.To), e.Weight)

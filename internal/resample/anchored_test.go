@@ -1,0 +1,57 @@
+package resample
+
+import "testing"
+
+// TestAnchoredBlockBootstrapInvariance: two windows whose target ranges
+// cover the same absolute grid blocks must draw the same absolute rows,
+// even though their window-relative indices differ by the slide.
+func TestAnchoredBlockBootstrapInvariance(t *testing.T) {
+	const blockLen, n = 16, 511
+	rng := NewRNG(9)
+	// Window A: absolute rows [1, 512) → whole blocks k=1..31.
+	// Window B: absolute rows [8, 519) → the same blocks (slide of 7
+	// crosses no grid boundary).
+	a := AnchoredBlockBootstrap(rng, 1, n, blockLen)
+	b := AnchoredBlockBootstrap(rng, 8, n, blockLen)
+	if len(a) != n || len(b) != n {
+		t.Fatalf("lengths %d, %d; want %d", len(a), len(b), n)
+	}
+	for i := range a {
+		if a[i] < 0 || a[i] >= n || b[i] < 0 || b[i] >= n {
+			t.Fatalf("index out of window at %d: %d, %d", i, a[i], b[i])
+		}
+		if int64(a[i])+1 != int64(b[i])+8 {
+			t.Fatalf("absolute draw %d differs: %d vs %d", i, a[i]+1, b[i]+8)
+		}
+	}
+	// Window C: absolute rows [24, 535) — the slide crossed a boundary
+	// (block 1 left, block 32 entered), so the draw must change.
+	c := AnchoredBlockBootstrap(rng, 24, n, blockLen)
+	same := true
+	for i := range a {
+		if int64(a[i])+1 != int64(c[i])+24 {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("boundary-crossing slide reproduced the old draw")
+	}
+	// Determinism: same rng state, same arguments, same output.
+	again := AnchoredBlockBootstrap(rng, 1, n, blockLen)
+	for i := range a {
+		if a[i] != again[i] {
+			t.Fatalf("not deterministic at %d", i)
+		}
+	}
+}
+
+func TestAnchoredBlockBootstrapPanicsWithoutWholeBlock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic: window covers no whole grid block")
+		}
+	}()
+	// [1, 16) contains no whole block of length 16.
+	AnchoredBlockBootstrap(NewRNG(1), 1, 15, 16)
+}

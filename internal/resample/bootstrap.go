@@ -86,6 +86,55 @@ func CircularBlockBootstrap(rng *RNG, n, blockLen int) []int {
 	return idx
 }
 
+// AnchoredBlockBootstrap draws a block bootstrap sample whose identity
+// depends only on ABSOLUTE stream coordinates, not on where the window
+// currently sits. Observations live at absolute positions
+// [anchor, anchor+n); candidate blocks are the fixed grid blocks
+// [k·blockLen, (k+1)·blockLen) that lie entirely inside that range, and
+// each of the ⌈n/blockLen⌉ output slots picks the candidate minimizing a
+// per-(slot, block) hash derived from rng's stream. Two windows that
+// cover the same grid-block set therefore draw the same absolute rows —
+// the property the streaming cell cache needs so that a refit after a
+// small slide (one that crosses no grid boundary) reuses its bootstrap
+// cells. Returns n window-relative indices in [0, n).
+//
+// The window must cover at least one whole grid block
+// (n ≥ 2·blockLen−1 guarantees this at any alignment); panics otherwise.
+func AnchoredBlockBootstrap(rng *RNG, anchor int64, n, blockLen int) []int {
+	if n <= 0 {
+		panic("resample: AnchoredBlockBootstrap with non-positive n")
+	}
+	if blockLen <= 0 {
+		panic("resample: non-positive block length")
+	}
+	if anchor < 0 {
+		panic("resample: negative anchor")
+	}
+	bl := int64(blockLen)
+	// First and last grid blocks wholly inside [anchor, anchor+n).
+	kLo := (anchor + bl - 1) / bl
+	kHi := (anchor + int64(n) - bl) / bl
+	if kHi < kLo {
+		panic(fmt.Sprintf("resample: window of %d rows at offset %d covers no whole block of length %d", n, anchor, blockLen))
+	}
+	idx := make([]int, 0, n+blockLen)
+	for slot := uint64(0); len(idx) < n; slot++ {
+		s := rng.Derive(slot + 1)
+		bestK, bestH := kLo, uint64(0)
+		for k := kLo; k <= kHi; k++ {
+			h := s.Derive(uint64(k) + 1).Uint64()
+			if k == kLo || h < bestH {
+				bestK, bestH = k, h
+			}
+		}
+		start := int(bestK*bl - anchor)
+		for j := 0; j < blockLen && len(idx) < n; j++ {
+			idx = append(idx, start+j)
+		}
+	}
+	return idx
+}
+
 // BlockTrainEvalSplit splits a time series of length n into contiguous
 // blocks of blockLen and assigns whole blocks to train/eval with the given
 // training fraction, preserving temporal structure within each side.

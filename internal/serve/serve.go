@@ -53,6 +53,10 @@ type Config struct {
 	// /v1/ingest and GET /v1/stream/status backed by per-model refit
 	// engines (stream.Manager). Nil serves 404 on both.
 	Streams Streamer
+	// Graphs backs the /v1/graph/* endpoints with cached CSR adjacency
+	// stores. Nil gives the server a private provider; fleet replicas over
+	// one registry may share a provider to build each store once.
+	Graphs *GraphProvider
 	// Tracer, when non-nil, receives serving spans and counters
 	// (serve/requests, serve/forecast_batches, serve/cache_hits, ...).
 	Tracer *trace.Tracer
@@ -177,6 +181,7 @@ type errorResponse struct {
 type Server struct {
 	cfg       Config
 	reg       *Registry
+	graphs    *GraphProvider
 	cache     *lruCache
 	tracer    *trace.Tracer
 	metrics   *serveMetrics
@@ -199,9 +204,14 @@ type Server struct {
 // New builds a server over cfg.Registry.
 func New(cfg Config) *Server {
 	c := cfg.withDefaults()
+	graphs := c.Graphs
+	if graphs == nil {
+		graphs = NewGraphProvider(0)
+	}
 	s := &Server{
 		cfg:       c,
 		reg:       c.Registry,
+		graphs:    graphs,
 		cache:     newLRUCache(c.CacheEntries),
 		tracer:    c.Tracer,
 		metrics:   newServeMetrics(c.Metrics, c.Replica),
@@ -236,7 +246,8 @@ func (s *Server) readiness() error {
 }
 
 // Handler returns the server's mux: /v1/models, /v1/forecast, /v1/granger,
-// /v1/reload, plus the monitor endpoints when configured.
+// /v1/reload, the /v1/graph/* query layer, plus the streaming and monitor
+// endpoints when configured.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/models", s.handleModels)
@@ -245,6 +256,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/reload", s.handleReload)
 	mux.HandleFunc("/v1/ingest", s.handleIngest)
 	mux.HandleFunc("/v1/stream/status", s.handleStreamStatus)
+	mux.HandleFunc("/v1/graph/topk", s.handleGraphTopK)
+	mux.HandleFunc("/v1/graph/node/", s.handleGraphNode)
+	mux.HandleFunc("/v1/graph/summary", s.handleGraphSummary)
 	if s.cfg.Monitor != nil {
 		s.cfg.Monitor.Register(mux)
 	}

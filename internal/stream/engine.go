@@ -255,6 +255,15 @@ func (e *Engine) refit() error {
 		e.cache.Rotate()
 		cfg.Cells = e.cache
 	}
+	// Anchor the selection bootstraps at absolute stream coordinates so a
+	// refit after a small slide (one that crosses no block-grid boundary)
+	// draws the same rows and its selection cells hit the cache. The guard
+	// only matters for explicit Base.BlockLen choices too big for the
+	// window; the ⌈√m⌉ default always passes.
+	if m := snap.Rows - cfg.Order; m >= 2*cfg.BlockLen-1 && m > 0 {
+		cfg.Anchored = true
+		cfg.Anchor = snapTotal - int64(snap.Rows)
+	}
 	hits0, _ := e.cache.Stats()
 	t0 := time.Now()
 	res, err := uoi.VAR(snap, &cfg)

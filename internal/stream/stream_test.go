@@ -323,8 +323,11 @@ func TestManagerRoutes(t *testing.T) {
 		t.Fatal(err)
 	}
 	window, _ := e.LastFit()
+	// The engine anchors selection bootstraps at the window's stream
+	// offset (0 here — nothing evicted yet), so the direct recipe must too.
 	direct, err := uoi.VAR(window, &uoi.VARConfig{
 		Order: base.Order, B1: base.B1, B2: base.B2, Q: base.Q, Seed: base.Seed,
+		Anchored: true,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -11,12 +11,16 @@ import (
 // CellCache memoizes completed VAR bootstrap cells across fits. Keys are
 // content hashes over every input that determines the cell's output — the
 // cell index and resampling geometry, the solver configuration, the λ grid,
-// the warm-start seed, and the bytes of exactly the series rows the cell's
-// bootstrap touches — so a hit is only possible when recomputation would
-// reproduce the identical bits. That makes the cache purely an execution
+// the warm-start seed, and the content sequence of exactly the series rows
+// the cell's bootstrap touches, in touch order — so a hit is only possible
+// when recomputation would reproduce the identical bits. Keys are
+// index-invariant: they hash what the bootstrap reads, not where in the
+// window it reads it, so a cell whose rows slid to new window positions
+// (streaming eviction) but whose bootstrap draws the same absolute rows
+// (VARConfig.Anchored) still hits. That makes the cache purely an execution
 // hint: streaming refits hand the same cache to consecutive fits and every
-// cell whose bootstrap window is unchanged is skipped, while any cell whose
-// window slid re-runs.
+// cell whose bootstrap content is unchanged is skipped, while any cell
+// whose content changed re-runs.
 //
 // Implementations must be safe for concurrent use (cells run on
 // VARConfig.Workers goroutines) and must return slices the caller may
@@ -126,22 +130,21 @@ func (c *MapCellCache) Len() int {
 	return len(c.selCur) + len(c.selPrev) + len(c.estCur) + len(c.estPrev)
 }
 
-// hashTouchedRows folds into h the index and contents of every series row a
-// cell's design construction reads: each bootstrap target t spans rows
-// t−d .. t. Rows outside the bootstrap's reach do not influence the cell,
-// so they stay out of the key — this is what lets an unchanged cell hit
-// across fits even when other parts of the series moved.
-func hashTouchedRows(h *checkpoint.Hasher, series *mat.Dense, targets []int, d int) {
-	touched := make([]bool, series.Rows)
+// hashTargetRows folds into h the CONTENT SEQUENCE a cell's design
+// construction reads: for each bootstrap target t, in target order, the
+// bytes of series rows t−d .. t (the lag stack plus the response row).
+// Row indices deliberately stay out of the hash — the design matrices,
+// and therefore the cell's output, are a function of this content
+// sequence alone. That index-invariance is what lets a slid window hit:
+// after the streaming buffer evicts rows, an anchored bootstrap that
+// draws the same absolute rows produces the same content sequence at
+// different window indices, and the key matches. (Each target contributes
+// exactly d+1 rows and AddFloats is length-prefixed, so the encoding is
+// self-delimiting — no two distinct sequences collide by framing.)
+func hashTargetRows(h *checkpoint.Hasher, series *mat.Dense, targets []int, d int) {
 	for _, t := range targets {
 		for r := t - d; r <= t; r++ {
-			touched[r] = true
-		}
-	}
-	for i, on := range touched {
-		if on {
-			h.AddUint64(uint64(i))
-			h.AddFloats(series.Row(i))
+			h.AddFloats(series.Row(r))
 		}
 	}
 }
@@ -170,13 +173,8 @@ func selCellKey(series *mat.Dense, k, m, blockLen int, lambdas []float64, c *VAR
 	h.AddFloat(c.SupportTol)
 	h.AddFloats(lambdas)
 	h.AddFloats(c.WarmBeta)
-	rng := resample.NewRNG(c.Seed).Derive(uint64(k) + 1)
-	idx := resample.MovingBlockBootstrap(rng, m, blockLen)
-	targets := make([]int, len(idx))
-	for i, v := range idx {
-		targets[i] = c.Order + v
-	}
-	hashTouchedRows(h, series, targets, c.Order)
+	targets := varSelTargets(resample.NewRNG(c.Seed), k, m, blockLen, c)
+	hashTargetRows(h, series, targets, c.Order)
 	return h.Sum()
 }
 
@@ -212,6 +210,6 @@ func estCellKey(series *mat.Dense, k, m, blockLen int, distinct [][]int, c *VARC
 	for _, v := range evalIdx {
 		targets = append(targets, c.Order+v)
 	}
-	hashTouchedRows(h, series, targets, c.Order)
+	hashTargetRows(h, series, targets, c.Order)
 	return h.Sum()
 }

@@ -121,6 +121,26 @@ func addSupportCounts(counts [][]int, sup []bool, p int) {
 	}
 }
 
+// varSelTargets derives selection bootstrap k's design-row targets (window
+// row indices in [d, d+m)): window-relative moving blocks by default, or
+// grid blocks at absolute stream coordinates when c.Anchored. Shared by the
+// cell body and the cell-cache key so the two can never disagree.
+func varSelTargets(root *resample.RNG, k, m, blockLen int, c *VARConfig) []int {
+	rng := root.Derive(uint64(k) + 1)
+	var idx []int
+	if c.Anchored {
+		// Design row t sits at absolute stream row Anchor + Order + t.
+		idx = resample.AnchoredBlockBootstrap(rng, c.Anchor+int64(c.Order), m, blockLen)
+	} else {
+		idx = resample.MovingBlockBootstrap(rng, m, blockLen)
+	}
+	targets := make([]int, len(idx))
+	for i, v := range idx {
+		targets[i] = c.Order + v
+	}
+	return targets
+}
+
 // varSelCell runs selection bootstrap k of UoI_VAR: block-bootstrap target
 // rows, assemble the design, factorize once (shared across equations and
 // the λ path), and return the support indicators flattened as
@@ -129,12 +149,7 @@ func addSupportCounts(counts [][]int, sup []bool, p int) {
 func varSelCell(series *mat.Dense, root *resample.RNG, k, m, blockLen int, lambdas []float64, c *VARConfig, kw int, tr *trace.Tracer, spPhase trace.Span) (sup []bool, fits, iters int, kron time.Duration, err error) {
 	d := c.Order
 	p := series.Cols
-	rng := root.Derive(uint64(k) + 1)
-	idx := resample.MovingBlockBootstrap(rng, m, blockLen)
-	targets := make([]int, len(idx))
-	for i, v := range idx {
-		targets[i] = d + v
-	}
+	targets := varSelTargets(root, k, m, blockLen, c)
 	t0 := time.Now()
 	spK := spPhase.Child("kron_assembly")
 	des := varsim.NewDesignFromRows(series, d, !c.NoIntercept, targets)

@@ -377,6 +377,13 @@ func varFingerprint(series *mat.Dense, blockLen int, c *VARConfig) uint64 {
 	if len(c.WarmBeta) > 0 {
 		h.AddFloats(c.WarmBeta)
 	}
+	// Anchored resampling changes every selection cell's draw, and the
+	// anchor offset is part of that draw. Hashed only when enabled so
+	// fingerprints of ordinary fits are unchanged from prior releases.
+	if c.Anchored {
+		h.AddUint64(1)
+		h.AddUint64(uint64(c.Anchor))
+	}
 	h.AddFloats(series.Data)
 	return h.Sum()
 }

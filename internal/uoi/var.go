@@ -46,6 +46,20 @@ type VARConfig struct {
 	// LassoConfig.KernelWorkers: 0 derives GOMAXPROCS/streams, negative
 	// forces the full-machine default.
 	KernelWorkers int
+	// Anchored switches the selection bootstraps from window-relative
+	// moving blocks to blocks anchored at ABSOLUTE stream coordinates
+	// (resample.AnchoredBlockBootstrap): the series is declared to start at
+	// stream offset Anchor, and bootstrap blocks align to a fixed grid of
+	// BlockLen-length blocks in stream coordinates. Two fits over windows
+	// that cover the same grid blocks then draw the same absolute rows, so
+	// their selection cells key identically in the CellCache — this is what
+	// lets a streaming refit after a small window slide reuse its cells.
+	// Like WarmBeta, (Anchored, Anchor) is part of the fit's identity: the
+	// default (false) reproduces prior releases bit for bit.
+	Anchored bool
+	// Anchor is the absolute stream offset of series row 0 (only read when
+	// Anchored is set; the streaming engine passes Buffer.Total−Buffer.Len).
+	Anchor int64
 	// WarmBeta, when its length equals the fit's betaLen (rowsB·p), seeds
 	// every selection bootstrap's λ sweep from a previous model's vec(B):
 	// the sweep runs smallest-λ-first (where the seed is close) and chains

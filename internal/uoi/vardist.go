@@ -147,8 +147,7 @@ func VARDistributed(comm *mpi.Comm, series *mat.Dense, cfg *VARConfig, dopts *VA
 	// see the same consensus estimates).
 	var indicator []float64
 	for k := 0; k < c.B1; k++ {
-		rng := root.Derive(uint64(k) + 1)
-		idx := resample.MovingBlockBootstrap(rng, m, blockLen)
+		targets := varSelTargets(root, k, m, blockLen, &c)
 		if lambdas != nil && indicator == nil {
 			indicator = make([]float64, len(lambdas)*betaLen)
 		}
@@ -160,10 +159,6 @@ func VARDistributed(comm *mpi.Comm, series *mat.Dense, cfg *VARConfig, dopts *VA
 			continue
 		}
 		spBoot := spSel.Child("bootstrap")
-		targets := make([]int, len(idx))
-		for i, v := range idx {
-			targets[i] = d + v
-		}
 		spK := spSel.Child("kron_assembly")
 		block, err := assembleFn(sub, buildLocal(targets), nReaders)
 		spK.End()

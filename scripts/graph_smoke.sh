@@ -1,0 +1,147 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the whole-network causal-analytics path:
+# generate a bounded-degree sparse VAR network, run the rank-sharded
+# all-pairs inference driver at 1 and 4 ranks and assert the fitted
+# artifacts and edge lists are byte-identical (sharding is invisible in
+# the bits), then serve the network over a 3-replica fleet, query
+# /v1/graph/topk, /v1/graph/node/{i}, and /v1/graph/summary, kill the
+# model's primary replica mid-traffic, and assert every graph answer
+# stays bit-identical across the failover. Exits nonzero on any
+# divergence, failed request, or missed recovery.
+set -euo pipefail
+
+GO=${GO:-go}
+ADDR=${ADDR:-127.0.0.1:8694}
+WORK=$(mktemp -d)
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+echo "== build uoiserve =="
+"$GO" build -o "$WORK/uoiserve" ./cmd/uoiserve
+
+echo "== generate a sparse causal network =="
+"$GO" run ./cmd/uoigen -kind sparsevar -n 600 -p 24 -degree 3 -seed 11 -o "$WORK/net.hbf"
+
+echo "== all-pairs fit, 1 rank vs 4 ranks =="
+mkdir -p "$WORK/models"
+"$GO" run ./cmd/uoifit -algo allpairs -data "$WORK/net.hbf" \
+  -b1 3 -q 5 -screen 8 -seed 4 -ranks 1 \
+  -model-out "$WORK/net-r1.uoim" -edges "$WORK/net-r1.edges"
+"$GO" run ./cmd/uoifit -algo allpairs -data "$WORK/net.hbf" \
+  -b1 3 -q 5 -screen 8 -seed 4 -ranks 4 \
+  -model-out "$WORK/models/net.uoim" -edges "$WORK/net-r4.edges"
+
+echo "== sharded fit must be bit-identical to serial =="
+cmp "$WORK/net-r1.edges" "$WORK/net-r4.edges" || {
+  echo "edge lists diverge between 1 and 4 ranks" >&2
+  exit 1
+}
+cmp "$WORK/net-r1.uoim" "$WORK/models/net.uoim" || {
+  echo "model artifacts diverge between 1 and 4 ranks" >&2
+  exit 1
+}
+echo "r1 == r4 (edges + artifact)"
+
+echo "== start fleet (3 replicas, kill net's primary at its 5th request) =="
+"$WORK/uoiserve" -models "$WORK/models" -addr "$ADDR" \
+  -replicas 3 -replication-factor 2 \
+  -chaos-kill net@5 -chaos-restart 2s >"$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+
+for i in $(seq 1 50); do
+  if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "fleet exited early:" >&2
+    cat "$WORK/server.log" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+TOPK_BODY='{"model":"net","k":10,"tol":0.001}'
+
+echo "== baseline graph answers =="
+for q in topk node summary; do
+  case $q in
+    topk) CODE=$(curl -sS -o "$WORK/base-$q.json" -w '%{http_code}' \
+      -H 'Content-Type: application/json' -d "$TOPK_BODY" "http://$ADDR/v1/graph/topk");;
+    node) CODE=$(curl -sS -o "$WORK/base-$q.json" -w '%{http_code}' \
+      "http://$ADDR/v1/graph/node/0?model=net&tol=0.001&limit=5");;
+    summary) CODE=$(curl -sS -o "$WORK/base-$q.json" -w '%{http_code}' \
+      "http://$ADDR/v1/graph/summary?model=net&tol=0.001&top=5");;
+  esac
+  [ "$CODE" = "200" ] || { echo "baseline $q: HTTP $CODE" >&2; cat "$WORK/base-$q.json" >&2; exit 1; }
+done
+head -c 200 "$WORK/base-topk.json"; echo
+
+echo "== top-k must report edges (a causal network was inferred) =="
+grep -q '"edges":\[{' "$WORK/base-topk.json" || {
+  echo "top-k answer has no edges" >&2
+  cat "$WORK/base-topk.json" >&2
+  exit 1
+}
+
+echo "== 30 mixed graph queries across the injected kill =="
+for i in $(seq 1 30); do
+  case $((i % 3)) in
+    1) q=topk; CODE=$(curl -sS -o "$WORK/got.json" -w '%{http_code}' \
+      -H 'Content-Type: application/json' -d "$TOPK_BODY" "http://$ADDR/v1/graph/topk");;
+    2) q=node; CODE=$(curl -sS -o "$WORK/got.json" -w '%{http_code}' \
+      "http://$ADDR/v1/graph/node/0?model=net&tol=0.001&limit=5");;
+    0) q=summary; CODE=$(curl -sS -o "$WORK/got.json" -w '%{http_code}' \
+      "http://$ADDR/v1/graph/summary?model=net&tol=0.001&top=5");;
+  esac
+  if [ "$CODE" != "200" ]; then
+    echo "request $i ($q) failed: HTTP $CODE" >&2
+    cat "$WORK/got.json" >&2
+    exit 1
+  fi
+  cmp -s "$WORK/base-$q.json" "$WORK/got.json" || {
+    echo "request $i ($q): answer differs across failover" >&2
+    diff "$WORK/base-$q.json" "$WORK/got.json" >&2 || true
+    exit 1
+  }
+done
+echo "30/30 ok, bit-identical across replicas"
+
+echo "== the kill must actually have fired =="
+grep -q 'chaos: killed replica' "$WORK/server.log" || {
+  echo "no chaos kill in server log" >&2
+  cat "$WORK/server.log" >&2
+  exit 1
+}
+
+echo "== killed replica rejoins (healthz back to ok) =="
+RECOVERED=0
+for i in $(seq 1 40); do
+  if curl -fsS "http://$ADDR/healthz" 2>/dev/null | grep -q '^ok'; then
+    RECOVERED=1
+    break
+  fi
+  sleep 0.25
+done
+[ "$RECOVERED" = "1" ] || {
+  echo "fleet never recovered after the chaos restart" >&2
+  cat "$WORK/server.log" >&2
+  exit 1
+}
+
+echo "== post-recovery top-k =="
+CODE=$(curl -sS -o "$WORK/got.json" -w '%{http_code}' \
+  -H 'Content-Type: application/json' -d "$TOPK_BODY" "http://$ADDR/v1/graph/topk")
+[ "$CODE" = "200" ] || { echo "post-recovery top-k: HTTP $CODE" >&2; exit 1; }
+cmp -s "$WORK/base-topk.json" "$WORK/got.json" || {
+  echo "post-recovery top-k differs from baseline" >&2
+  exit 1
+}
+
+echo "== drain =="
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+grep -q 'fleet drained cleanly' "$WORK/server.log" || {
+  echo "fleet did not drain cleanly" >&2
+  cat "$WORK/server.log" >&2
+  exit 1
+}
+echo "graph smoke passed"
