@@ -2,10 +2,10 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-full vet fmt doccheck experiments csv examples trace serve-smoke fleet-smoke stream-smoke metrics-smoke graph-smoke clean
+.PHONY: build test test-short test-race bench bench-full vet fmt doccheck experiments csv examples trace serve-smoke fleet-smoke stream-smoke metrics-smoke graph-smoke grid-smoke clean
 
 # Packages whose exported surface must be fully documented (CI gate).
-DOCCHECK_PKGS = ./internal/checkpoint ./internal/fleet ./internal/graph ./internal/model ./internal/serve ./internal/stream ./internal/telemetry .
+DOCCHECK_PKGS = ./internal/checkpoint ./internal/fleet ./internal/graph ./internal/model ./internal/mpi ./internal/serve ./internal/stream ./internal/telemetry ./internal/uoi .
 
 build:
 	$(GO) build ./...
@@ -89,6 +89,13 @@ metrics-smoke:
 # the primary with bit-identical answers → drain.
 graph-smoke:
 	bash scripts/graph_smoke.sh
+
+# 2-D grid smoke test: one dataset fitted at two grid shapes plus the
+# flat-collectives baseline, model artifacts byte-compared (bit-identity
+# invariant), PerfReports validated through trace.ParsePerfReport with
+# per-communicator comm attribution required.
+grid-smoke:
+	bash scripts/grid_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

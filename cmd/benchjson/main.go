@@ -225,6 +225,13 @@ func main() {
 		}
 	})
 
+	// ---- grid: 2-D bootstrap × λ fits, tree/ring vs flat collectives ----
+
+	if err := benchGrid(report, *short); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
 	// ---- serve: closed-loop inference load at 1/8/64 clients ----
 
 	if err := benchServing(report, *short); err != nil {

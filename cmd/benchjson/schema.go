@@ -54,6 +54,31 @@ type ServingResult struct {
 	Replicas int `json:"replicas,omitempty"`
 }
 
+// GridResult is one 2-D grid fit measurement: the same UoI fit run at a
+// fixed grid shape under either the communication-avoiding tree/ring
+// collectives or the flat baseline, with the runtime's wire-truth
+// communication meters attached. Rows come in tree/flat pairs per shape so
+// the artifact itself proves the communication-avoiding path ships fewer
+// bytes and waits less than the flat baseline on identical work.
+type GridResult struct {
+	Name string `json:"name"`
+	// Ranks is the world size (= grid rows × columns).
+	Ranks int `json:"ranks"`
+	// Grid is the "RxC" shape the fit ran at.
+	Grid string `json:"grid"`
+	// Collectives is "tree" (binomial tree + ring, overlapped) or "flat"
+	// (full-width barrier collectives baseline).
+	Collectives string `json:"collectives"`
+	// MPIBytes is total metered bytes-on-wire across all ranks and
+	// categories (each hop charged once, to its sender).
+	MPIBytes int64 `json:"mpi_bytes"`
+	// MPIWaitSeconds is total blocked time inside mpi calls across all
+	// ranks (barrier entry, channel block, request Wait).
+	MPIWaitSeconds float64 `json:"mpi_wait_seconds"`
+	// WallSeconds is the fit's wall time.
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
 // Report is the serialized artifact.
 type Report struct {
 	Schema     string   `json:"schema"`
@@ -62,6 +87,9 @@ type Report struct {
 	Benchmarks []Result `json:"benchmarks"`
 	// Serving is present from schema v2 on.
 	Serving []ServingResult `json:"serving,omitempty"`
+	// Grid rows are additive within v2 — artifacts recorded before the 2-D
+	// grid engine simply omit them.
+	Grid []GridResult `json:"grid,omitempty"`
 }
 
 // ParseBenchReport decodes and schema-checks a bench artifact. Both the
@@ -77,6 +105,9 @@ func ParseBenchReport(data []byte) (*Report, error) {
 	case BenchSchemaV1:
 		if len(r.Serving) != 0 {
 			return nil, fmt.Errorf("bench report: schema %s cannot carry serving rows", BenchSchemaV1)
+		}
+		if len(r.Grid) != 0 {
+			return nil, fmt.Errorf("bench report: schema %s cannot carry grid rows", BenchSchemaV1)
 		}
 	default:
 		return nil, fmt.Errorf("bench report: unknown schema %q (understood: %s, %s)",
@@ -95,6 +126,13 @@ func ParseBenchReport(data []byte) (*Report, error) {
 			s.P50Ms <= 0 || s.P99Ms < s.P50Ms || s.Coalescing < 1 || s.Replicas < 0 ||
 			s.P999Ms < 0 || s.RequestsTotal < 0 {
 			return nil, fmt.Errorf("bench report: serving row %d is malformed: %+v", i, s)
+		}
+	}
+	for i, g := range r.Grid {
+		if g.Name == "" || g.Ranks <= 0 || g.Grid == "" ||
+			(g.Collectives != "tree" && g.Collectives != "flat") ||
+			g.MPIBytes <= 0 || g.MPIWaitSeconds < 0 || g.WallSeconds <= 0 {
+			return nil, fmt.Errorf("bench report: grid row %d is malformed: %+v", i, g)
 		}
 	}
 	return &r, nil

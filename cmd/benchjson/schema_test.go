@@ -23,6 +23,12 @@ func validReport() *Report {
 			{Name: "fleet/forecast-c64-r4", Concurrency: 64, Requests: 960,
 				QPS: 9000, P50Ms: 4.2, P99Ms: 11.5, Coalescing: 1, Replicas: 4},
 		},
+		Grid: []GridResult{
+			{Name: "uoi/lasso-grid-1x8", Ranks: 8, Grid: "1x8", Collectives: "tree",
+				MPIBytes: 13080, MPIWaitSeconds: 0.002, WallSeconds: 0.05},
+			{Name: "uoi/lasso-grid-1x8", Ranks: 8, Grid: "1x8", Collectives: "flat",
+				MPIBytes: 17600, MPIWaitSeconds: 0.004, WallSeconds: 0.05},
+		},
 	}
 }
 
@@ -69,6 +75,7 @@ func TestParseBenchReportV1Legacy(t *testing.T) {
 	rep := validReport()
 	rep.Schema = BenchSchemaV1
 	rep.Serving = nil
+	rep.Grid = nil
 	r, err := ParseBenchReport(mustJSON(t, rep))
 	if err != nil {
 		t.Fatalf("legacy v1 should parse: %v", err)
@@ -84,6 +91,16 @@ func TestParseBenchReportV1WithServingRefused(t *testing.T) {
 	_, err := ParseBenchReport(mustJSON(t, rep))
 	if err == nil || !strings.Contains(err.Error(), "serving rows") {
 		t.Fatalf("err = %v, want serving-rows refusal", err)
+	}
+}
+
+func TestParseBenchReportV1WithGridRefused(t *testing.T) {
+	rep := validReport()
+	rep.Schema = BenchSchemaV1 // v1 predates the grid section
+	rep.Serving = nil
+	_, err := ParseBenchReport(mustJSON(t, rep))
+	if err == nil || !strings.Contains(err.Error(), "grid rows") {
+		t.Fatalf("err = %v, want grid-rows refusal", err)
 	}
 }
 
@@ -111,6 +128,13 @@ func TestParseBenchReportMalformed(t *testing.T) {
 		"negative replicas":   func(r *Report) { r.Serving[1].Replicas = -2 },
 		"negative p999":       func(r *Report) { r.Serving[0].P999Ms = -1 },
 		"negative req total":  func(r *Report) { r.Serving[0].RequestsTotal = -1 },
+		"unnamed grid row":    func(r *Report) { r.Grid[0].Name = "" },
+		"zero grid ranks":     func(r *Report) { r.Grid[0].Ranks = 0 },
+		"empty grid shape":    func(r *Report) { r.Grid[0].Grid = "" },
+		"bad grid mode":       func(r *Report) { r.Grid[0].Collectives = "butterfly" },
+		"zero grid bytes":     func(r *Report) { r.Grid[0].MPIBytes = 0 },
+		"negative grid wait":  func(r *Report) { r.Grid[0].MPIWaitSeconds = -1 },
+		"zero grid wall":      func(r *Report) { r.Grid[0].WallSeconds = 0 },
 	}
 	for name, mutate := range cases {
 		rep := validReport()
@@ -137,6 +161,26 @@ func TestCommittedArtifactParses(t *testing.T) {
 	}
 	if r.Schema == BenchSchemaVersion && len(r.Serving) == 0 {
 		t.Fatal("v2 artifact carries no serving rows")
+	}
+	// Grid rows, when present, must prove the communication-avoiding claim
+	// inside the artifact itself: at every shape the tree/ring mode ships
+	// fewer bytes than the flat baseline in the same artifact.
+	byShape := map[string]map[string]GridResult{}
+	for _, g := range r.Grid {
+		if byShape[g.Grid] == nil {
+			byShape[g.Grid] = map[string]GridResult{}
+		}
+		byShape[g.Grid][g.Collectives] = g
+	}
+	for shape, modes := range byShape {
+		tree, hasTree := modes["tree"]
+		flat, hasFlat := modes["flat"]
+		if !hasTree || !hasFlat {
+			t.Fatalf("grid shape %s lacks a tree/flat pair", shape)
+		}
+		if tree.MPIBytes >= flat.MPIBytes {
+			t.Fatalf("grid %s: tree bytes %d not below flat %d", shape, tree.MPIBytes, flat.MPIBytes)
+		}
 	}
 }
 

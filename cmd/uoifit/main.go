@@ -147,6 +147,37 @@ type options struct {
 	// Screen caps the per-target candidate predictors kept by the
 	// sure-independence screen in the all-pairs driver (0 = default 64).
 	Screen int
+	// Grid, when non-empty, runs the fit on a 2-D "RxC" bootstrap × λ
+	// process grid (R·C ranks, overriding -ranks) with communication-
+	// avoiding tree/ring reassembly. Grid fits replicate the dataset on
+	// every rank and are bit-identical to the serial fit at any shape.
+	Grid string
+	// GridCollectives picks the grid reassembly mode: "tree" (default;
+	// binomial-tree reduce/bcast + ring allgather + overlapped estimation
+	// rounds) or "flat" (full-width barrier collectives — the measurement
+	// baseline; identical results, more bytes).
+	GridCollectives string
+}
+
+// gridShape parses -grid (empty shape when the flag is unset) and validates
+// -grid-collectives.
+func (o *options) gridShape() (uoi.GridShape, bool, error) {
+	if o.Grid == "" {
+		return uoi.GridShape{}, false, nil
+	}
+	shape, err := uoi.ParseGridShape(o.Grid)
+	if err != nil {
+		return shape, false, err
+	}
+	switch o.GridCollectives {
+	case "", "tree", "flat":
+	default:
+		return shape, false, fmt.Errorf("unknown -grid-collectives %q (tree | flat)", o.GridCollectives)
+	}
+	if o.Checkpoint != "" {
+		return shape, false, fmt.Errorf("-grid and -checkpoint are mutually exclusive (grid fits do not checkpoint)")
+	}
+	return shape, true, nil
 }
 
 // ckpt builds the uoi checkpoint config from the flags (nil when
@@ -190,6 +221,8 @@ func main() {
 	flag.BoolVar(&o.Resume, "resume", false, "resume the fit from -checkpoint, skipping completed cells")
 	flag.IntVar(&o.CkptEvery, "ckpt-every", 1, "checkpoint save cadence in completed bootstrap cells")
 	flag.IntVar(&o.Screen, "screen", 0, "all-pairs per-target screening cap (0 = 64)")
+	flag.StringVar(&o.Grid, "grid", "", "run on a 2-D RxC bootstrap × λ process grid (ranks = R·C; bit-identical to serial)")
+	flag.StringVar(&o.GridCollectives, "grid-collectives", "tree", "grid reassembly collectives: tree | flat")
 	flag.Parse()
 	if o.Data == "" {
 		fmt.Fprintln(os.Stderr, "missing -data")
@@ -230,6 +263,15 @@ func main() {
 }
 
 func run(o *options) error {
+	if shape, on, err := o.gridShape(); err != nil {
+		return err
+	} else if on {
+		if o.Algo != "lasso" && o.Algo != "var" {
+			return fmt.Errorf("-grid applies to -algo lasso | var, not %q", o.Algo)
+		}
+		// The grid shape defines the world: R·C ranks, one per grid cell.
+		o.Ranks = shape.Ranks()
+	}
 	if o.Order <= 0 && (o.Algo == "var" || o.Algo == "var-cv") {
 		series, err := readSeries(o.Data)
 		if err != nil {
@@ -434,24 +476,33 @@ func runLasso(o *options) error {
 	if err := perf.serve(); err != nil {
 		return err
 	}
-	// Checkpointed fits replicate the full dataset on every rank (the P_B
-	// bootstrap-sharding axis) so every cell is rank-independent; the usual
-	// path shards rows with distio and runs consensus ADMM.
+	// Checkpointed and grid fits replicate the full dataset on every rank
+	// (the P_B bootstrap-sharding axis) so every cell is rank-independent;
+	// the usual path shards rows with distio and runs consensus ADMM.
+	shape, gridOn, err := o.gridShape()
+	if err != nil {
+		return err
+	}
 	var xFull *mat.Dense
 	var yFull []float64
-	if o.Checkpoint != "" {
+	if o.Checkpoint != "" || gridOn {
 		var err error
 		xFull, yFull, err = readRegression(o.Data)
 		if err != nil {
 			return err
 		}
 	}
-	err := mpi.RunWithOptions(o.Ranks, perf.runOpts(), func(c *mpi.Comm) error {
+	err = mpi.RunWithOptions(o.Ranks, perf.runOpts(), func(c *mpi.Comm) error {
 		perf.register(c)
 		tr := perf.tracer(c.Rank())
 		var res *uoi.Result
 		var err error
-		if o.Checkpoint != "" {
+		if gridOn {
+			res, err = uoi.LassoGrid(c, xFull, yFull, &uoi.LassoConfig{
+				B1: o.B1, B2: o.B2, Q: o.Q, LambdaRatio: o.Ratio, Seed: o.Seed,
+				KernelWorkers: o.KernelWorkers, Trace: tr,
+			}, uoi.GridOptions{Shape: shape, FlatCollectives: o.GridCollectives == "flat"})
+		} else if o.Checkpoint != "" {
 			res, err = uoi.LassoCheckpointedDistributed(c, xFull, yFull, &uoi.LassoConfig{
 				B1: o.B1, B2: o.B2, Q: o.Q, LambdaRatio: o.Ratio, Seed: o.Seed,
 				KernelWorkers: o.KernelWorkers, Trace: tr, Checkpoint: o.ckpt(),
@@ -568,12 +619,23 @@ func runVAR(o *options) error {
 	if err := perf.serve(); err != nil {
 		return err
 	}
+	shape, gridOn, err := o.gridShape()
+	if err != nil {
+		return err
+	}
 	err = mpi.RunWithOptions(o.Ranks, perf.runOpts(), func(c *mpi.Comm) error {
 		perf.register(c)
 		tr := perf.tracer(c.Rank())
 		var res *uoi.VARResult
 		var err error
-		if o.Checkpoint != "" {
+		if gridOn {
+			// Grid VAR replicates the series on every rank (like the
+			// checkpointed path) and shards cells over the 2-D grid.
+			res, err = uoi.VARGrid(c, series, &uoi.VARConfig{
+				Order: o.Order, B1: o.B1, B2: o.B2, Q: o.Q, LambdaRatio: o.Ratio, Seed: o.Seed,
+				KernelWorkers: o.KernelWorkers, Trace: tr,
+			}, uoi.GridOptions{Shape: shape, FlatCollectives: o.GridCollectives == "flat"})
+		} else if o.Checkpoint != "" {
 			// Checkpointed VAR replicates the series on every rank and shards
 			// bootstraps (bit-identical to the serial fit at any rank count).
 			res, err = uoi.VARCheckpointedDistributed(c, series, &uoi.VARConfig{

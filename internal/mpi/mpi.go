@@ -121,10 +121,26 @@ func (s RankState) String() string {
 }
 
 // Stats accumulates per-rank communication counters and health.
+//
+// Bytes counts bytes-on-wire: every message is charged once, to the rank
+// that put it on the wire. The flat slot-based collectives charge each rank
+// its own contribution (the slice it deposits or copies out), and the
+// tree/ring collectives (collectives.go) charge only the sending endpoint
+// of each hop — so summing Bytes over ranks gives the total traffic a real
+// network would carry, and the communication-avoiding paths measurably
+// beat the flat ones rather than double-counting themselves into a loss.
 type Stats struct {
+	// Calls counts completed communication calls per category.
 	Calls [numCategories]int64
+	// Bytes counts bytes-on-wire per category (see the type comment).
 	Bytes [numCategories]int64
-	Time  [numCategories]time.Duration
+	// Time is total wall time spent inside communication calls.
+	Time [numCategories]time.Duration
+	// Wait is the portion of Time spent blocked — barrier waits, full
+	// channels, absent messages — rather than transferring data. The
+	// scaling experiments watch this drop when flat collectives are
+	// replaced by tree/ring ones.
+	Wait [numCategories]time.Duration
 	// Health is this rank's state (for merged stats, the worst state seen).
 	Health RankState
 }
@@ -139,12 +155,21 @@ func (s *Stats) Total() (calls, bytes int64, d time.Duration) {
 	return
 }
 
+// TotalWait returns the blocked time summed across categories.
+func (s *Stats) TotalWait() (d time.Duration) {
+	for c := 0; c < int(numCategories); c++ {
+		d += s.Wait[c]
+	}
+	return
+}
+
 // add merges o into s.
 func (s *Stats) add(o *Stats) {
 	for c := 0; c < int(numCategories); c++ {
 		s.Calls[c] += o.Calls[c]
 		s.Bytes[c] += o.Bytes[c]
 		s.Time[c] += o.Time[c]
+		s.Wait[c] += o.Wait[c]
 	}
 	if o.Health > s.Health {
 		s.Health = o.Health
@@ -167,14 +192,20 @@ type pairCell struct {
 // PairFlow is one nonzero cell of the per-pair communication matrix: all
 // traffic from Src to Dst in one category, with both endpoints' accounting.
 type PairFlow struct {
-	Src, Dst  int
-	Category  Category
+	// Src and Dst are the world ranks of the cell's sender and receiver.
+	Src, Dst int
+	// Category classifies the traffic (p2p, collective, one-sided).
+	Category Category
+	// SendCalls, SendBytes, and SendTime are the sender side's accounting:
+	// operations initiated, payload bytes shipped, and time inside them.
 	SendCalls int64
-	SendBytes int64
-	SendTime  time.Duration
+	SendBytes int64         // payload bytes shipped by Src (see SendCalls)
+	SendTime  time.Duration // sender time inside the operations (see SendCalls)
+	// RecvCalls, RecvBytes, and RecvTime are the receiver side's
+	// accounting; per cell, RecvBytes equals SendBytes (conservation).
 	RecvCalls int64
-	RecvBytes int64
-	RecvTime  time.Duration
+	RecvBytes int64         // payload bytes received by Dst (see RecvCalls)
+	RecvTime  time.Duration // receiver time inside the operations (see RecvCalls)
 }
 
 // pairIndex flattens (src, dst, cat) into the world's pairs slice.
@@ -238,6 +269,9 @@ func procAdd(rank int, cat Category, bytes int64, elapsed time.Duration) {
 // called concurrently from all rank goroutines. internal/fault's Plan
 // implements this interface.
 type FaultInjector interface {
+	// CommOp records one communication operation by worldRank and returns
+	// the latency to inject before it (0 = none) plus a non-nil crash error
+	// when the rank is scheduled to die at this operation.
 	CommOp(worldRank int) (delay time.Duration, crash error)
 }
 
@@ -279,7 +313,11 @@ type World struct {
 	stats    []Stats // indexed by world rank
 	// pairs is the R×R×category communication matrix, flat-indexed by
 	// pairIndex and guarded by statsMu alongside stats.
-	pairs    []pairCell
+	pairs []pairCell
+	// labeled accumulates per-(rank, communicator-label) counters for comms
+	// tagged with WithLabel; guarded by statsMu. Lazily allocated so
+	// label-free runs pay one nil check per meter call.
+	labeled  map[labelKey]*Stats
 	statsMu  sync.Mutex
 	failOnce sync.Once
 	failErr  error
@@ -456,6 +494,8 @@ type group struct {
 	result  []float64
 	// iarCounters sequence the non-blocking collectives per rank.
 	iarCounters []atomic.Int64
+	// collCounters sequence the blocking tree/ring collectives per rank.
+	collCounters []atomic.Int64
 	// a2aSlots is the deposit area for Alltoallv exchanges.
 	a2aSlots [][][]float64
 }
@@ -478,12 +518,22 @@ func (w *World) newGroup(members []int) *group {
 	return g
 }
 
+// labelKey indexes the per-(rank, communicator-label) counter map.
+type labelKey struct {
+	rank  int
+	label string
+}
+
 // Comm is one rank's handle on a communicator.
 type Comm struct {
 	world     *World
 	group     *group
 	rank      int // rank within this communicator
 	worldRank int // rank within the original world
+	// label, when non-empty, attributes this handle's traffic to a named
+	// communicator ("row", "col", "world") in the per-label stats and on
+	// event timelines. Set with WithLabel.
+	label string
 }
 
 // Rank returns this rank within the communicator.
@@ -494,6 +544,46 @@ func (c *Comm) Size() int { return len(c.group.members) }
 
 // WorldRank returns the rank in the original Run world.
 func (c *Comm) WorldRank() int { return c.worldRank }
+
+// WithLabel returns a handle on the same communicator whose traffic is
+// additionally attributed to the named communicator: aggregate counters per
+// (rank, label) — readable via LocalLabelStats — and a "@label" suffix on
+// timeline event names, so a 2-D grid run can tell row-communicator bytes
+// from column-communicator bytes. The underlying group, rank, and metering
+// into the world totals are unchanged.
+func (c *Comm) WithLabel(label string) *Comm {
+	cp := *c
+	cp.label = label
+	return &cp
+}
+
+// Label returns the attribution label set by WithLabel ("" when unset).
+func (c *Comm) Label() string { return c.label }
+
+// LocalLabelStats returns this rank's per-communicator-label counters: a
+// copy of the Stats accumulated by every labeled Comm handle of this rank
+// (see WithLabel). Unlabeled traffic is not included; it remains visible in
+// LocalStats, which always covers everything.
+func (c *Comm) LocalLabelStats() map[string]Stats {
+	w := c.world
+	w.statsMu.Lock()
+	defer w.statsMu.Unlock()
+	out := map[string]Stats{}
+	for k, s := range w.labeled {
+		if k.rank == c.worldRank {
+			out[k.label] = *s
+		}
+	}
+	return out
+}
+
+// evName suffixes a timeline event name with the communicator label.
+func (c *Comm) evName(base string) string {
+	if c.label == "" {
+		return base
+	}
+	return base + "@" + c.label
+}
 
 // Abort records err as the world's failure and breaks every barrier so all
 // blocked ranks unwind promptly; Run returns the cause joined with any rank
@@ -550,18 +640,44 @@ func (c *Comm) sync() {
 	}
 }
 
-// syncW is sync with barrier-wait accounting: when this rank records
-// events, the time spent inside the barrier is accumulated into *wait so
-// the call's event can attribute wait-vs-transfer. Recorder-free ranks pay
-// only the nil check.
+// syncW is sync with barrier-wait accounting: the time spent inside the
+// barrier is accumulated into *wait so the call can attribute
+// wait-vs-transfer, both on its timeline event and in Stats.Wait.
 func (c *Comm) syncW(wait *time.Duration) {
-	if !c.world.eventsOn {
-		c.sync()
-		return
-	}
 	t0 := time.Now()
 	c.sync()
 	*wait += time.Since(t0)
+}
+
+// addWait folds a call's blocked time into this rank's Stats.Wait (and the
+// labeled counters when the handle carries a communicator label).
+func (c *Comm) addWait(cat Category, wait time.Duration) {
+	if wait == 0 {
+		return
+	}
+	w := c.world
+	w.statsMu.Lock()
+	w.stats[c.worldRank].Wait[cat] += wait
+	if c.label != "" {
+		c.labeledLocked().Wait[cat] += wait
+	}
+	w.statsMu.Unlock()
+}
+
+// labeledLocked returns (creating on first use) this handle's per-label
+// Stats cell. Caller holds world.statsMu.
+func (c *Comm) labeledLocked() *Stats {
+	w := c.world
+	if w.labeled == nil {
+		w.labeled = map[labelKey]*Stats{}
+	}
+	k := labelKey{rank: c.worldRank, label: c.label}
+	s, ok := w.labeled[k]
+	if !ok {
+		s = &Stats{}
+		w.labeled[k] = s
+	}
+	return s
 }
 
 // meter records a communication event on this rank's aggregate counters.
@@ -581,6 +697,12 @@ func (c *Comm) meterPair(cat Category, peerWorld int, dir pairDir, floats int, s
 	s.Calls[cat]++
 	s.Bytes[cat] += bytes
 	s.Time[cat] += elapsed
+	if c.label != "" {
+		ls := c.labeledLocked()
+		ls.Calls[cat]++
+		ls.Bytes[cat] += bytes
+		ls.Time[cat] += elapsed
+	}
 	if peerWorld >= 0 {
 		if dir == pairSend {
 			cell := &w.pairs[w.pairIndex(c.worldRank, peerWorld, cat)]
@@ -597,6 +719,49 @@ func (c *Comm) meterPair(cat Category, peerWorld int, dir pairDir, floats int, s
 	w.statsMu.Unlock()
 	if procStats.enabled.Load() {
 		procAdd(c.worldRank, cat, bytes, elapsed)
+	}
+}
+
+// meterWire records one endpoint of a wire-metered (tree/ring collective)
+// hop: the sending side charges the payload to its aggregate and labeled
+// byte counters plus the pair matrix's send cell; the receiving side charges
+// the call and its time but ZERO aggregate bytes — the payload appears only
+// in the pair matrix's recv cell, so per-pair conservation (send bytes ==
+// recv bytes) still holds while rank-summed Stats.Bytes counts each message
+// exactly once (see the Stats doc comment).
+func (c *Comm) meterWire(peerWorld int, dir pairDir, floats int, start time.Time) {
+	elapsed := time.Since(start)
+	bytes := int64(floats * bytesPerFloat)
+	statBytes := bytes
+	if dir == pairRecv {
+		statBytes = 0
+	}
+	w := c.world
+	w.statsMu.Lock()
+	s := &w.stats[c.worldRank]
+	s.Calls[CatCollective]++
+	s.Bytes[CatCollective] += statBytes
+	s.Time[CatCollective] += elapsed
+	if c.label != "" {
+		ls := c.labeledLocked()
+		ls.Calls[CatCollective]++
+		ls.Bytes[CatCollective] += statBytes
+		ls.Time[CatCollective] += elapsed
+	}
+	if dir == pairSend {
+		cell := &w.pairs[w.pairIndex(c.worldRank, peerWorld, CatCollective)]
+		cell.sendCalls++
+		cell.sendBytes += bytes
+		cell.sendTime += elapsed
+	} else {
+		cell := &w.pairs[w.pairIndex(peerWorld, c.worldRank, CatCollective)]
+		cell.recvCalls++
+		cell.recvBytes += bytes
+		cell.recvTime += elapsed
+	}
+	w.statsMu.Unlock()
+	if procStats.enabled.Load() {
+		procAdd(c.worldRank, CatCollective, statBytes, elapsed)
 	}
 }
 
@@ -736,11 +901,14 @@ func (w *World) flowID(key chanKey, send bool) uint64 {
 	return flowHash(uint64(key.comm), uint64(key.src)+1, uint64(key.dst)+1, uint64(int64(key.tag))+1, uint64(seq))
 }
 
-// commEvent records a completed peerless (collective/RMA-epoch) call on the
-// rank's event timeline; a no-op without a recorder.
+// commEvent records a completed peerless (collective/RMA-epoch) call: the
+// blocked portion is folded into Stats.Wait, and — when a recorder is
+// attached — the call appears on the rank's event timeline under the
+// label-suffixed name (see WithLabel).
 func (c *Comm) commEvent(name string, cat Category, floats int, start time.Time, wait time.Duration) {
+	c.addWait(cat, wait)
 	if r := c.recorder(); r != nil {
-		r.Comm(name, cat.String(), -1, 0, int64(floats*bytesPerFloat), start, wait, 0, false)
+		r.Comm(c.evName(name), cat.String(), -1, 0, int64(floats*bytesPerFloat), start, wait, 0, false)
 	}
 }
 
@@ -754,7 +922,7 @@ func (c *Comm) Send(dst, tag int, data []float64) {
 	}
 	wait := c.sendRaw(dst, tag, data)
 	if r := c.recorder(); r != nil {
-		r.Comm("send", CatP2P.String(), c.group.members[dst], tag,
+		r.Comm(c.evName("send"), CatP2P.String(), c.group.members[dst], tag,
 			int64(len(data)*bytesPerFloat), start, wait, flow, false)
 	}
 }
@@ -785,6 +953,7 @@ func (c *Comm) sendRaw(dst, tag int, data []float64) (wait time.Duration) {
 		}
 		wait = time.Since(t0)
 	}
+	c.addWait(CatP2P, wait)
 	c.meterPair(CatP2P, c.group.members[dst], pairSend, len(data), start)
 	return wait
 }
@@ -801,7 +970,7 @@ func (c *Comm) Recv(src, tag int) []float64 {
 	}
 	data, wait := c.recvRaw(src, tag)
 	if r := c.recorder(); r != nil {
-		r.Comm("recv", CatP2P.String(), c.group.members[src], tag,
+		r.Comm(c.evName("recv"), CatP2P.String(), c.group.members[src], tag,
 			int64(len(data)*bytesPerFloat), start, wait, flow, true)
 	}
 	return data
@@ -835,6 +1004,7 @@ func (c *Comm) recvRaw(src, tag int) ([]float64, time.Duration) {
 		}
 		wait = time.Since(t0)
 	}
+	c.addWait(CatP2P, wait)
 	c.meterPair(CatP2P, c.group.members[src], pairRecv, len(data), start)
 	return data, wait
 }

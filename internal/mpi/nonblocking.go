@@ -22,14 +22,9 @@ type Request struct {
 // rank died or the deadline expired), Wait unwinds the caller with the
 // typed communication error, exactly as the blocking collectives do.
 func (r *Request) Wait() {
-	var wait time.Duration
-	if r.comm.world.eventsOn {
-		t0 := time.Now()
-		<-r.done
-		wait = time.Since(t0)
-	} else {
-		<-r.done
-	}
+	t0 := time.Now()
+	<-r.done
+	wait := time.Since(t0)
 	if r.err != nil {
 		panic(commFailure{r.err})
 	}

@@ -1,0 +1,85 @@
+package perfmodel
+
+import "math"
+
+// Analytic byte-volume model for the reassembly collectives of the 2-D
+// (bootstrap × λ) grid engine (internal/uoi.LassoGrid / VARGrid), matching
+// the wire-truth metering of the in-process runtime (internal/mpi): each
+// hop's payload is charged once, to its sender. These closed forms are what
+// the metered tests in internal/mpi assert exactly, and what lets the
+// machine model predict when the communication-avoiding path pays off at
+// rank counts the test harness cannot reach.
+
+// FlatAllreduceBytes is the wire volume of the flat slot-based Allreduce of
+// an n-float vector on r ranks as the in-process runtime meters it: every
+// rank contributes its full vector once (r·n·8 bytes). A butterfly network
+// implementation would ship more (r·log r rounds); the in-process runtime's
+// shared-slot exchange is the r·n lower bound of the flat family.
+func FlatAllreduceBytes(r, n int) float64 {
+	return float64(r) * float64(n) * 8
+}
+
+// TreeReduceBytes is the wire volume of a binomial-tree reduction of an
+// n-float vector on r ranks: every rank except the root sends its partial
+// exactly once, (r−1)·n·8 bytes — independent of tree depth.
+func TreeReduceBytes(r, n int) float64 {
+	return float64(r-1) * float64(n) * 8
+}
+
+// TreeBcastBytes is the wire volume of a binomial-tree broadcast of an
+// n-float vector on r ranks: each rank receives the vector exactly once,
+// (r−1)·n·8 bytes.
+func TreeBcastBytes(r, n int) float64 {
+	return TreeReduceBytes(r, n)
+}
+
+// FlatAllgatherBytes is the wire volume of the flat Allgather of n floats
+// per rank on r ranks: every rank publishes its block once into the shared
+// result, r·n·8 bytes.
+func FlatAllgatherBytes(r, n int) float64 {
+	return float64(r) * float64(n) * 8
+}
+
+// RingAllgathervBytes is the wire volume of the ring allgather of
+// totalFloats spread across r ranks: over r−1 steps every block travels the
+// whole ring, (r−1)·total·8 bytes. The ring ships more total bytes than the
+// flat exchange but splits them into r concurrent nearest-neighbor streams
+// of equal size — its win is contention and overlap, not raw volume, which
+// is why the grid engine uses it only where the payload is the small sparse
+// support encoding.
+func RingAllgathervBytes(r, totalFloats int) float64 {
+	return float64(r-1) * float64(totalFloats) * 8
+}
+
+// GridIntersectionBytes models the selection-reassembly wire volume of a
+// PB × PL grid over q λ values and p features with the
+// communication-avoiding path: per-column tree reductions of the local
+// count blocks, a row-0 ring allgather of the thresholded support encoding
+// (supportFloats total floats), and per-column tree broadcasts of the full
+// encoding. Compare against FlatIntersectionBytes for the same fit.
+func GridIntersectionBytes(pb, pl, q, p, supportFloats int) float64 {
+	blockCounts := (q / pl) * p // per-column λ-block count vector (≈)
+	if pl > q {
+		blockCounts = p
+	}
+	reduce := float64(pl) * TreeReduceBytes(pb, blockCounts)
+	ring := RingAllgathervBytes(pl, supportFloats)
+	bcast := float64(pl) * TreeBcastBytes(pb, supportFloats)
+	return reduce + ring + bcast
+}
+
+// FlatIntersectionBytes models the flat baseline for the same reassembly:
+// one world-wide Allreduce of the zero-padded q·p count vector.
+func FlatIntersectionBytes(pb, pl, q, p int) float64 {
+	return FlatAllreduceBytes(pb*pl, q*p)
+}
+
+// TreeDepth is the synchronization depth of the binomial collectives,
+// ⌈log2 r⌉ — the latency term that replaces the flat collectives' O(r)
+// slot contention.
+func TreeDepth(r int) float64 {
+	if r <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(r)))
+}

@@ -1,0 +1,59 @@
+package perfmodel
+
+import "testing"
+
+// The communication-avoiding reassembly must beat the flat baseline in
+// modeled bytes at every acceptance grid shape, and the advantage must grow
+// with rank count — the scaling claim the grid engine exists for.
+func TestGridIntersectionBeatsFlat(t *testing.T) {
+	const q, p = 48, 512
+	support := q * (1 + p/8) // thresholded supports ≈ 1/8 density encoding
+	shapes := []struct{ pb, pl int }{{1, 1}, {2, 2}, {4, 2}, {1, 8}, {8, 8}, {16, 16}}
+	for _, s := range shapes {
+		flat := FlatIntersectionBytes(s.pb, s.pl, q, p)
+		grid := GridIntersectionBytes(s.pb, s.pl, q, p, support)
+		if s.pb*s.pl > 1 && grid >= flat {
+			t.Fatalf("grid %dx%d: modeled tree/ring bytes %.0f not below flat %.0f", s.pb, s.pl, grid, flat)
+		}
+	}
+	// Along the square-grid diagonal the advantage must grow with rank
+	// count: the flat volume scales with PB·PL while the tree/ring terms
+	// scale with PB + PL.
+	prevRatio := 0.0
+	for _, d := range []int{2, 4, 8, 16} {
+		ratio := FlatIntersectionBytes(d, d, q, p) / GridIntersectionBytes(d, d, q, p, support)
+		if ratio <= prevRatio {
+			t.Fatalf("grid %dx%d: advantage %.2fx did not grow (prev %.2fx)", d, d, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+}
+
+// Tree collectives ship (r−1)·n bytes regardless of depth; flat ships r·n.
+func TestTreeVolumeClosedForms(t *testing.T) {
+	for _, r := range []int{1, 2, 4, 8, 16} {
+		const n = 1000
+		if got, want := TreeReduceBytes(r, n), float64(r-1)*n*8; got != want {
+			t.Fatalf("TreeReduceBytes(%d): %v != %v", r, got, want)
+		}
+		if TreeBcastBytes(r, n) != TreeReduceBytes(r, n) {
+			t.Fatalf("bcast and reduce volumes must match at r=%d", r)
+		}
+		if got, want := FlatAllreduceBytes(r, n), float64(r)*n*8; got != want {
+			t.Fatalf("FlatAllreduceBytes(%d): %v != %v", r, got, want)
+		}
+		if r > 1 && TreeReduceBytes(r, n) >= FlatAllreduceBytes(r, n) {
+			t.Fatalf("tree must undercut flat at r=%d", r)
+		}
+	}
+}
+
+// TreeDepth is the binomial synchronization depth.
+func TestTreeDepth(t *testing.T) {
+	want := map[int]float64{1: 0, 2: 1, 3: 2, 4: 2, 8: 3, 9: 4, 16: 4}
+	for r, d := range want {
+		if got := TreeDepth(r); got != d {
+			t.Fatalf("TreeDepth(%d) = %v, want %v", r, got, d)
+		}
+	}
+}

@@ -81,11 +81,20 @@ type PhaseStat struct {
 }
 
 // CommStat mirrors one mpi.Stats category (p2p, collective, one-sided).
+// Category may carry a sub-communicator label suffix — "collective[row]" —
+// when the fit attributed traffic to labeled communicators (the 2-D grid
+// engine labels its row/column sub-comms); labeled rows are a breakdown of
+// the unlabeled aggregate, not additional traffic.
 type CommStat struct {
 	Category string  `json:"category"`
 	Calls    int64   `json:"calls"`
 	Bytes    int64   `json:"bytes"`
 	Seconds  float64 `json:"seconds"`
+	// WaitSeconds is the blocked portion of Seconds: time spent waiting for
+	// peers (barrier entry, p2p channel block, nonblocking-request Wait)
+	// rather than moving bytes. Additive schema field — absent in reports
+	// from runtimes that predate wait metering.
+	WaitSeconds float64 `json:"wait_seconds,omitempty"`
 }
 
 // RankPerf snapshots the tracer into a report entry for the given rank.
@@ -103,6 +112,12 @@ func (t *Tracer) RankPerf(rank int) RankPerf {
 // AddComm appends one communication category's meters.
 func (r *RankPerf) AddComm(category string, calls, bytes int64, seconds float64) {
 	r.Comm = append(r.Comm, CommStat{Category: category, Calls: calls, Bytes: bytes, Seconds: seconds})
+}
+
+// AddCommWait appends one communication category's meters including the
+// blocked-time split (CommStat.WaitSeconds).
+func (r *RankPerf) AddCommWait(category string, calls, bytes int64, seconds, waitSeconds float64) {
+	r.Comm = append(r.Comm, CommStat{Category: category, Calls: calls, Bytes: bytes, Seconds: seconds, WaitSeconds: waitSeconds})
 }
 
 // TopLevelSeconds sums the top-level phases (names without '/') — the

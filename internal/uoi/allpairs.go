@@ -44,7 +44,7 @@ type AllPairsConfig struct {
 	// Q is the per-target λ-grid size (default 8) and LambdaRatio the
 	// grid's λ_min/λ_max (default 1e-2).
 	Q           int
-	LambdaRatio float64
+	LambdaRatio float64 // λ_min/λ_max (see Q)
 	// Screen caps the number of candidate predictors kept per target
 	// after correlation screening (default 64; capped at d·p).
 	Screen int

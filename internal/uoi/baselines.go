@@ -13,8 +13,8 @@ import (
 
 // BaselineResult is a fitted comparator model.
 type BaselineResult struct {
-	Beta   []float64
-	Lambda float64 // chosen regularization (0 for OLS/ridge-α reporting)
+	Beta   []float64 // fitted coefficients
+	Lambda float64   // chosen regularization (0 for OLS/ridge-α reporting)
 }
 
 // LassoCV fits a plain LASSO with λ chosen by K-fold cross-validation — the

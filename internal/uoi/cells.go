@@ -30,6 +30,21 @@ import (
 // once, sweep the λ path with warm starts, and return the support
 // indicators flattened as sup[j·p+i] for λ index j and feature i.
 func lassoSelCell(x *mat.Dense, y []float64, root *resample.RNG, k int, lambdas []float64, c *LassoConfig, kw int, tr *trace.Tracer) (sup []bool, fits, iters int, err error) {
+	sup, _, _, fits, iters, err = lassoSelCellRange(x, y, root, k, lambdas, 0, len(lambdas), nil, c, kw, tr)
+	return sup, fits, iters, err
+}
+
+// lassoSelCellRange is the λ-block body shared by the serial cell (full
+// range, cold start) and the 2-D grid engine (contiguous λ block [jLo, jHi)
+// per grid column, warm-started from the neighboring column). warm, when
+// non-nil, is invoked after the factorization succeeds and supplies the
+// (z, u) pair the serial sweep would have carried into λ index jLo — the
+// grid's cross-column pipeline handoff. Because serial and grid runs share
+// this one code path, a grid fit continues the exact serial warm-start
+// chain and its supports are bit-identical to serial by construction.
+// lastZ/lastU return the chain state after λ index jHi−1, for forwarding to
+// the next column. sup is the block-local flattening sup[(j−jLo)·p+i].
+func lassoSelCellRange(x *mat.Dense, y []float64, root *resample.RNG, k int, lambdas []float64, jLo, jHi int, warm func() (z, u []float64), c *LassoConfig, kw int, tr *trace.Tracer) (sup []bool, lastZ, lastU []float64, fits, iters int, err error) {
 	n, p := x.Rows, x.Cols
 	rng := root.Derive(uint64(k) + 1)
 	idx := resample.Bootstrap(rng, n)
@@ -45,29 +60,32 @@ func lassoSelCell(x *mat.Dense, y []float64, root *resample.RNG, k int, lambdas 
 		f, err = admm.NewFactorizationWorkers(xb, yb, c.ADMM.Rho, kw)
 	}
 	if err != nil {
-		return nil, 0, 0, fmt.Errorf("uoi: selection bootstrap %d: %w", k, err)
+		return nil, nil, nil, 0, 0, fmt.Errorf("uoi: selection bootstrap %d: %w", k, err)
 	}
 	tr.Add("admm/factorizations", 1)
-	sup = make([]bool, len(lambdas)*p)
+	sup = make([]bool, (jHi-jLo)*p)
 	// Warm-start each λ from its neighbor's (z, u) pair — carrying only z
 	// would restart the dual at zero every step and forfeit most of the
 	// saved iterations (Boyd §4.3's standard path warm start).
 	var warmZ, warmU []float64
-	for j, lam := range lambdas {
+	if warm != nil {
+		warmZ, warmU = warm()
+	}
+	for j := jLo; j < jHi; j++ {
 		opts := c.ADMM
 		opts.WarmZ, opts.WarmU = warmZ, warmU
-		r := f.Solve(lam, &opts)
+		r := f.Solve(lambdas[j], &opts)
 		warmZ, warmU = r.Beta, r.U
 		fits++
 		iters += r.Iters
-		row := sup[j*p : (j+1)*p]
+		row := sup[(j-jLo)*p : (j-jLo+1)*p]
 		for i, v := range r.Beta {
 			if v > c.SupportTol || v < -c.SupportTol {
 				row[i] = true
 			}
 		}
 	}
-	return sup, fits, iters, nil
+	return sup, warmZ, warmU, fits, iters, nil
 }
 
 // lassoEstCell runs estimation bootstrap k of UoI_LASSO: resample a
@@ -147,6 +165,20 @@ func varSelTargets(root *resample.RNG, k, m, blockLen int, c *VARConfig) []int {
 // sup[j·betaLen + eq·rowsB + i]. spPhase receives the kron_assembly child
 // span, mirroring the serial algorithm's trace shape.
 func varSelCell(series *mat.Dense, root *resample.RNG, k, m, blockLen int, lambdas []float64, c *VARConfig, kw int, tr *trace.Tracer, spPhase trace.Span) (sup []bool, fits, iters int, kron time.Duration, err error) {
+	return varSelCellRange(series, root, k, m, blockLen, lambdas, 0, len(lambdas), nil, nil, c, kw, tr, spPhase)
+}
+
+// varSelCellRange is the λ-block body shared by the serial VAR cell (full
+// range) and the 2-D grid engine (contiguous λ block [jLo, jHi) per grid
+// column). The warm-start chain is per equation, so the grid handoff is
+// per-equation too: warm(eq), when non-nil, supplies the (z, u) pair the
+// serial sweep would carry into λ index jLo of equation eq, and emit(eq),
+// when non-nil, receives the chain state after jHi−1 for forwarding to the
+// next column. warm/emit callers must not set c.WarmBeta (the seeded sweep
+// reverses the λ order, which would reverse the pipeline direction); the
+// grid engine rejects that combination up front. sup is the block-local
+// flattening sup[(j−jLo)·betaLen + eq·rowsB + i].
+func varSelCellRange(series *mat.Dense, root *resample.RNG, k, m, blockLen int, lambdas []float64, jLo, jHi int, warm func(eq int) (z, u []float64), emit func(eq int, z, u []float64), c *VARConfig, kw int, tr *trace.Tracer, spPhase trace.Span) (sup []bool, fits, iters int, kron time.Duration, err error) {
 	d := c.Order
 	p := series.Cols
 	targets := varSelTargets(root, k, m, blockLen, c)
@@ -170,15 +202,15 @@ func varSelCell(series *mat.Dense, root *resample.RNG, k, m, blockLen int, lambd
 	}
 	tr.Add("admm/factorizations", 1)
 	betaLen := rowsB * p
-	sup = make([]bool, len(lambdas)*betaLen)
+	sup = make([]bool, (jHi-jLo)*betaLen)
 	// Sweep order: the λ grid is descending (λ_max first), where the cold
 	// solution starts near zero — the natural chain for zero starts. When a
 	// previous model seeds the sweep (c.WarmBeta, streaming refits), the
 	// seed approximates the *small*-λ solutions, so the sweep runs
 	// smallest-λ-first instead and chains (z, u) upward from there.
-	order := make([]int, len(lambdas))
+	order := make([]int, jHi-jLo)
 	for i := range order {
-		order[i] = i
+		order[i] = jLo + i
 	}
 	var prev []float64
 	if len(c.WarmBeta) == betaLen {
@@ -197,6 +229,9 @@ func varSelCell(series *mat.Dense, root *resample.RNG, k, m, blockLen int, lambd
 		if prev != nil {
 			warmZ = prev[eq*rowsB : (eq+1)*rowsB]
 		}
+		if warm != nil {
+			warmZ, warmU = warm(eq)
+		}
 		for _, j := range order {
 			opts := c.ADMM
 			opts.WarmZ, opts.WarmU = warmZ, warmU
@@ -204,12 +239,15 @@ func varSelCell(series *mat.Dense, root *resample.RNG, k, m, blockLen int, lambd
 			warmZ, warmU = r.Beta, r.U
 			fits++
 			iters += r.Iters
-			row := sup[j*betaLen+eq*rowsB : j*betaLen+(eq+1)*rowsB]
+			row := sup[(j-jLo)*betaLen+eq*rowsB : (j-jLo)*betaLen+(eq+1)*rowsB]
 			for i, v := range r.Beta {
 				if v > c.SupportTol || v < -c.SupportTol {
 					row[i] = true
 				}
 			}
+		}
+		if emit != nil {
+			emit(eq, warmZ, warmU)
 		}
 	}
 	return sup, fits, iters, kron, nil

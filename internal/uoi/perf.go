@@ -1,6 +1,8 @@
 package uoi
 
 import (
+	"sort"
+
 	"uoivar/internal/mpi"
 	"uoivar/internal/trace"
 )
@@ -25,9 +27,28 @@ func RankPerf(comm *mpi.Comm, tr *trace.Tracer) trace.RankPerf {
 		if st.Calls[cat] == 0 {
 			continue
 		}
-		rp.AddComm(cat.String(), st.Calls[cat], st.Bytes[cat], st.Time[cat].Seconds())
+		rp.AddCommWait(cat.String(), st.Calls[cat], st.Bytes[cat], st.Time[cat].Seconds(), st.Wait[cat].Seconds())
 	}
 	rp.FinalizeCompute()
+	// Per-communicator attribution (grid fits label their row/column
+	// sub-comms): breakdown rows like "collective[row]" appended after
+	// FinalizeCompute so they never double-count CommSeconds — every labeled
+	// second is already inside the unlabeled aggregate above.
+	labeled := comm.LocalLabelStats()
+	labels := make([]string, 0, len(labeled))
+	for l := range labeled {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		ls := labeled[label]
+		for _, cat := range []mpi.Category{mpi.CatP2P, mpi.CatCollective, mpi.CatOneSided} {
+			if ls.Calls[cat] == 0 {
+				continue
+			}
+			rp.AddCommWait(cat.String()+"["+label+"]", ls.Calls[cat], ls.Bytes[cat], ls.Time[cat].Seconds(), ls.Wait[cat].Seconds())
+		}
+	}
 	if rec := tr.EventRecorder(); rec != nil {
 		rp.DroppedEvents = rec.Dropped()
 		me := comm.WorldRank()

@@ -263,8 +263,8 @@ func median64(xs []float64) float64 {
 // the phase breakdown the paper reports (computation vs communication vs
 // distribution; Figures 2 and 7).
 type Diagnostics struct {
-	SelectionTime  time.Duration
-	EstimationTime time.Duration
+	SelectionTime  time.Duration // wall time of the selection phase
+	EstimationTime time.Duration // wall time of the estimation phase
 	LassoFits      int // LASSO solves in selection
 	OLSFits        int // OLS solves in estimation
 	ADMMIters      int // total ADMM iterations across all solves

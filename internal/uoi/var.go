@@ -26,16 +26,16 @@ type VARConfig struct {
 	// B1, B2, Lambdas, Q, LambdaRatio, Seed, TrainFrac, SupportTol, ADMM:
 	// as in LassoConfig.
 	B1, B2      int
-	Lambdas     []float64
-	Q           int
-	LambdaRatio float64
-	Seed        uint64
-	TrainFrac   float64
-	SupportTol  float64
+	Lambdas     []float64 // explicit λ grid (overrides Q/LambdaRatio)
+	Q           int       // λ-grid size when Lambdas is nil
+	LambdaRatio float64   // λ_min/λ_max of the generated grid
+	Seed        uint64    // root RNG seed; fixes every bootstrap
+	TrainFrac   float64   // estimation train/eval split fraction
+	SupportTol  float64   // |β| threshold for support membership
 	// SelectionFrac and MedianUnion as in LassoConfig: soft intersection
 	// threshold and robust union.
 	SelectionFrac float64
-	MedianUnion   bool
+	MedianUnion   bool // median instead of mean in the estimation union
 	// L2 adds an elastic-net ℓ2 penalty to every selection solve
 	// (UoI_ElasticNet for VAR); estimation remains OLS on the supports.
 	L2 float64
@@ -82,7 +82,8 @@ type VARConfig struct {
 	// CheckpointConfig): completed cells are durable and a crashed fit
 	// resumes bit-identically.
 	Checkpoint *CheckpointConfig
-	ADMM       admm.Options
+	// ADMM tunes the inner solver, as in LassoConfig.
+	ADMM admm.Options
 }
 
 func (c *VARConfig) defaults() VARConfig {
@@ -128,16 +129,16 @@ type VARResult struct {
 	// A holds the partitioned lag matrices A_1..A_d and Mu the intercept
 	// (Algorithm 2 lines 31–32).
 	A  []*mat.Dense
-	Mu []float64
+	Mu []float64 // intercept vector μ
 	// Lambdas and Supports mirror the UoI_LASSO result (supports index into
 	// vec(B)).
 	Lambdas  []float64
-	Supports [][]int
+	Supports [][]int // per-λ support indices into vec(B)
 	// Diag carries phase timings; KronTime aggregates the vectorization /
 	// Kronecker-construction work (design construction per bootstrap),
 	// the paper's "distribution" phase analogue in the serial code.
 	Diag     Diagnostics
-	KronTime time.Duration
+	KronTime time.Duration // total design-assembly time (see Diag comment)
 }
 
 // VAR runs serial UoI_VAR on an N×p series.

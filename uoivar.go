@@ -88,6 +88,19 @@ type VARDistOptions = uoi.VARDistOptions
 // Grid is the P_B × P_λ process grid of the paper's §III parallelism.
 type Grid = uoi.Grid
 
+// GridShape is a 2-D P_B × P_λ execution-grid layout for the
+// communication-avoiding engine (DESIGN.md §16): PB grid rows shard
+// bootstraps, PL grid columns shard the λ path.
+type GridShape = uoi.GridShape
+
+// ParseGridShape parses an "RxC" layout spec (e.g. "4x2").
+func ParseGridShape(s string) (GridShape, error) { return uoi.ParseGridShape(s) }
+
+// GridOptions configures a 2-D grid fit: the grid shape and the choice
+// between tree/ring collectives and the flat-Allgather baseline. Either
+// mode returns results bit-identical to the serial fit.
+type GridOptions = uoi.GridOptions
+
 // ADMMOptions tunes the inner LASSO-ADMM solver.
 type ADMMOptions = admm.Options
 
@@ -102,6 +115,13 @@ func FitLassoDistributed(comm *Comm, xLocal *Dense, yLocal []float64, cfg *Lasso
 	return uoi.LassoDistributed(comm, xLocal, yLocal, cfg, grid)
 }
 
+// FitLassoGrid runs UoI_LASSO on a 2-D bootstrap × λ execution grid
+// (comm.Size() must equal opt.Shape.Ranks(); every rank passes the full
+// dataset). Any grid shape reproduces the serial fit bit-for-bit.
+func FitLassoGrid(comm *Comm, x *Dense, y []float64, cfg *LassoConfig, opt GridOptions) (*LassoResult, error) {
+	return uoi.LassoGrid(comm, x, y, cfg, opt)
+}
+
 // FitVAR runs serial UoI_VAR on an n×p series.
 func FitVAR(series *Dense, cfg *VARConfig) (*VARResult, error) {
 	return uoi.VAR(series, cfg)
@@ -112,6 +132,13 @@ func FitVAR(series *Dense, cfg *VARConfig) (*VARResult, error) {
 // reader ranks.
 func FitVARDistributed(comm *Comm, series *Dense, cfg *VARConfig, opts *VARDistOptions) (*VARResult, error) {
 	return uoi.VARDistributed(comm, series, cfg, opts)
+}
+
+// FitVARGrid runs UoI_VAR on a 2-D bootstrap × λ execution grid; every
+// rank passes the full series. Any grid shape reproduces the serial fit
+// bit-for-bit.
+func FitVARGrid(comm *Comm, series *Dense, cfg *VARConfig, opt GridOptions) (*VARResult, error) {
+	return uoi.VARGrid(comm, series, cfg, opt)
 }
 
 // LassoCV fits the plain cross-validated LASSO baseline.
